@@ -1,0 +1,15 @@
+"""Benchmark fixtures.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Every benchmark also
+asserts the paper's qualitative claim it reproduces, so a run doubles as a
+reproduction check; the printed pytest-benchmark table gives this
+machine's measured numbers for EXPERIMENTS.md.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def paper_table1():
+    from repro.transport.netmodel import PAPER_TABLE1
+    return PAPER_TABLE1

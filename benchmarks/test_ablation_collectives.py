@@ -1,0 +1,132 @@
+"""Ablation: collective-algorithm choices called out in DESIGN.md.
+
+Binomial vs linear broadcast and recursive-doubling vs reduce+broadcast
+allreduce, compared on (a) per-rank message counts — the quantity that
+determines the critical path — and (b) live wall time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.executor.runner import MPIExecutor
+from repro.jni import capi, handles as H
+from repro.runtime.collective import CONFIG
+from repro.runtime.engine import Universe
+from repro.runtime.envelope import KIND_DATA
+from repro.transport.inproc import InprocTransport
+
+NP = 8
+COUNT = 4096
+
+
+class CountingTransport(InprocTransport):
+    """In-process transport recording data messages per sending rank."""
+
+    def __init__(self, nprocs):
+        super().__init__(nprocs)
+        self.sent_by = [0] * nprocs
+
+    def send(self, env):
+        if env.kind == KIND_DATA:
+            self.sent_by[env.src] += 1
+        super().send(env)
+
+
+def _run_counted(algorithm_key, algorithm, op_body, nprocs=NP):
+    """Run one collective; returns per-rank data-message send counts."""
+    transport = CountingTransport(nprocs)
+    universe = Universe(nprocs, transport=transport)
+    old = CONFIG[algorithm_key]
+    CONFIG[algorithm_key] = algorithm
+    try:
+        with MPIExecutor(nprocs, universe=universe) as ex:
+            ex.run(op_body)
+        return list(transport.sent_by)
+    finally:
+        CONFIG[algorithm_key] = old
+
+
+def _bcast_body():
+    buf = np.zeros(COUNT, dtype=np.float64)
+    capi.mpi_bcast(H.COMM_WORLD, buf, 0, COUNT, H.DT_DOUBLE, 0)
+
+
+def _allreduce_body():
+    sb = np.ones(COUNT, dtype=np.float64)
+    rb = np.zeros(COUNT, dtype=np.float64)
+    capi.mpi_allreduce(H.COMM_WORLD, sb, 0, rb, 0, COUNT, H.DT_DOUBLE,
+                       H.OP_SUM)
+    assert rb[0] == NP
+
+
+class TestMessageCounts:
+    def test_binomial_bcast_shortens_root_critical_path(self, benchmark):
+        def compare():
+            tree = _run_counted("bcast", "binomial", _bcast_body)
+            lin = _run_counted("bcast", "linear", _bcast_body)
+            return tree, lin
+
+        tree, lin = benchmark(compare)
+        # linear: the root sends p-1 sequential messages; binomial: log2 p
+        assert lin[0] == NP - 1
+        assert tree[0] == 3  # log2(8)
+        # both move the same total payload count
+        assert sum(tree) == sum(lin) == NP - 1
+
+    def test_allreduce_message_count_tradeoff(self, benchmark):
+        def compare():
+            rd = _run_counted("allreduce", "recursive_doubling",
+                              _allreduce_body)
+            rb = _run_counted("allreduce", "reduce_bcast",
+                              _allreduce_body)
+            return rd, rb
+
+        rd, rb = benchmark(compare)
+        # recursive doubling: every rank sends log2 p messages (balanced,
+        # log p rounds); reduce+bcast: fewer total messages but ~2 log p
+        # sequential phases and an unbalanced root
+        assert rd == [3] * NP                    # log2(8) each
+        assert sum(rb) == 2 * (NP - 1)           # (p-1) up + (p-1) down
+        assert max(rd) < max(rb) or sum(rd) > sum(rb)
+
+
+class TestMeasured:
+    @pytest.mark.parametrize("alg", ["binomial", "linear"])
+    def test_measured_bcast(self, benchmark, alg):
+        def job():
+            old = CONFIG["bcast"]
+            CONFIG["bcast"] = alg
+            try:
+                with MPIExecutor(NP) as ex:
+                    ex.run(_wrapped(_bcast_body))
+            finally:
+                CONFIG["bcast"] = old
+
+        benchmark(job)
+
+    @pytest.mark.parametrize("alg", ["dissemination", "linear"])
+    def test_measured_barrier(self, benchmark, alg):
+        def body():
+            for _ in range(20):
+                capi.mpi_barrier(H.COMM_WORLD)
+
+        def job():
+            old = CONFIG["barrier"]
+            CONFIG["barrier"] = alg
+            try:
+                with MPIExecutor(NP) as ex:
+                    ex.run(_wrapped(body))
+            finally:
+                CONFIG["barrier"] = old
+
+        benchmark(job)
+
+
+def _wrapped(fn):
+    def body():
+        capi.mpi_init([])
+        try:
+            fn()
+        finally:
+            capi.mpi_finalize()
+    return body

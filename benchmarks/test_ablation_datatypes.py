@@ -1,0 +1,93 @@
+"""Ablation: the paper's §2.2 datatype discussion, quantified.
+
+* derived ``Vector`` sections vs explicit copy through a scratch buffer
+  (the two options §2.2 weighs for Java programmers);
+* ``MPI.OBJECT`` serialization vs primitive arrays (the cost of the
+  proposed extension).
+"""
+
+import numpy as np
+import pytest
+
+from repro import mpirun
+from repro.mpijava import MPI
+from tests.conftest import spmd
+
+ROWS, COLS = 256, 256
+REPS = 20
+
+
+def _column_exchange_derived():
+    w = MPI.COMM_WORLD
+    me = w.Rank()
+    mat = np.arange(ROWS * COLS, dtype=np.float64)
+    col = MPI.DOUBLE.Vector(ROWS, 1, COLS).Commit()
+    if me == 0:
+        for _ in range(REPS):
+            w.Send(mat, 1, 1, col, 1, 0)
+    else:
+        for _ in range(REPS):
+            w.Recv(mat, 0, 1, col, 0, 0)
+    return True
+
+
+def _column_exchange_copy():
+    w = MPI.COMM_WORLD
+    me = w.Rank()
+    mat = np.arange(ROWS * COLS, dtype=np.float64)
+    scratch = np.empty(ROWS, dtype=np.float64)
+    if me == 0:
+        for _ in range(REPS):
+            scratch[:] = mat[1::COLS]
+            w.Send(scratch, 0, ROWS, MPI.DOUBLE, 1, 0)
+    else:
+        for _ in range(REPS):
+            w.Recv(scratch, 0, ROWS, MPI.DOUBLE, 0, 0)
+            mat[0::COLS] = scratch
+    return True
+
+
+class TestDerivedVsCopy:
+    def test_derived_column_exchange(self, benchmark):
+        benchmark(lambda: mpirun(2, spmd(_column_exchange_derived)))
+
+    def test_explicit_copy_exchange(self, benchmark):
+        benchmark(lambda: mpirun(2, spmd(_column_exchange_copy)))
+
+
+def _object_roundtrip(n_items):
+    w = MPI.COMM_WORLD
+    payload = [{"i": i, "x": float(i)} for i in range(n_items)]
+    box = [None] * n_items
+    if w.Rank() == 0:
+        for _ in range(REPS):
+            w.Send(payload, 0, n_items, MPI.OBJECT, 1, 0)
+            w.Recv(box, 0, n_items, MPI.OBJECT, 1, 1)
+    else:
+        for _ in range(REPS):
+            w.Recv(box, 0, n_items, MPI.OBJECT, 0, 0)
+            w.Send(box, 0, n_items, MPI.OBJECT, 0, 1)
+    return True
+
+
+def _primitive_roundtrip(n_items):
+    w = MPI.COMM_WORLD
+    payload = np.arange(2 * n_items, dtype=np.float64)
+    if w.Rank() == 0:
+        for _ in range(REPS):
+            w.Send(payload, 0, len(payload), MPI.DOUBLE, 1, 0)
+            w.Recv(payload, 0, len(payload), MPI.DOUBLE, 1, 1)
+    else:
+        for _ in range(REPS):
+            w.Recv(payload, 0, len(payload), MPI.DOUBLE, 0, 0)
+            w.Send(payload, 0, len(payload), MPI.DOUBLE, 0, 1)
+    return True
+
+
+class TestObjectSerializationCost:
+    def test_object_messages(self, benchmark):
+        benchmark(lambda: mpirun(2, spmd(_object_roundtrip), args=(500,)))
+
+    def test_equivalent_primitive_messages(self, benchmark):
+        benchmark(lambda: mpirun(2, spmd(_primitive_roundtrip),
+                                 args=(500,)))

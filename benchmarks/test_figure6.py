@@ -1,0 +1,52 @@
+"""Figure 6 — PingPong bandwidth in Distributed Memory mode (paper §4.5)."""
+
+import pytest
+
+from repro.bench.environments import make_env
+from repro.bench.figures import generate_figure
+from repro.bench.pingpong import run_pingpong
+
+
+def test_modeled_figure6_shapes(benchmark):
+    results = benchmark(generate_figure, "DM", "modeled", 2)
+    # §4.5: all curves peak at about 1 MB/s (~90% of 10 Mbps Ethernet)
+    for label, r in results.items():
+        _, bw = r.peak_bandwidth()
+        assert 0.9e6 < bw < 1.25e6, label
+    # C/J differences much smaller than SM; WMPI C and J nearly identical
+    wmpi_c, wmpi_j = results["WMPI-C"], results["WMPI-J"]
+    for tc, tj in zip(wmpi_c.times, wmpi_j.times):
+        assert (tj - tc) / tc < 0.12
+    # MPICH C/J converge by ~4K
+    mpich_c, mpich_j = results["MPICH-C"], results["MPICH-J"]
+    gap_4k = (mpich_j.time_at(4096) - mpich_c.time_at(4096)) \
+        / mpich_c.time_at(4096)
+    gap_1b = (mpich_j.time_at(1) - mpich_c.time_at(1)) \
+        / mpich_c.time_at(1)
+    assert gap_4k < 0.08 < gap_1b
+
+
+@pytest.mark.parametrize("api", ["capi", "mpijava"])
+def test_measured_dm_sweep_point(benchmark, api):
+    """Live 4 KB one-way time over the kernel-socket DM path."""
+    env = make_env("WMPI", "DM", api, "measured")
+
+    def sweep():
+        return run_pingpong(env, sizes=(4096,), reps=60)
+
+    result = benchmark(sweep)
+    assert result.times[0] > 0
+
+
+def test_measured_dm_raw_faster_than_mpi(benchmark):
+    """Wsock (no MPI stack) undercuts the MPI DM columns, as in Table 1."""
+    raw_env = make_env("WSOCK", "DM", "raw", "measured")
+    mpi_env = make_env("WMPI", "DM", "capi", "measured")
+
+    def both():
+        raw = run_pingpong(raw_env, sizes=(1,), reps=80)
+        mpi = run_pingpong(mpi_env, sizes=(1,), reps=80)
+        return raw.times[0], mpi.times[0]
+
+    raw_t, mpi_t = benchmark(both)
+    assert raw_t < mpi_t

@@ -1,0 +1,52 @@
+"""Table 1 — time for 1-byte messages (paper §4.3).
+
+Modeled timing regenerates the paper's magnitudes (asserted to 2 %);
+measured timing benchmarks the live stack so the pytest-benchmark table
+shows this machine's equivalents of each column.
+"""
+
+import pytest
+
+from repro.bench.environments import make_env
+from repro.bench.pingpong import run_pingpong
+from repro.bench.table1 import generate_table1
+
+_MEASURED = [
+    ("WMPI", "SM", "capi"), ("WMPI", "SM", "mpijava"),
+    ("MPICH", "SM", "capi"), ("MPICH", "SM", "mpijava"),
+    ("WMPI", "DM", "capi"), ("WMPI", "DM", "mpijava"),
+    ("WSOCK", "SM", "raw"), ("WSOCK", "DM", "raw"),
+]
+
+
+@pytest.mark.parametrize("platform,mode,api", _MEASURED,
+                         ids=[f"{p}-{m}-{a}" for p, m, a in _MEASURED])
+def test_measured_1byte_latency(benchmark, platform, mode, api):
+    env = make_env(platform, mode, api, "measured")
+
+    def one_sweep():
+        return run_pingpong(env, sizes=(1,), reps=60).times[0]
+
+    one_way = benchmark(one_sweep)
+    assert 0 < one_way < 0.05
+
+
+def test_modeled_table1_matches_paper(benchmark, paper_table1):
+    table = benchmark(generate_table1, "modeled")
+    for (mode, label), paper_us in paper_table1.items():
+        ours = table[(mode, label)] * 1e6
+        assert ours == pytest.approx(paper_us, rel=0.02), (mode, label)
+
+
+def test_modeled_wrapper_deltas(benchmark, paper_table1):
+    """§4.3's headline numbers: +94us/+226us (SM), +66us/+282us (DM)."""
+    table = benchmark(generate_table1, "modeled")
+    d = {k: v * 1e6 for k, v in table.items() if v is not None}
+    assert d[("SM", "WMPI-J")] - d[("SM", "WMPI-C")] == \
+        pytest.approx(94.2, abs=6)
+    assert d[("SM", "MPICH-J")] - d[("SM", "MPICH-C")] == \
+        pytest.approx(225.9, abs=10)
+    assert d[("DM", "WMPI-J")] - d[("DM", "WMPI-C")] == \
+        pytest.approx(65.8, abs=10)
+    assert d[("DM", "MPICH-J")] - d[("DM", "MPICH-C")] == \
+        pytest.approx(282.1, abs=12)

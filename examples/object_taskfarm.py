@@ -1,0 +1,84 @@
+"""Task farm over ``MPI.OBJECT`` — the paper's §2.2 serialization proposal.
+
+    "A message buffer can then be an array of any serializable Java
+     objects.  The objects are serialized automatically in the wrapper of
+     send operations, and unserialized at their destination."
+
+Rank 0 farms out work descriptions as plain Python dicts; workers return
+result objects.  No manual packing anywhere — the binding serializes the
+objects in the send wrapper, exactly as the paper proposes.
+
+Run:  python examples/object_taskfarm.py [nprocs [ntasks]]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import mpirun
+from repro.mpijava import MPI
+
+TAG_WORK = 1
+TAG_RESULT = 2
+TAG_STOP = 3
+
+
+def farm(ntasks: int = 12):
+    MPI.Init([])
+    world = MPI.COMM_WORLD
+    rank, size = world.Rank(), world.Size()
+    assert size >= 2, "need at least one worker"
+
+    if rank == 0:
+        tasks = [{"id": t, "op": "square", "arg": t + 1}
+                 for t in range(ntasks)]
+        results = {}
+        outstanding = 0
+        workers = list(range(1, size))
+        # prime every worker, then hand out the rest on completion
+        box = [None]
+        while tasks or outstanding:
+            while tasks and workers:
+                world.Send([tasks.pop()], 0, 1, MPI.OBJECT,
+                           workers.pop(), TAG_WORK)
+                outstanding += 1
+            status = world.Recv(box, 0, 1, MPI.OBJECT, MPI.ANY_SOURCE,
+                                TAG_RESULT)
+            reply = box[0]
+            results[reply["id"]] = reply["value"]
+            workers.append(status.source)
+            outstanding -= 1
+        for w in range(1, size):
+            world.Send([{"stop": True}], 0, 1, MPI.OBJECT, w, TAG_STOP)
+        MPI.Finalize()
+        return results
+
+    # worker loop: objects in, objects out
+    box = [None]
+    while True:
+        status = world.Probe(0, MPI.ANY_TAG)
+        if status.tag == TAG_STOP:
+            world.Recv(box, 0, 1, MPI.OBJECT, 0, TAG_STOP)
+            break
+        world.Recv(box, 0, 1, MPI.OBJECT, 0, TAG_WORK)
+        task = box[0]
+        value = task["arg"] ** 2 if task["op"] == "square" else None
+        world.Send([{"id": task["id"], "value": value}], 0, 1, MPI.OBJECT,
+                   0, TAG_RESULT)
+    MPI.Finalize()
+    return None
+
+
+def main():
+    nprocs = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    ntasks = int(sys.argv[2]) if len(sys.argv) > 2 else 12
+    results = mpirun(nprocs, farm, args=(ntasks,))[0]
+    expected = {t: (t + 1) ** 2 for t in range(ntasks)}
+    assert results == expected, (results, expected)
+    print(f"task farm: {ntasks} tasks over {nprocs - 1} workers -> "
+          f"{results}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

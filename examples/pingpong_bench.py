@@ -1,0 +1,35 @@
+"""Run the paper's PingPong benchmark interactively (paper §4).
+
+Prints a miniature Table 1 and a bandwidth curve for the chosen timing
+mode.  The full generators live in ``python -m repro.bench.table1`` and
+``python -m repro.bench.figures``.
+
+Run:  python examples/pingpong_bench.py [modeled|measured]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.environments import make_env
+from repro.bench.pingpong import run_pingpong
+from repro.bench.report import format_table, mbs, us
+
+
+def main():
+    timing = sys.argv[1] if len(sys.argv) > 1 else "modeled"
+    sizes = [1, 64, 1024, 16 * 1024, 256 * 1024]
+    rows = []
+    for platform in ("WMPI", "MPICH"):
+        for api in ("capi", "mpijava"):
+            env = make_env(platform, "SM", api, timing)
+            r = run_pingpong(env, sizes=sizes)
+            rows.append([env.label, us(r.times[0])]
+                        + [mbs(r.bandwidth_at(s)) for s in sizes[1:]])
+    print(format_table(
+        ["env", "1B latency (us)"] + [f"{s}B (MB/s)" for s in sizes[1:]],
+        rows, title=f"PingPong, SM mode, {timing} timing"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Quickstart: the paper's Figure 3 minimal mpiJava program, verbatim.
+
+The original Java::
+
+    import mpi.*;
+    class Hello {
+      static public void main(String[] args) {
+        MPI.Init(args);
+        int myrank = MPI.COMM_WORLD.Rank();
+        if (myrank == 0) {
+          char[] message = "Hello, there".toCharArray();
+          MPI.COMM_WORLD.Send(message, 0, message.length, MPI.CHAR, 1, 99);
+        } else {
+          char[] message = new char[20];
+          MPI.COMM_WORLD.Recv(message, 0, 20, MPI.CHAR, 0, 99);
+          System.out.println("received:" + new String(message) + ":");
+        }
+        MPI.Finalize();
+      }
+    }
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import mpirun
+from repro.mpijava import MPI
+
+
+def main(args=()):
+    MPI.Init(list(args))
+    myrank = MPI.COMM_WORLD.Rank()
+    if myrank == 0:
+        message = MPI.to_chars("Hello, there")
+        MPI.COMM_WORLD.Send(message, 0, len(message), MPI.CHAR, 1, 99)
+        received = None
+    else:
+        message = MPI.new_chars(20)
+        status = MPI.COMM_WORLD.Recv(message, 0, 20, MPI.CHAR, 0, 99)
+        nchars = status.Get_count(MPI.CHAR)
+        received = MPI.from_chars(message[:nchars])
+        print(f"received:{received}:")
+    MPI.Finalize()
+    return received
+
+
+if __name__ == "__main__":
+    # run in two processes (two rank threads), as the paper's caption says
+    results = mpirun(2, main)
+    assert results[1] == "Hello, there"

@@ -1,0 +1,18 @@
+"""Benchmark harness reproducing the paper's evaluation (§4).
+
+* :mod:`repro.bench.pingpong` — the PingPong kernel (paper §4.2), in three
+  variants: OO binding ("J"), direct stub calls ("C"), raw transport
+  ("Wsock").
+* :mod:`repro.bench.environments` — the seven benchmark environments of
+  Table 1, in *modeled* (virtual clock calibrated to the paper) and
+  *measured* (wall clock on live transports) timing modes.
+* :mod:`repro.bench.table1`, :mod:`repro.bench.figures` — regenerate
+  Table 1 and Figures 5/6 (``python -m repro.bench.table1`` etc.).
+* :mod:`repro.bench.linpack` — the §4.6 native-vs-VM LinPack aside.
+"""
+
+from repro.bench.pingpong import PingPongResult, run_pingpong
+from repro.bench.environments import BenchEnv, ENV_TABLE, timing_modes
+
+__all__ = ["PingPongResult", "run_pingpong", "BenchEnv", "ENV_TABLE",
+           "timing_modes"]

@@ -1,0 +1,38 @@
+"""Minimal ASCII log-log plotting for terminal-rendered figures."""
+
+from __future__ import annotations
+
+import math
+
+
+def loglog_plot(series: dict[str, tuple[list[int], list[float]]],
+                width: int = 72, height: int = 20,
+                xlabel: str = "message size (B)",
+                ylabel: str = "bandwidth (B/s)") -> str:
+    """Render named (x, y) series on a log-log grid of characters."""
+    marks = "ox+*#@%&"
+    xs_all = [x for xs, _ in series.values() for x in xs if x > 0]
+    ys_all = [y for _, ys in series.values() for y in ys if y > 0]
+    if not xs_all or not ys_all:
+        return "(no data)"
+    lx0, lx1 = math.log10(min(xs_all)), math.log10(max(xs_all))
+    ly0, ly1 = math.log10(min(ys_all)), math.log10(max(ys_all))
+    lx1 = lx1 if lx1 > lx0 else lx0 + 1
+    ly1 = ly1 if ly1 > ly0 else ly0 + 1
+    grid = [[" "] * width for _ in range(height)]
+    for k, (name, (xs, ys)) in enumerate(series.items()):
+        m = marks[k % len(marks)]
+        for x, y in zip(xs, ys):
+            if x <= 0 or y <= 0:
+                continue
+            col = int((math.log10(x) - lx0) / (lx1 - lx0) * (width - 1))
+            row = int((math.log10(y) - ly0) / (ly1 - ly0) * (height - 1))
+            grid[height - 1 - row][col] = m
+    lines = ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    lines.append(f" {xlabel} [log {10**lx0:.0f} .. {10**lx1:.0f}]   "
+                 f"{ylabel} [log {10**ly0:.2g} .. {10**ly1:.2g}]")
+    legend = "   ".join(f"{marks[k % len(marks)]}={name}"
+                        for k, name in enumerate(series))
+    lines.append(" " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Regenerate Figures 5 and 6: PingPong bandwidth vs message size.
+
+Usage::
+
+    python -m repro.bench.figures [--mode sm|dm|both]
+                                  [--timing modeled|measured]
+                                  [--step 2] [--csv]
+
+Figure 5 (SM) compares WMPI-C/WMPI-J/MPICH-C/MPICH-J in shared-memory
+mode; Figure 6 (DM) the same over the "Ethernet" (socket) path.  Output is
+a CSV block plus an ASCII log-log plot of the bandwidth curves.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench.ascii_plot import loglog_plot
+from repro.bench.environments import make_env
+from repro.bench.pingpong import FIGURE_SIZES, PingPongResult, run_pingpong
+
+#: the four curves of each figure
+FIGURE_ENVS = (("WMPI", "capi"), ("WMPI", "mpijava"),
+               ("MPICH", "capi"), ("MPICH", "mpijava"))
+
+
+def generate_figure(mode: str, timing: str = "modeled", step: int = 1,
+                    reps: int | None = None, max_size: int | None = None) \
+        -> dict[str, PingPongResult]:
+    """Sweep all four environments of Figure 5 (mode='SM') or 6 ('DM')."""
+    sizes = FIGURE_SIZES[::step]
+    if max_size is not None:
+        sizes = tuple(s for s in sizes if s <= max_size)
+    out = {}
+    for platform, api in FIGURE_ENVS:
+        env = make_env(platform, mode, api, timing)
+        out[env.label] = run_pingpong(env, sizes=sizes, reps=reps)
+    return out
+
+
+def render_csv(results: dict[str, PingPongResult]) -> str:
+    labels = list(results)
+    sizes = results[labels[0]].sizes
+    lines = ["size_bytes," + ",".join(f"{l}_MBps" for l in labels)]
+    for i, size in enumerate(sizes):
+        cells = [f"{results[l].bandwidths[i] / 1e6:.4f}" for l in labels]
+        lines.append(f"{size}," + ",".join(cells))
+    return "\n".join(lines)
+
+
+def render_plot(results: dict[str, PingPongResult], mode: str,
+                timing: str) -> str:
+    series = {label: (r.sizes, r.bandwidths)
+              for label, r in results.items()}
+    fig = "Figure 5" if mode == "SM" else "Figure 6"
+    title = (f"{fig} — PingPong bandwidth in "
+             f"{'Shared' if mode == 'SM' else 'Distributed'} Memory "
+             f"({mode}) mode, {timing} timing")
+    return title + "\n" + loglog_plot(series)
+
+
+def main(argv=None) -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--mode", default="both", choices=["sm", "dm", "both"])
+    ap.add_argument("--timing", default="modeled",
+                    choices=["modeled", "measured"])
+    ap.add_argument("--step", type=int, default=2,
+                    help="keep every Nth power-of-two size")
+    ap.add_argument("--reps", type=int, default=None)
+    ap.add_argument("--max-size", type=int, default=None)
+    ap.add_argument("--csv", action="store_true", help="CSV only")
+    ns = ap.parse_args(argv)
+    modes = ["SM", "DM"] if ns.mode == "both" else [ns.mode.upper()]
+    for mode in modes:
+        results = generate_figure(mode, ns.timing, ns.step, ns.reps,
+                                  ns.max_size)
+        if not ns.csv:
+            print(render_plot(results, mode, ns.timing))
+        print(render_csv(results))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,166 @@
+"""The PingPong kernel (paper §4.2).
+
+    "In this program increasing sized messages are sent back and forth
+     between processes ... based on standard blocking MPI_Send/MPI_Recv.
+     PingPong provides information about latency of MPI_Send/MPI_Recv and
+     uni-directional bandwidth.  To ensure that anomalies in message
+     timings are minimised the PingPong is repeated many times for each
+     message size."
+
+Three code paths, matching the paper's benchmark columns:
+
+* ``api="mpijava"`` — the OO binding (the ``-J`` columns);
+* ``api="capi"``    — direct JNI-stub calls (the ``-C`` columns);
+* ``api="raw"``     — bare transport echo, no MPI stack (the Wsock column).
+
+Timing uses ``MPI.Wtime``; under a :class:`~repro.util.clock.VirtualClock`
+(modeled mode) the measured numbers are the calibrated model's, under the
+default wall clock they are live measurements.  One *result time* is the
+one-way latency: half the averaged round-trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.executor.runner import MPIExecutor
+from repro.jni import capi, handles as H
+from repro.mpijava import MPI
+
+#: message sizes of Figures 5/6: 1 B .. 1 MB in powers of two
+FIGURE_SIZES = tuple(2 ** k for k in range(0, 21))
+
+_PING_TAG = 1001
+_PONG_TAG = 1002
+_RELEASE_TAG = 1003
+
+
+@dataclass
+class PingPongResult:
+    """One environment's sweep: per-size one-way times and bandwidths."""
+
+    env: str
+    api: str
+    sizes: list[int] = field(default_factory=list)
+    times: list[float] = field(default_factory=list)       # one-way seconds
+    bandwidths: list[float] = field(default_factory=list)  # bytes/second
+
+    def add(self, size: int, one_way: float) -> None:
+        self.sizes.append(size)
+        self.times.append(one_way)
+        self.bandwidths.append(size / one_way if one_way > 0 else 0.0)
+
+    def time_at(self, size: int) -> float:
+        return self.times[self.sizes.index(size)]
+
+    def bandwidth_at(self, size: int) -> float:
+        return self.bandwidths[self.sizes.index(size)]
+
+    def peak_bandwidth(self) -> tuple[int, float]:
+        i = int(np.argmax(self.bandwidths))
+        return self.sizes[i], self.bandwidths[i]
+
+
+def default_reps(size: int, modeled: bool) -> int:
+    """Repetition count per message size.
+
+    Modeled mode is deterministic, so a handful of reps suffices; measured
+    mode repeats many times for small messages, as the paper describes.
+    """
+    if modeled:
+        return 3
+    return max(5, min(400, (1 << 22) // max(size, 64)))
+
+
+def _pingpong_mpijava(rank: int, size: int, reps: int) -> float:
+    buf = np.zeros(max(size, 1), dtype=np.int8)
+    release = np.zeros(1, dtype=np.int8)
+    world = MPI.COMM_WORLD
+    world.Barrier()
+    t0 = MPI.Wtime()
+    if rank == 0:
+        for _ in range(reps):
+            world.Send(buf, 0, size, MPI.BYTE, 1, _PING_TAG)
+            world.Recv(buf, 0, size, MPI.BYTE, 1, _PONG_TAG)
+        t1 = MPI.Wtime()
+        # hold rank 1 until the timestamp is taken: otherwise its next
+        # barrier token races into the shared virtual clock (modeled mode)
+        world.Send(release, 0, 0, MPI.BYTE, 1, _RELEASE_TAG)
+    else:
+        # idle-probe for the first ping so this rank's first charged call
+        # lands after rank 0's t0 sample (virtual-clock determinism)
+        while world.Iprobe(0, _PING_TAG) is None:
+            pass
+        for _ in range(reps):
+            world.Recv(buf, 0, size, MPI.BYTE, 0, _PING_TAG)
+            world.Send(buf, 0, size, MPI.BYTE, 0, _PONG_TAG)
+        # idle-probe (no wrapper charge) so this rank adds nothing to the
+        # shared virtual clock until rank 0 has taken its timestamp
+        while world.Iprobe(0, _RELEASE_TAG) is None:
+            pass
+        world.Recv(release, 0, 0, MPI.BYTE, 0, _RELEASE_TAG)
+        t1 = MPI.Wtime()
+    return (t1 - t0) / (2 * reps)
+
+
+def _pingpong_capi(rank: int, size: int, reps: int) -> float:
+    buf = np.zeros(max(size, 1), dtype=np.int8)
+    release = np.zeros(1, dtype=np.int8)
+    capi.mpi_barrier(H.COMM_WORLD)
+    t0 = capi.mpi_wtime()
+    if rank == 0:
+        for _ in range(reps):
+            capi.mpi_send(H.COMM_WORLD, buf, 0, size, H.DT_BYTE, 1,
+                          _PING_TAG)
+            capi.mpi_recv(H.COMM_WORLD, buf, 0, size, H.DT_BYTE, 1,
+                          _PONG_TAG)
+        t1 = capi.mpi_wtime()
+        capi.mpi_send(H.COMM_WORLD, release, 0, 0, H.DT_BYTE, 1,
+                      _RELEASE_TAG)
+    else:
+        for _ in range(reps):
+            capi.mpi_recv(H.COMM_WORLD, buf, 0, size, H.DT_BYTE, 0,
+                          _PING_TAG)
+            capi.mpi_send(H.COMM_WORLD, buf, 0, size, H.DT_BYTE, 0,
+                          _PONG_TAG)
+        capi.mpi_recv(H.COMM_WORLD, release, 0, 0, H.DT_BYTE, 0,
+                      _RELEASE_TAG)
+        t1 = capi.mpi_wtime()
+    return (t1 - t0) / (2 * reps)
+
+
+def _sweep_main(api: str, sizes, modeled: bool, reps_override):
+    """Per-rank body of an MPI-based sweep; rank 0 returns the timings."""
+    capi.mpi_init([])
+    rank = capi.mpi_comm_rank(H.COMM_WORLD)
+    kernel = _pingpong_mpijava if api == "mpijava" else _pingpong_capi
+    out = []
+    for size in sizes:
+        reps = reps_override or default_reps(size, modeled)
+        one_way = kernel(rank, size, reps)
+        out.append((size, one_way))
+    capi.mpi_finalize()
+    return out if rank == 0 else None
+
+
+def run_pingpong(env, sizes=(1,), reps: int | None = None) \
+        -> PingPongResult:
+    """Run the PingPong sweep in one benchmark environment.
+
+    ``env`` is a :class:`~repro.bench.environments.BenchEnv`; the result
+    carries one-way times per message size.
+    """
+    from repro.bench import environments as E
+    result = PingPongResult(env=env.key, api=env.api)
+    if env.api == "raw":
+        for size, one_way in E.run_raw(env, sizes, reps):
+            result.add(size, one_way)
+        return result
+    with MPIExecutor(2, universe=E.build_universe(env)) as ex:
+        rows = ex.run(_sweep_main,
+                      args=(env.api, tuple(sizes), env.modeled, reps))[0]
+    for size, one_way in rows:
+        result.add(size, one_way)
+    return result

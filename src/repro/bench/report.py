@@ -1,0 +1,31 @@
+"""Table formatting shared by the benchmark CLIs."""
+
+from __future__ import annotations
+
+
+def format_table(headers: list[str], rows: list[list[str]],
+                 title: str = "") -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+
+    def fmt(row):
+        return "  ".join(str(c).rjust(w) for c, w in zip(row, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(fmt(headers))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(fmt(r) for r in rows)
+    return "\n".join(out)
+
+
+def us(seconds: float) -> str:
+    """Microseconds with one decimal, the paper's Table 1 unit."""
+    return f"{seconds * 1e6:.1f}"
+
+
+def mbs(bytes_per_sec: float) -> str:
+    return f"{bytes_per_sec / 1e6:.2f}"

@@ -1,0 +1,88 @@
+"""Regenerate Table 1: time for 1-byte messages (paper §4.3).
+
+Usage::
+
+    python -m repro.bench.table1 [--timing modeled|measured|both]
+                                 [--projected-linux] [--reps N]
+
+Modeled timing reproduces the paper's magnitudes from the calibrated cost
+model; measured timing reports live wall-clock numbers on this machine's
+transports.  Linux columns print "-" by default, as in the paper (JDK 1.2
+for Linux was not yet released, §3.3); ``--projected-linux`` fills them
+from the projected model parameters instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench.environments import ENV_TABLE, make_env
+from repro.bench.pingpong import run_pingpong
+from repro.bench.report import format_table, us
+from repro.transport.netmodel import PAPER_TABLE1
+
+
+def generate_table1(timing: str = "modeled", projected_linux: bool = False,
+                    reps: int | None = None) -> dict:
+    """Compute the table; returns {(mode, label): one-way seconds|None}."""
+    out = {}
+    for mode in ("SM", "DM"):
+        for platform, api in ENV_TABLE:
+            env = make_env(platform, mode, api, timing)
+            if platform == "LINUX" and not projected_linux:
+                out[(mode, env.label)] = None
+                continue
+            result = run_pingpong(env, sizes=(1,), reps=reps)
+            out[(mode, env.label)] = result.times[0]
+    return out
+
+
+def render(table: dict, timing: str, compare_paper: bool = True) -> str:
+    labels = []
+    for platform, api in ENV_TABLE:
+        env = make_env(platform, "SM", api, timing)
+        if env.label not in labels:
+            labels.append(env.label)
+    headers = ["mode"] + labels
+    rows = []
+    for mode in ("SM", "DM"):
+        row = [mode]
+        for label in labels:
+            t = table.get((mode, label))
+            row.append("-" if t is None else f"{us(t)} us")
+        rows.append(row)
+    text = format_table(headers, rows,
+                        title=f"Table 1 — time for 1-byte messages "
+                              f"({timing} timing)")
+    if compare_paper:
+        rows = []
+        for (mode, label), paper_us in sorted(PAPER_TABLE1.items()):
+            t = table.get((mode, label))
+            if t is None:
+                continue
+            ours = t * 1e6
+            rows.append([mode, label, f"{paper_us:.1f}", f"{ours:.1f}",
+                         f"{ours / paper_us:.3f}"])
+        text += "\n\n" + format_table(
+            ["mode", "env", "paper us", "ours us", "ratio"], rows,
+            title="comparison with the published Table 1")
+    return text
+
+
+def main(argv=None) -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--timing", default="modeled",
+                    choices=["modeled", "measured", "both"])
+    ap.add_argument("--projected-linux", action="store_true")
+    ap.add_argument("--reps", type=int, default=None)
+    ns = ap.parse_args(argv)
+    timings = ["modeled", "measured"] if ns.timing == "both" \
+        else [ns.timing]
+    for timing in timings:
+        table = generate_table1(timing, ns.projected_linux, ns.reps)
+        print(render(table, timing, compare_paper=(timing == "modeled")))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,188 @@
+"""Derived-datatype constructors (MPI 1.1 §3.12, mpiJava §2.2).
+
+All constructors of standard MPI are provided, with the paper's documented
+limitation: ``struct`` requires every combined type to share one primitive
+base type (which must agree with the buffer's element type), and there is no
+``MPI_BOTTOM`` / ``MPI_Address`` — absolute addresses do not fit the
+pointer-free array model.
+
+Displacement conventions follow MPI:
+
+* ``vector`` / ``indexed`` displacements and strides are in units of the
+  *old type's extent*;
+* ``hvector`` / ``hindexed`` / ``struct`` displacements are in **bytes**,
+  validated to land on base-element boundaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MPIException, ERR_ARG, ERR_COUNT, ERR_TYPE
+from repro.datatypes.base import (
+    DatatypeImpl, check_byte_displacement, check_same_base,
+)
+
+__all__ = ["contiguous", "vector", "hvector", "indexed", "hindexed", "struct"]
+
+
+def _check_old(old: DatatypeImpl, context: str) -> None:
+    old._check_alive()
+    if old.base.is_object:
+        raise MPIException(
+            ERR_TYPE, f"{context}: derived types over MPI.OBJECT are not "
+                      f"supported; object buffers are already structured")
+
+
+def _check_count(value: int, what: str, context: str) -> int:
+    value = int(value)
+    if value < 0:
+        raise MPIException(ERR_COUNT, f"{context}: negative {what} {value}")
+    return value
+
+
+def contiguous(count: int, old: DatatypeImpl) -> DatatypeImpl:
+    """``MPI_Type_contiguous`` — ``count`` consecutive copies of ``old``."""
+    _check_old(old, "Contiguous")
+    count = _check_count(count, "count", "Contiguous")
+    starts = np.arange(count, dtype=np.int64) * old.extent_elems
+    disp = np.add.outer(starts, old.disp).ravel()
+    return DatatypeImpl(old.base, disp, extent_elems=count * old.extent_elems,
+                        name=f"contiguous({count},{old.name})")
+
+
+def vector(count: int, blocklength: int, stride: int,
+           old: DatatypeImpl) -> DatatypeImpl:
+    """``MPI_Type_vector`` — ``count`` blocks of ``blocklength`` old types,
+    block starts ``stride`` old-extents apart.  Negative strides are legal.
+    """
+    _check_old(old, "Vector")
+    count = _check_count(count, "count", "Vector")
+    blocklength = _check_count(blocklength, "blocklength", "Vector")
+    ext = old.extent_elems
+    return _blocked(old, count, [blocklength] * count,
+                    [i * int(stride) * ext for i in range(count)],
+                    stride_extent=count and _vector_extent(
+                        count, blocklength, int(stride), ext),
+                    name=f"vector({count},{blocklength},{stride},{old.name})")
+
+
+def _vector_extent(count: int, blocklength: int, stride: int,
+                   ext: int) -> int:
+    """Extent of a vector type per MPI: ub - lb over all copies."""
+    if count == 0 or blocklength == 0:
+        return 0
+    block_span = blocklength * ext
+    starts = [i * stride * ext for i in range(count)]
+    lb = min(starts)
+    ub = max(s + block_span for s in starts)
+    return ub - lb
+
+
+def hvector(count: int, blocklength: int, stride_bytes: int,
+            old: DatatypeImpl) -> DatatypeImpl:
+    """``MPI_Type_hvector`` — like :func:`vector` with a byte stride."""
+    _check_old(old, "Hvector")
+    count = _check_count(count, "count", "Hvector")
+    blocklength = _check_count(blocklength, "blocklength", "Hvector")
+    stride = check_byte_displacement(stride_bytes, old.base, "Hvector")
+    ext = old.extent_elems
+    if count and blocklength:
+        block_span = blocklength * ext
+        starts = [i * stride for i in range(count)]
+        extent = max(s + block_span for s in starts) - min(starts)
+    else:
+        extent = 0
+    return _blocked(old, count, [blocklength] * count,
+                    [i * stride for i in range(count)],
+                    stride_extent=extent,
+                    name=f"hvector({count},{blocklength},{stride_bytes}B,"
+                         f"{old.name})")
+
+
+def indexed(blocklengths, displacements, old: DatatypeImpl) -> DatatypeImpl:
+    """``MPI_Type_indexed`` — displacements in old-type extents."""
+    _check_old(old, "Indexed")
+    blocklengths = [int(b) for b in blocklengths]
+    displacements = [int(d) * old.extent_elems for d in displacements]
+    return _indexed_common(old, blocklengths, displacements, "Indexed")
+
+
+def hindexed(blocklengths, byte_displacements,
+             old: DatatypeImpl) -> DatatypeImpl:
+    """``MPI_Type_hindexed`` — displacements in bytes."""
+    _check_old(old, "Hindexed")
+    blocklengths = [int(b) for b in blocklengths]
+    displacements = [check_byte_displacement(d, old.base, "Hindexed")
+                     for d in byte_displacements]
+    return _indexed_common(old, blocklengths, displacements, "Hindexed")
+
+
+def _indexed_common(old, blocklengths, displacements, context):
+    if len(blocklengths) != len(displacements):
+        raise MPIException(
+            ERR_ARG, f"{context}: blocklengths ({len(blocklengths)}) and "
+                     f"displacements ({len(displacements)}) differ in length")
+    for b in blocklengths:
+        if b < 0:
+            raise MPIException(ERR_COUNT,
+                               f"{context}: negative blocklength {b}")
+    return _blocked(old, len(blocklengths), blocklengths, displacements,
+                    stride_extent=None,
+                    name=f"{context.lower()}({len(blocklengths)} blocks,"
+                         f"{old.name})")
+
+
+def struct(blocklengths, byte_displacements, types) -> DatatypeImpl:
+    """``MPI_Type_struct`` with the mpiJava same-base-type restriction.
+
+    Every entry of ``types`` must have the same primitive base, which must
+    agree with the element type of the buffer array the committed type is
+    eventually used with (checked at communication time).
+    """
+    types = list(types)
+    if not types:
+        raise MPIException(ERR_ARG, "Struct: empty type list")
+    if not (len(blocklengths) == len(byte_displacements) == len(types)):
+        raise MPIException(ERR_ARG, "Struct: argument lists differ in length")
+    for t in types:
+        _check_old(t, "Struct")
+    base = check_same_base(types, "Struct")
+    pieces = []
+    for blen, dbytes, t in zip(blocklengths, byte_displacements, types):
+        blen = int(blen)
+        if blen < 0:
+            raise MPIException(ERR_COUNT, f"Struct: negative blocklength "
+                                          f"{blen}")
+        start = check_byte_displacement(dbytes, base, "Struct")
+        for i in range(blen):
+            pieces.append(start + i * t.extent_elems + t.disp)
+    disp = (np.concatenate(pieces) if pieces
+            else np.empty(0, dtype=np.int64))
+    if disp.size:
+        # MPI extent: ub - lb where lb = min displacement, ub = max + 1.
+        extent = int(disp.max()) + 1 - int(disp.min())
+    else:
+        extent = 0
+    return DatatypeImpl(base, disp, extent_elems=extent,
+                        name=f"struct({len(types)} members,{base.name})")
+
+
+def _blocked(old, count, blocklengths, start_elems, stride_extent, name):
+    """Common expansion: blocks of old types at given element starts."""
+    pieces = []
+    for blen, start in zip(blocklengths, start_elems):
+        if blen == 0:
+            continue
+        block_starts = start + np.arange(blen, dtype=np.int64) \
+            * old.extent_elems
+        pieces.append(np.add.outer(block_starts, old.disp).ravel())
+    disp = (np.concatenate(pieces) if pieces
+            else np.empty(0, dtype=np.int64))
+    if stride_extent is not None:
+        extent = stride_extent
+    elif disp.size:
+        extent = int(disp.max()) + 1 - int(disp.min())
+    else:
+        extent = 0
+    return DatatypeImpl(old.base, disp, extent_elems=extent, name=name)

@@ -1,0 +1,32 @@
+"""``MPI.OBJECT`` serialization (the paper's §2.2 proposed extension).
+
+    "A message buffer can then be an array of any serializable Java
+     objects.  The objects are serialized automatically in the wrapper of
+     send operations, and unserialized at their destination."
+
+We use :mod:`pickle` as the Python analogue of Java object serialization.
+The wire format is a single pickled list of the ``count`` objects starting
+at the caller's ``offset``.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+__all__ = ["serialize_objects", "deserialize_objects"]
+
+#: Pickle protocol pinned for deterministic wire sizes in benchmarks.
+PROTOCOL = 4
+
+
+def serialize_objects(objects: list) -> bytes:
+    """Serialize a list of Python objects into a byte string."""
+    return pickle.dumps(list(objects), protocol=PROTOCOL)
+
+
+def deserialize_objects(blob: bytes) -> list:
+    """Inverse of :func:`serialize_objects`."""
+    out = pickle.loads(blob)
+    if not isinstance(out, list):
+        raise TypeError("corrupt MPI.OBJECT payload: expected a list")
+    return out

@@ -1,0 +1,97 @@
+"""Predefined basic datatypes (the paper's Figure 2) plus pair types.
+
+======================  ==============  =========================
+MPI datatype            Java datatype   our NumPy dtype
+======================  ==============  =========================
+``MPI.BYTE``            ``byte``        ``int8``
+``MPI.CHAR``            ``char``        ``uint16`` (UTF-16 unit)
+``MPI.SHORT``           ``short``       ``int16``
+``MPI.BOOLEAN``         ``boolean``     ``bool_``
+``MPI.INT``             ``int``         ``int32``
+``MPI.LONG``            ``long``        ``int64``
+``MPI.FLOAT``           ``float``       ``float32``
+``MPI.DOUBLE``          ``double``      ``float64``
+``MPI.PACKED``          —               ``uint8``
+======================  ==============  =========================
+
+``MPI.OBJECT`` is the serialization extension the paper proposes in §2.2:
+buffers may be arrays of arbitrary serializable Python objects, pickled in
+the send wrapper and unpickled at the destination.
+
+The ``*2`` pair types (``SHORT2`` … ``DOUBLE2``), as in real mpiJava, serve
+``MINLOC``/``MAXLOC`` reductions: buffers hold ``2*count`` interleaved
+(value, index) elements of the base type.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datatypes.base import DatatypeImpl, PrimitiveInfo
+
+__all__ = [
+    "BYTE", "CHAR", "SHORT", "BOOLEAN", "INT", "LONG", "FLOAT", "DOUBLE",
+    "PACKED", "OBJECT", "SHORT2", "INT2", "LONG2", "FLOAT2", "DOUBLE2",
+    "BASIC_TYPES", "PAIR_TYPES", "ALL_PREDEFINED", "numpy_dtype_for",
+    "primitive_for_dtype",
+]
+
+
+def _prim(name: str, np_dtype) -> DatatypeImpl:
+    dt = np.dtype(np_dtype)
+    info = PrimitiveInfo(name=name, np_dtype=dt, itemsize=dt.itemsize)
+    return DatatypeImpl(info, disp=[0], extent_elems=1, name=name,
+                        committed=True)
+
+
+def _pair(name: str, of: DatatypeImpl) -> DatatypeImpl:
+    return DatatypeImpl(of.base, disp=[0, 1], extent_elems=2, name=name,
+                        committed=True, is_pair=True)
+
+
+BYTE = _prim("MPI.BYTE", np.int8)
+#: Java ``char`` is a 16-bit UTF-16 code unit.
+CHAR = _prim("MPI.CHAR", np.uint16)
+SHORT = _prim("MPI.SHORT", np.int16)
+BOOLEAN = _prim("MPI.BOOLEAN", np.bool_)
+INT = _prim("MPI.INT", np.int32)
+LONG = _prim("MPI.LONG", np.int64)
+FLOAT = _prim("MPI.FLOAT", np.float32)
+DOUBLE = _prim("MPI.DOUBLE", np.float64)
+PACKED = _prim("MPI.PACKED", np.uint8)
+
+_OBJECT_INFO = PrimitiveInfo(name="MPI.OBJECT", np_dtype=None, itemsize=0,
+                             is_object=True)
+OBJECT = DatatypeImpl(_OBJECT_INFO, disp=[0], extent_elems=1,
+                      name="MPI.OBJECT", committed=True)
+
+SHORT2 = _pair("MPI.SHORT2", SHORT)
+INT2 = _pair("MPI.INT2", INT)
+LONG2 = _pair("MPI.LONG2", LONG)
+FLOAT2 = _pair("MPI.FLOAT2", FLOAT)
+DOUBLE2 = _pair("MPI.DOUBLE2", DOUBLE)
+
+BASIC_TYPES = (BYTE, CHAR, SHORT, BOOLEAN, INT, LONG, FLOAT, DOUBLE, PACKED)
+PAIR_TYPES = (SHORT2, INT2, LONG2, FLOAT2, DOUBLE2)
+ALL_PREDEFINED = BASIC_TYPES + PAIR_TYPES + (OBJECT,)
+
+_BY_DTYPE = {t.base.np_dtype: t for t in BASIC_TYPES}
+
+
+def numpy_dtype_for(datatype: DatatypeImpl):
+    """NumPy dtype of the base element type (None for OBJECT)."""
+    return datatype.base.np_dtype
+
+
+def primitive_for_dtype(dtype) -> DatatypeImpl:
+    """Map a NumPy dtype to the matching predefined basic type.
+
+    Used for automatic datatype discovery in convenience entry points, the
+    way mpi4py infers types from buffers.
+    """
+    dt = np.dtype(dtype)
+    try:
+        return _BY_DTYPE[dt]
+    except KeyError:
+        raise KeyError(f"no predefined MPI basic type for dtype {dt}") \
+            from None

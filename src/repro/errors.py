@@ -1,0 +1,104 @@
+"""MPI 1.1 error classes, codes and exceptions.
+
+The MPI standard defines a fixed set of *error classes*; implementations map
+their richer internal error codes onto these classes via ``MPI_Error_class``.
+We keep the mapping trivial (code == class) like many small MPI
+implementations of the era.
+
+The object-oriented layer surfaces failures as :class:`MPIException` when the
+active error handler is ``ERRORS_RETURN``-like, and lets the exception
+propagate fatally (aborting the job) under ``ERRORS_ARE_FATAL``.
+"""
+
+from __future__ import annotations
+
+# --- MPI 1.1 error classes -------------------------------------------------
+SUCCESS = 0
+ERR_BUFFER = 1
+ERR_COUNT = 2
+ERR_TYPE = 3
+ERR_TAG = 4
+ERR_COMM = 5
+ERR_RANK = 6
+ERR_REQUEST = 7
+ERR_ROOT = 8
+ERR_GROUP = 9
+ERR_OP = 10
+ERR_TOPOLOGY = 11
+ERR_DIMS = 12
+ERR_ARG = 13
+ERR_UNKNOWN = 14
+ERR_TRUNCATE = 15
+ERR_OTHER = 16
+ERR_INTERN = 17
+ERR_PENDING = 18
+ERR_IN_STATUS = 19
+ERR_LASTCODE = 19
+
+_ERROR_STRINGS = {
+    SUCCESS: "no error",
+    ERR_BUFFER: "invalid buffer pointer",
+    ERR_COUNT: "invalid count argument",
+    ERR_TYPE: "invalid datatype argument",
+    ERR_TAG: "invalid tag argument",
+    ERR_COMM: "invalid communicator",
+    ERR_RANK: "invalid rank",
+    ERR_REQUEST: "invalid request (handle)",
+    ERR_ROOT: "invalid root",
+    ERR_GROUP: "invalid group",
+    ERR_OP: "invalid operation",
+    ERR_TOPOLOGY: "invalid topology",
+    ERR_DIMS: "invalid dimension argument",
+    ERR_ARG: "invalid argument of some other kind",
+    ERR_UNKNOWN: "unknown error",
+    ERR_TRUNCATE: "message truncated on receive",
+    ERR_OTHER: "known error not in this list",
+    ERR_INTERN: "internal MPI (implementation) error",
+    ERR_PENDING: "pending request",
+    ERR_IN_STATUS: "error code is in status",
+}
+
+
+def error_class(code: int) -> int:
+    """Map an error code onto its MPI error class (identity mapping here)."""
+    if 0 <= code <= ERR_LASTCODE:
+        return code
+    return ERR_UNKNOWN
+
+
+def error_string(code: int) -> str:
+    """Return the standard text for an error code (``MPI_Error_string``)."""
+    return _ERROR_STRINGS.get(error_class(code), _ERROR_STRINGS[ERR_UNKNOWN])
+
+
+class MPIException(Exception):
+    """Exception carrying an MPI error class.
+
+    Raised by the runtime and the binding layers on any erroneous call; the
+    ``error_code`` attribute holds one of the ``ERR_*`` classes above.
+    """
+
+    def __init__(self, error_code: int, message: str = ""):
+        self.error_code = int(error_code)
+        detail = error_string(self.error_code)
+        text = f"MPI error {self.error_code} ({detail})"
+        if message:
+            text = f"{text}: {message}"
+        super().__init__(text)
+        self.message = message
+
+    def Get_error_class(self) -> int:
+        return error_class(self.error_code)
+
+    def Get_error_string(self) -> str:
+        return error_string(self.error_code)
+
+
+class AbortException(MPIException):
+    """Raised in every rank of a job when ``MPI_Abort`` is called."""
+
+    def __init__(self, errorcode: int = 1, origin_rank: int = -1):
+        super().__init__(ERR_OTHER, f"job aborted by rank {origin_rank} "
+                                    f"with code {errorcode}")
+        self.abort_code = errorcode
+        self.origin_rank = origin_rank

@@ -1,0 +1,5 @@
+"""SPMD launcher: the ``mpirun`` analogue for thread-ranked jobs."""
+
+from repro.executor.runner import MPIExecutor, mpirun
+
+__all__ = ["MPIExecutor", "mpirun"]

@@ -1,0 +1,131 @@
+"""``mpirun``: run one function as an SPMD job of N rank-threads.
+
+The paper's programs run as N processes started by ``mpirun``/WMPI's
+daemons; here a job is N threads of one Python process, each bound to a
+:class:`~repro.runtime.engine.RankRuntime`.  The ``MPI`` class resolves the
+calling thread's rank through that binding, which is what lets the paper's
+``MPI.COMM_WORLD.Rank()`` style work unchanged.
+
+>>> from repro import mpirun
+>>> from repro.mpijava import MPI
+>>> def main():
+...     MPI.Init([])
+...     r = MPI.COMM_WORLD.Rank()
+...     MPI.Finalize()
+...     return r
+>>> sorted(mpirun(3, main))
+[0, 1, 2]
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Sequence
+
+from repro.errors import AbortException
+from repro.runtime.engine import (RankRuntime, Universe, bind_thread,
+                                  unbind_thread)
+
+
+class RankFailure(Exception):
+    """Raised by :func:`mpirun` when any rank raised; carries all failures."""
+
+    def __init__(self, failures: dict[int, BaseException]):
+        self.failures = failures
+        ranks = ", ".join(str(r) for r in sorted(failures))
+        first = failures[min(failures)]
+        super().__init__(f"rank(s) {ranks} failed; first failure: "
+                         f"{type(first).__name__}: {first}")
+
+
+class MPIExecutor:
+    """Reusable job launcher bound to one :class:`Universe`.
+
+    Useful when benchmarks need control over the transport, clock or cost
+    model; :func:`mpirun` is the convenience wrapper for the common case.
+    """
+
+    def __init__(self, nprocs: int, transport="inproc", clock=None,
+                 cost_model=None, universe: Universe | None = None):
+        self.universe = universe or Universe(nprocs, transport=transport,
+                                             clock=clock,
+                                             cost_model=cost_model)
+        self.nprocs = self.universe.nprocs
+
+    def run(self, main: Callable[..., Any], args: Sequence = (),
+            per_rank_args: bool = False,
+            timeout: float | None = 120.0) -> list:
+        """Run ``main`` on every rank; returns per-rank return values.
+
+        ``per_rank_args=True`` passes ``args[rank]`` (a tuple) to each rank
+        instead of the same ``args`` everywhere.  Raises
+        :class:`RankFailure` if any rank raised (job aborts are folded into
+        the originating rank's failure).
+        """
+        results: list = [None] * self.nprocs
+        failures: dict[int, BaseException] = {}
+        lock = threading.Lock()
+
+        def entry(rank: int) -> None:
+            rt = RankRuntime(self.universe, rank)
+            bind_thread(rt)
+            try:
+                call_args = args[rank] if per_rank_args else args
+                results[rank] = main(*call_args)
+            except AbortException as exc:
+                with lock:
+                    if exc.origin_rank == rank or exc.origin_rank < 0:
+                        failures[rank] = exc
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                with lock:
+                    failures[rank] = exc
+                # poison the job so peers blocked on this rank wake up
+                if self.universe._abort is None:
+                    try:
+                        self.universe.abort(rank, 1)
+                    except AbortException:
+                        pass
+            finally:
+                unbind_thread()
+
+        threads = [threading.Thread(target=entry, args=(rank,),
+                                    name=f"repro-rank-{rank}")
+                   for rank in range(self.nprocs)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=timeout)
+        hung = [t for t in threads if t.is_alive()]
+        if hung:
+            try:
+                self.universe.abort(-1, 1)
+            except AbortException:
+                pass
+            for t in hung:
+                t.join(timeout=5.0)
+            raise TimeoutError(
+                f"{len(hung)} rank thread(s) did not finish within "
+                f"{timeout}s: {[t.name for t in hung]}")
+        if failures:
+            raise RankFailure(failures)
+        return results
+
+    def close(self) -> None:
+        self.universe.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+def mpirun(nprocs: int, main: Callable[..., Any], args: Sequence = (),
+           transport="inproc", per_rank_args: bool = False,
+           timeout: float | None = 120.0, clock=None,
+           cost_model=None) -> list:
+    """Run ``main`` as an SPMD job of ``nprocs`` ranks; see MPIExecutor."""
+    with MPIExecutor(nprocs, transport=transport, clock=clock,
+                     cost_model=cost_model) as ex:
+        return ex.run(main, args=args, per_rank_args=per_rank_args,
+                      timeout=timeout)

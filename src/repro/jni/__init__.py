@@ -1,0 +1,15 @@
+"""The "JNI C stub" layer (the paper's Figure 4 middle box).
+
+A flat, procedural, handle-based API in the image of the MPI C binding:
+opaque integer handles index per-rank tables of runtime objects, and every
+function is free-standing (``mpi_send(comm, buf, offset, count, datatype,
+dest, tag)``).  The object-oriented :mod:`repro.mpijava` layer reaches the
+runtime **only** through these stubs, so the benchmark's ``-C`` columns
+(direct stub calls) versus ``-J`` columns (OO API) measure a real layering
+difference, just as the paper's C-vs-Java columns do.
+"""
+
+from repro.jni import capi
+from repro.jni.handles import HandleTable, tables_for
+
+__all__ = ["capi", "HandleTable", "tables_for"]

@@ -1,0 +1,923 @@
+"""The flat C-style MPI 1.1 API ("stubs").
+
+Conventions mirror the C binding as closely as Python permits:
+
+* all arguments that are opaque objects are integer handles;
+* message buffers are (array, offset) pairs, as in the Java binding;
+* output that C returns through pointer arguments comes back as return
+  values (a tuple when there are several);
+* errors raise :class:`~repro.errors.MPIException` (the OO layer maps this
+  through the communicator's error handler, like ``MPI_Errhandler``).
+
+The function set is the MPI 1.1 surface the paper's mpiJava wraps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import errors
+from repro.errors import MPIException, ERR_ARG, ERR_COUNT, ERR_OTHER, \
+    ERR_REQUEST
+from repro.datatypes import derived as _derived
+from repro.datatypes import packing as _packing
+from repro.jni import handles as H
+from repro.jni.handles import tables_for
+from repro.runtime import requests as _requests
+from repro.runtime import reduce_ops as _reduce_ops
+from repro.runtime import topology as _topology
+from repro.runtime.communicator import KEYVALS
+from repro.runtime.consts import UNDEFINED, ANY_TAG
+from repro.runtime.engine import current_runtime, try_current_runtime, \
+    RankRuntime, Universe, bind_thread
+from repro.runtime.envelope import (MODE_BUFFERED, MODE_READY,
+                                    MODE_STANDARD, MODE_SYNCHRONOUS)
+from repro.runtime.collective import (allgather as _allgather,
+                                      alltoall as _alltoall,
+                                      barrier as _barrier,
+                                      bcast as _bcast,
+                                      gather as _gather,
+                                      reduce as _reduce,
+                                      allreduce as _allreduce,
+                                      reduce_scatter as _reduce_scatter,
+                                      scan as _scan,
+                                      scatter as _scatter)
+
+VERSION = (1, 1)
+
+
+class CStatus:
+    """The information a ``MPI_Status`` carries (plus mpiJava's ``index``)."""
+
+    __slots__ = ("source", "tag", "error", "count_elements", "cancelled",
+                 "index", "is_object")
+
+    def __init__(self, source=-1, tag=-1, error=0, count_elements=0,
+                 cancelled=False, index=UNDEFINED, is_object=False):
+        self.source = source
+        self.tag = tag
+        self.error = error
+        self.count_elements = count_elements
+        self.cancelled = cancelled
+        self.index = index
+        self.is_object = is_object
+
+    def __repr__(self):  # pragma: no cover - cosmetic
+        return (f"CStatus(source={self.source}, tag={self.tag}, "
+                f"count={self.count_elements})")
+
+
+def _ctx():
+    rt = current_runtime()
+    return rt, tables_for(rt)
+
+
+def _status_from_request(req, comm=None) -> CStatus:
+    comm = comm or getattr(req, "source_comm", None)
+    source = req.status_source_world
+    if comm is not None and source >= 0:
+        source = comm.source_rank_of_world(source)
+    dt = getattr(req, "recv_datatype", None)
+    return CStatus(source=source, tag=req.status_tag, error=req.error,
+                   count_elements=req.count_elements,
+                   cancelled=req.cancelled,
+                   is_object=bool(dt is not None and dt.base.is_object))
+
+
+# =====================================================================
+# environment management (MPI 1.1 chapter 7)
+# =====================================================================
+
+def mpi_init(args=None) -> None:
+    """``MPI_Init``.  Outside :func:`repro.mpirun`, binds a singleton job
+    (like ``mpiexec -n 1``) to the calling thread."""
+    rt = try_current_runtime()
+    if rt is None:
+        universe = Universe(1, transport="inproc")
+        rt = RankRuntime(universe, 0)
+        bind_thread(rt)
+        rt._owns_universe = True
+    rt.init()
+
+
+def mpi_initialized() -> bool:
+    rt = try_current_runtime()
+    return bool(rt is not None and rt.initialized)
+
+
+def mpi_finalize() -> None:
+    rt = current_runtime()
+    rt.finalize()
+    if getattr(rt, "_owns_universe", False):
+        rt.universe.close()
+
+
+def mpi_finalized() -> bool:
+    rt = try_current_runtime()
+    return bool(rt is not None and rt.finalized)
+
+
+def mpi_abort(comm: int, errorcode: int) -> None:
+    rt, t = _ctx()
+    t.comms.lookup(comm)  # validate
+    rt.universe.abort(rt.world_rank, errorcode)
+
+
+def mpi_wtime() -> float:
+    return current_runtime().wtime()
+
+
+def mpi_wtick() -> float:
+    return current_runtime().wtick()
+
+
+def mpi_get_processor_name() -> str:
+    return current_runtime().processor_name()
+
+
+def mpi_get_version() -> tuple[int, int]:
+    return VERSION
+
+
+def mpi_error_string(code: int) -> str:
+    return errors.error_string(code)
+
+
+def mpi_error_class(code: int) -> int:
+    return errors.error_class(code)
+
+
+def mpi_pcontrol(level: int, *args) -> None:
+    """Profiling hook: a documented no-op, as in most MPI-1 libraries."""
+
+
+def mpi_buffer_attach(nbytes: int) -> None:
+    rt, _ = _ctx()
+    rt.bsend_pool.attach(nbytes)
+
+
+def mpi_buffer_detach() -> int:
+    rt, _ = _ctx()
+    return rt.bsend_pool.detach()
+
+
+# =====================================================================
+# point-to-point (MPI 1.1 chapter 3)
+# =====================================================================
+
+_MODE_BY_NAME = {"standard": MODE_STANDARD, "buffered": MODE_BUFFERED,
+                 "synchronous": MODE_SYNCHRONOUS, "ready": MODE_READY}
+
+
+def _send(comm, buf, offset, count, datatype, dest, tag, mode) -> None:
+    rt, t = _ctx()
+    c = t.comms.lookup(comm)
+    dt = t.datatypes.lookup(datatype)
+    c.send(buf, offset, count, dt, dest, tag, mode)
+
+
+def mpi_send(comm, buf, offset, count, datatype, dest, tag) -> None:
+    _send(comm, buf, offset, count, datatype, dest, tag, MODE_STANDARD)
+
+
+def mpi_bsend(comm, buf, offset, count, datatype, dest, tag) -> None:
+    _send(comm, buf, offset, count, datatype, dest, tag, MODE_BUFFERED)
+
+
+def mpi_ssend(comm, buf, offset, count, datatype, dest, tag) -> None:
+    _send(comm, buf, offset, count, datatype, dest, tag, MODE_SYNCHRONOUS)
+
+
+def mpi_rsend(comm, buf, offset, count, datatype, dest, tag) -> None:
+    _send(comm, buf, offset, count, datatype, dest, tag, MODE_READY)
+
+
+def mpi_recv(comm, buf, offset, count, datatype, source, tag) -> CStatus:
+    rt, t = _ctx()
+    c = t.comms.lookup(comm)
+    dt = t.datatypes.lookup(datatype)
+    req = c.recv(buf, offset, count, dt, source, tag)
+    return _status_from_request(req, c)
+
+
+def _isend(comm, buf, offset, count, datatype, dest, tag, mode) -> int:
+    rt, t = _ctx()
+    c = t.comms.lookup(comm)
+    dt = t.datatypes.lookup(datatype)
+    req = c.isend(buf, offset, count, dt, dest, tag, mode)
+    req.source_comm = c
+    return t.requests.register(req)
+
+
+def mpi_isend(comm, buf, offset, count, datatype, dest, tag) -> int:
+    return _isend(comm, buf, offset, count, datatype, dest, tag,
+                  MODE_STANDARD)
+
+
+def mpi_ibsend(comm, buf, offset, count, datatype, dest, tag) -> int:
+    return _isend(comm, buf, offset, count, datatype, dest, tag,
+                  MODE_BUFFERED)
+
+
+def mpi_issend(comm, buf, offset, count, datatype, dest, tag) -> int:
+    return _isend(comm, buf, offset, count, datatype, dest, tag,
+                  MODE_SYNCHRONOUS)
+
+
+def mpi_irsend(comm, buf, offset, count, datatype, dest, tag) -> int:
+    return _isend(comm, buf, offset, count, datatype, dest, tag, MODE_READY)
+
+
+def mpi_irecv(comm, buf, offset, count, datatype, source, tag) -> int:
+    rt, t = _ctx()
+    c = t.comms.lookup(comm)
+    dt = t.datatypes.lookup(datatype)
+    req = c.irecv(buf, offset, count, dt, source, tag)
+    return t.requests.register(req)
+
+
+def _lookup_request(t, request: int) -> _requests.RequestImpl:
+    if request == H.REQUEST_NULL:
+        raise MPIException(ERR_REQUEST, "null request handle")
+    return t.requests.lookup(request)
+
+
+def mpi_wait(request: int) -> CStatus:
+    rt, t = _ctx()
+    req = _lookup_request(t, request)
+    req.wait()
+    status = _status_from_request(req)
+    if req.persistent:
+        req.deactivate()
+    else:
+        t.requests.release(request)
+    return status
+
+
+def mpi_test(request: int) -> tuple[bool, CStatus | None]:
+    rt, t = _ctx()
+    req = _lookup_request(t, request)
+    if not req.test():
+        return False, None
+    status = _status_from_request(req)
+    if req.persistent:
+        req.deactivate()
+    else:
+        t.requests.release(request)
+    return True, status
+
+
+def _req_list(t, request_handles):
+    return [None if h == H.REQUEST_NULL else t.requests.lookup(h)
+            for h in request_handles]
+
+
+def _finish_one(t, handles, reqs, i) -> CStatus:
+    status = _status_from_request(reqs[i])
+    status.index = i
+    if reqs[i].persistent:
+        reqs[i].deactivate()
+    else:
+        t.requests.release(handles[i])
+    return status
+
+
+def mpi_waitany(request_handles: list[int]) -> tuple[int, CStatus | None]:
+    rt, t = _ctx()
+    reqs = _req_list(t, request_handles)
+    i = _requests.wait_any(reqs, rt.universe)
+    if i < 0:
+        return UNDEFINED, None
+    return i, _finish_one(t, request_handles, reqs, i)
+
+
+def mpi_testany(request_handles: list[int]) \
+        -> tuple[bool, int, CStatus | None]:
+    rt, t = _ctx()
+    reqs = _req_list(t, request_handles)
+    for i, r in enumerate(reqs):
+        if r is not None and r.test():
+            return True, i, _finish_one(t, request_handles, reqs, i)
+    return False, UNDEFINED, None
+
+
+def mpi_waitall(request_handles: list[int]) -> list[CStatus | None]:
+    rt, t = _ctx()
+    reqs = _req_list(t, request_handles)
+    _requests.wait_all(reqs, rt.universe)
+    return [None if r is None
+            else _finish_one(t, request_handles, reqs, i)
+            for i, r in enumerate(reqs)]
+
+
+def mpi_testall(request_handles: list[int]) \
+        -> tuple[bool, list[CStatus | None]]:
+    rt, t = _ctx()
+    reqs = _req_list(t, request_handles)
+    if not _requests.test_all(reqs, rt.universe):
+        return False, []
+    return True, [None if r is None
+                  else _finish_one(t, request_handles, reqs, i)
+                  for i, r in enumerate(reqs)]
+
+
+def mpi_waitsome(request_handles: list[int]) -> list[CStatus]:
+    rt, t = _ctx()
+    reqs = _req_list(t, request_handles)
+    done = _requests.wait_some(reqs, rt.universe)
+    return [_finish_one(t, request_handles, reqs, i) for i in done]
+
+
+def mpi_testsome(request_handles: list[int]) -> list[CStatus]:
+    rt, t = _ctx()
+    reqs = _req_list(t, request_handles)
+    done = _requests.test_some(reqs, rt.universe)
+    return [_finish_one(t, request_handles, reqs, i) for i in done]
+
+
+def mpi_probe(comm, source, tag) -> CStatus:
+    rt, t = _ctx()
+    c = t.comms.lookup(comm)
+    info = c.probe(source, tag)
+    return CStatus(source=info.source, tag=info.tag,
+                   count_elements=info.nelems, is_object=info.is_object)
+
+
+def mpi_iprobe(comm, source, tag) -> tuple[bool, CStatus | None]:
+    rt, t = _ctx()
+    c = t.comms.lookup(comm)
+    info = c.iprobe(source, tag)
+    if info is None:
+        return False, None
+    return True, CStatus(source=info.source, tag=info.tag,
+                         count_elements=info.nelems,
+                         is_object=info.is_object)
+
+
+def mpi_cancel(request: int) -> None:
+    rt, t = _ctx()
+    req = _lookup_request(t, request)
+    comm = getattr(req, "source_comm", None)
+    if comm is not None:
+        comm.cancel(req)
+    elif req.kind == _requests.RequestImpl.KIND_RECV:
+        rt.mailbox.cancel_recv(req)
+
+
+def mpi_test_cancelled(status: CStatus) -> bool:
+    return bool(status.cancelled)
+
+
+def mpi_request_free(request: int) -> None:
+    rt, t = _ctx()
+    _lookup_request(t, request)
+    t.requests.release(request)
+
+
+def mpi_get_count(status: CStatus, datatype: int) -> int:
+    rt, t = _ctx()
+    dt = t.datatypes.lookup(datatype)
+    n = status.count_elements
+    if dt.base.is_object or dt.size_elems == 1:
+        return n
+    full, part = divmod(n, dt.size_elems)
+    return UNDEFINED if part else full
+
+
+def mpi_get_elements(status: CStatus, datatype: int) -> int:
+    t = _ctx()[1]
+    t.datatypes.lookup(datatype)
+    return status.count_elements
+
+
+def _send_init(comm, buf, offset, count, datatype, dest, tag, mode) -> int:
+    rt, t = _ctx()
+    c = t.comms.lookup(comm)
+    dt = t.datatypes.lookup(datatype)
+    req = c.send_init(buf, offset, count, dt, dest, tag, mode)
+    req.source_comm = c
+    return t.requests.register(req)
+
+
+def mpi_send_init(comm, buf, offset, count, datatype, dest, tag) -> int:
+    return _send_init(comm, buf, offset, count, datatype, dest, tag,
+                      MODE_STANDARD)
+
+
+def mpi_bsend_init(comm, buf, offset, count, datatype, dest, tag) -> int:
+    return _send_init(comm, buf, offset, count, datatype, dest, tag,
+                      MODE_BUFFERED)
+
+
+def mpi_ssend_init(comm, buf, offset, count, datatype, dest, tag) -> int:
+    return _send_init(comm, buf, offset, count, datatype, dest, tag,
+                      MODE_SYNCHRONOUS)
+
+
+def mpi_rsend_init(comm, buf, offset, count, datatype, dest, tag) -> int:
+    return _send_init(comm, buf, offset, count, datatype, dest, tag,
+                      MODE_READY)
+
+
+def mpi_recv_init(comm, buf, offset, count, datatype, source, tag) -> int:
+    rt, t = _ctx()
+    c = t.comms.lookup(comm)
+    dt = t.datatypes.lookup(datatype)
+    req = c.recv_init(buf, offset, count, dt, source, tag)
+    req.source_comm = c
+    return t.requests.register(req)
+
+
+def mpi_start(request: int) -> None:
+    rt, t = _ctx()
+    _lookup_request(t, request).start()
+
+
+def mpi_startall(request_handles: list[int]) -> None:
+    rt, t = _ctx()
+    for h in request_handles:
+        _lookup_request(t, h).start()
+
+
+def mpi_sendrecv(comm, sendbuf, soffset, scount, sdtype, dest, stag,
+                 recvbuf, roffset, rcount, rdtype, source, rtag) -> CStatus:
+    rt, t = _ctx()
+    c = t.comms.lookup(comm)
+    req = c.sendrecv(sendbuf, soffset, scount, t.datatypes.lookup(sdtype),
+                     dest, stag, recvbuf, roffset, rcount,
+                     t.datatypes.lookup(rdtype), source, rtag)
+    return _status_from_request(req, c)
+
+
+def mpi_sendrecv_replace(comm, buf, offset, count, datatype, dest, stag,
+                         source, rtag) -> CStatus:
+    rt, t = _ctx()
+    c = t.comms.lookup(comm)
+    req = c.sendrecv_replace(buf, offset, count,
+                             t.datatypes.lookup(datatype), dest, stag,
+                             source, rtag)
+    return _status_from_request(req, c)
+
+
+# =====================================================================
+# collectives (MPI 1.1 chapter 4)
+# =====================================================================
+
+def mpi_barrier(comm) -> None:
+    rt, t = _ctx()
+    _barrier.barrier(t.comms.lookup(comm))
+
+
+def mpi_bcast(comm, buf, offset, count, datatype, root) -> None:
+    rt, t = _ctx()
+    _bcast.bcast(t.comms.lookup(comm), buf, offset, count,
+                 t.datatypes.lookup(datatype), root)
+
+
+def mpi_gather(comm, sendbuf, soffset, scount, sdtype,
+               recvbuf, roffset, rcount, rdtype, root) -> None:
+    rt, t = _ctx()
+    _gather.gather(t.comms.lookup(comm), sendbuf, soffset, scount,
+                   t.datatypes.lookup(sdtype), recvbuf, roffset, rcount,
+                   t.datatypes.lookup(rdtype), root)
+
+
+def mpi_gatherv(comm, sendbuf, soffset, scount, sdtype,
+                recvbuf, roffset, rcounts, displs, rdtype, root) -> None:
+    rt, t = _ctx()
+    _gather.gatherv(t.comms.lookup(comm), sendbuf, soffset, scount,
+                    t.datatypes.lookup(sdtype), recvbuf, roffset, rcounts,
+                    displs, t.datatypes.lookup(rdtype), root)
+
+
+def mpi_scatter(comm, sendbuf, soffset, scount, sdtype,
+                recvbuf, roffset, rcount, rdtype, root) -> None:
+    rt, t = _ctx()
+    _scatter.scatter(t.comms.lookup(comm), sendbuf, soffset, scount,
+                     t.datatypes.lookup(sdtype), recvbuf, roffset, rcount,
+                     t.datatypes.lookup(rdtype), root)
+
+
+def mpi_scatterv(comm, sendbuf, soffset, scounts, displs, sdtype,
+                 recvbuf, roffset, rcount, rdtype, root) -> None:
+    rt, t = _ctx()
+    _scatter.scatterv(t.comms.lookup(comm), sendbuf, soffset, scounts,
+                      displs, t.datatypes.lookup(sdtype), recvbuf, roffset,
+                      rcount, t.datatypes.lookup(rdtype), root)
+
+
+def mpi_allgather(comm, sendbuf, soffset, scount, sdtype,
+                  recvbuf, roffset, rcount, rdtype) -> None:
+    rt, t = _ctx()
+    _allgather.allgather(t.comms.lookup(comm), sendbuf, soffset, scount,
+                         t.datatypes.lookup(sdtype), recvbuf, roffset,
+                         rcount, t.datatypes.lookup(rdtype))
+
+
+def mpi_allgatherv(comm, sendbuf, soffset, scount, sdtype,
+                   recvbuf, roffset, rcounts, displs, rdtype) -> None:
+    rt, t = _ctx()
+    _allgather.allgatherv(t.comms.lookup(comm), sendbuf, soffset, scount,
+                          t.datatypes.lookup(sdtype), recvbuf, roffset,
+                          rcounts, displs, t.datatypes.lookup(rdtype))
+
+
+def mpi_alltoall(comm, sendbuf, soffset, scount, sdtype,
+                 recvbuf, roffset, rcount, rdtype) -> None:
+    rt, t = _ctx()
+    _alltoall.alltoall(t.comms.lookup(comm), sendbuf, soffset, scount,
+                       t.datatypes.lookup(sdtype), recvbuf, roffset, rcount,
+                       t.datatypes.lookup(rdtype))
+
+
+def mpi_alltoallv(comm, sendbuf, soffset, scounts, sdispls, sdtype,
+                  recvbuf, roffset, rcounts, rdispls, rdtype) -> None:
+    rt, t = _ctx()
+    _alltoall.alltoallv(t.comms.lookup(comm), sendbuf, soffset, scounts,
+                        sdispls, t.datatypes.lookup(sdtype), recvbuf,
+                        roffset, rcounts, rdispls,
+                        t.datatypes.lookup(rdtype))
+
+
+def mpi_reduce(comm, sendbuf, soffset, recvbuf, roffset, count, datatype,
+               op, root) -> None:
+    rt, t = _ctx()
+    _reduce.reduce(t.comms.lookup(comm), sendbuf, soffset, recvbuf, roffset,
+                   count, t.datatypes.lookup(datatype), t.ops.lookup(op),
+                   root)
+
+
+def mpi_allreduce(comm, sendbuf, soffset, recvbuf, roffset, count, datatype,
+                  op) -> None:
+    rt, t = _ctx()
+    _allreduce.allreduce(t.comms.lookup(comm), sendbuf, soffset, recvbuf,
+                         roffset, count, t.datatypes.lookup(datatype),
+                         t.ops.lookup(op))
+
+
+def mpi_reduce_scatter(comm, sendbuf, soffset, recvbuf, roffset, recvcounts,
+                       datatype, op) -> None:
+    rt, t = _ctx()
+    _reduce_scatter.reduce_scatter(t.comms.lookup(comm), sendbuf, soffset,
+                                   recvbuf, roffset, recvcounts,
+                                   t.datatypes.lookup(datatype),
+                                   t.ops.lookup(op))
+
+
+def mpi_scan(comm, sendbuf, soffset, recvbuf, roffset, count, datatype,
+             op) -> None:
+    rt, t = _ctx()
+    _scan.scan(t.comms.lookup(comm), sendbuf, soffset, recvbuf, roffset,
+               count, t.datatypes.lookup(datatype), t.ops.lookup(op))
+
+
+def mpi_op_create(function, commute: bool) -> int:
+    rt, t = _ctx()
+    return t.ops.register(_reduce_ops.make_user_op(function, commute))
+
+
+def mpi_op_free(op: int) -> None:
+    rt, t = _ctx()
+    t.ops.lookup(op).free()
+    t.ops.release(op)
+
+
+# =====================================================================
+# groups, communicators (MPI 1.1 chapter 5)
+# =====================================================================
+
+def mpi_comm_size(comm) -> int:
+    return _ctx()[1].comms.lookup(comm).size
+
+
+def mpi_comm_rank(comm) -> int:
+    return _ctx()[1].comms.lookup(comm).rank
+
+
+def mpi_comm_compare(comm1, comm2) -> int:
+    t = _ctx()[1]
+    return t.comms.lookup(comm1).compare(t.comms.lookup(comm2))
+
+
+def mpi_comm_group(comm) -> int:
+    t = _ctx()[1]
+    return t.groups.register(t.comms.lookup(comm).group)
+
+
+def mpi_comm_remote_group(comm) -> int:
+    t = _ctx()[1]
+    c = t.comms.lookup(comm)
+    c._require_inter()
+    return t.groups.register(c.remote_group)
+
+
+def mpi_comm_remote_size(comm) -> int:
+    return _ctx()[1].comms.lookup(comm).remote_size()
+
+
+def mpi_comm_test_inter(comm) -> bool:
+    return _ctx()[1].comms.lookup(comm).is_inter
+
+
+def mpi_comm_dup(comm) -> int:
+    t = _ctx()[1]
+    return t.comms.register(t.comms.lookup(comm).dup())
+
+
+def mpi_comm_create(comm, group) -> int:
+    t = _ctx()[1]
+    out = t.comms.lookup(comm).create(t.groups.lookup(group))
+    return H.COMM_NULL if out is None else t.comms.register(out)
+
+
+def mpi_comm_split(comm, color, key) -> int:
+    t = _ctx()[1]
+    out = t.comms.lookup(comm).split(color, key)
+    return H.COMM_NULL if out is None else t.comms.register(out)
+
+
+def mpi_comm_free(comm) -> None:
+    t = _ctx()[1]
+    t.comms.lookup(comm).free()
+    t.comms.release(comm)
+
+
+def mpi_intercomm_create(local_comm, local_leader, peer_comm,
+                         remote_leader, tag) -> int:
+    t = _ctx()[1]
+    out = t.comms.lookup(local_comm).create_intercomm(
+        local_leader, t.comms.lookup(peer_comm), remote_leader, tag)
+    return t.comms.register(out)
+
+
+def mpi_intercomm_merge(intercomm, high: bool) -> int:
+    t = _ctx()[1]
+    return t.comms.register(t.comms.lookup(intercomm).merge(high))
+
+
+def mpi_keyval_create(copy_fn, delete_fn, extra_state) -> int:
+    return KEYVALS.create(copy_fn, delete_fn, extra_state)
+
+
+def mpi_keyval_free(keyval: int) -> None:
+    KEYVALS.free(keyval)
+
+
+def mpi_attr_put(comm, keyval, value) -> None:
+    _ctx()[1].comms.lookup(comm).attr_put(keyval, value)
+
+
+def mpi_attr_get(comm, keyval):
+    return _ctx()[1].comms.lookup(comm).attr_get(keyval)
+
+
+def mpi_attr_delete(comm, keyval) -> None:
+    _ctx()[1].comms.lookup(comm).attr_delete(keyval)
+
+
+def mpi_errhandler_set(comm, errhandler) -> None:
+    t = _ctx()[1]
+    t.errhandlers.lookup(errhandler)  # validate
+    t.comms.lookup(comm).errhandler_handle = errhandler
+
+
+def mpi_errhandler_get(comm) -> int:
+    t = _ctx()[1]
+    return getattr(t.comms.lookup(comm), "errhandler_handle",
+                   H.ERRORS_ARE_FATAL)
+
+
+# -- groups -------------------------------------------------------------------
+
+def mpi_group_size(group) -> int:
+    return _ctx()[1].groups.lookup(group).size
+
+
+def mpi_group_rank(group) -> int:
+    rt, t = _ctx()
+    return t.groups.lookup(group).rank_of_world(rt.world_rank)
+
+
+def mpi_group_translate_ranks(group1, ranks, group2) -> list[int]:
+    t = _ctx()[1]
+    return t.groups.lookup(group1).translate_ranks(
+        ranks, t.groups.lookup(group2))
+
+
+def mpi_group_compare(group1, group2) -> int:
+    t = _ctx()[1]
+    return t.groups.lookup(group1).compare(t.groups.lookup(group2))
+
+
+def _group_binop(group1, group2, name) -> int:
+    t = _ctx()[1]
+    g = getattr(t.groups.lookup(group1), name)(t.groups.lookup(group2))
+    return t.groups.register(g)
+
+
+def mpi_group_union(group1, group2) -> int:
+    return _group_binop(group1, group2, "union")
+
+
+def mpi_group_intersection(group1, group2) -> int:
+    return _group_binop(group1, group2, "intersection")
+
+
+def mpi_group_difference(group1, group2) -> int:
+    return _group_binop(group1, group2, "difference")
+
+
+def mpi_group_incl(group, ranks) -> int:
+    t = _ctx()[1]
+    return t.groups.register(t.groups.lookup(group).incl(ranks))
+
+
+def mpi_group_excl(group, ranks) -> int:
+    t = _ctx()[1]
+    return t.groups.register(t.groups.lookup(group).excl(ranks))
+
+
+def mpi_group_range_incl(group, ranges) -> int:
+    t = _ctx()[1]
+    return t.groups.register(t.groups.lookup(group).range_incl(ranges))
+
+
+def mpi_group_range_excl(group, ranges) -> int:
+    t = _ctx()[1]
+    return t.groups.register(t.groups.lookup(group).range_excl(ranges))
+
+
+def mpi_group_free(group) -> None:
+    _ctx()[1].groups.release(group)
+
+
+# =====================================================================
+# virtual topologies (MPI 1.1 chapter 6)
+# =====================================================================
+
+def mpi_dims_create(nnodes: int, dims: list[int]) -> list[int]:
+    return _topology.dims_create(nnodes, dims)
+
+
+def mpi_cart_create(comm, dims, periods, reorder) -> int:
+    t = _ctx()[1]
+    out = t.comms.lookup(comm).cart_create(dims, periods, reorder)
+    return H.COMM_NULL if out is None else t.comms.register(out)
+
+
+def mpi_graph_create(comm, index, edges, reorder) -> int:
+    t = _ctx()[1]
+    out = t.comms.lookup(comm).graph_create(index, edges, reorder)
+    return H.COMM_NULL if out is None else t.comms.register(out)
+
+
+def mpi_topo_test(comm) -> int:
+    return _ctx()[1].comms.lookup(comm).topo_test()
+
+
+def mpi_cartdim_get(comm) -> int:
+    return _ctx()[1].comms.lookup(comm)._require_cart().ndims
+
+
+def mpi_cart_get(comm) -> tuple[list[int], list[bool], list[int]]:
+    c = _ctx()[1].comms.lookup(comm)
+    topo = c._require_cart()
+    return (list(topo.dims), list(topo.periods),
+            topo.coords_of(c.rank))
+
+
+def mpi_cart_rank(comm, coords) -> int:
+    return _ctx()[1].comms.lookup(comm)._require_cart().rank_of(coords)
+
+
+def mpi_cart_coords(comm, rank) -> list[int]:
+    return _ctx()[1].comms.lookup(comm)._require_cart().coords_of(rank)
+
+
+def mpi_cart_shift(comm, direction, disp) -> tuple[int, int]:
+    c = _ctx()[1].comms.lookup(comm)
+    return c._require_cart().shift(c.rank, direction, disp)
+
+
+def mpi_cart_sub(comm, remain_dims) -> int:
+    t = _ctx()[1]
+    out = t.comms.lookup(comm).cart_sub(remain_dims)
+    return H.COMM_NULL if out is None else t.comms.register(out)
+
+
+def mpi_cart_map(comm, dims, periods) -> int:
+    c = _ctx()[1].comms.lookup(comm)
+    topo = _topology.CartTopology(dims, periods)
+    return c.rank if c.rank < topo.size else UNDEFINED
+
+
+def mpi_graph_map(comm, index, edges) -> int:
+    c = _ctx()[1].comms.lookup(comm)
+    topo = _topology.GraphTopology(index, edges)
+    return c.rank if c.rank < topo.nnodes else UNDEFINED
+
+
+def mpi_graphdims_get(comm) -> tuple[int, int]:
+    topo = _ctx()[1].comms.lookup(comm)._require_graph()
+    return topo.nnodes, topo.nedges
+
+
+def mpi_graph_get(comm) -> tuple[list[int], list[int]]:
+    topo = _ctx()[1].comms.lookup(comm)._require_graph()
+    return list(topo.index), list(topo.edges)
+
+
+def mpi_graph_neighbors_count(comm, rank) -> int:
+    return _ctx()[1].comms.lookup(comm)._require_graph() \
+        .neighbours_count(rank)
+
+
+def mpi_graph_neighbors(comm, rank) -> list[int]:
+    return _ctx()[1].comms.lookup(comm)._require_graph().neighbours(rank)
+
+
+# =====================================================================
+# derived datatypes (MPI 1.1 §3.12)
+# =====================================================================
+
+def mpi_type_contiguous(count, oldtype) -> int:
+    t = _ctx()[1]
+    return t.datatypes.register(
+        _derived.contiguous(count, t.datatypes.lookup(oldtype)))
+
+
+def mpi_type_vector(count, blocklength, stride, oldtype) -> int:
+    t = _ctx()[1]
+    return t.datatypes.register(
+        _derived.vector(count, blocklength, stride,
+                        t.datatypes.lookup(oldtype)))
+
+
+def mpi_type_hvector(count, blocklength, stride_bytes, oldtype) -> int:
+    t = _ctx()[1]
+    return t.datatypes.register(
+        _derived.hvector(count, blocklength, stride_bytes,
+                         t.datatypes.lookup(oldtype)))
+
+
+def mpi_type_indexed(blocklengths, displacements, oldtype) -> int:
+    t = _ctx()[1]
+    return t.datatypes.register(
+        _derived.indexed(blocklengths, displacements,
+                         t.datatypes.lookup(oldtype)))
+
+
+def mpi_type_hindexed(blocklengths, byte_displacements, oldtype) -> int:
+    t = _ctx()[1]
+    return t.datatypes.register(
+        _derived.hindexed(blocklengths, byte_displacements,
+                          t.datatypes.lookup(oldtype)))
+
+
+def mpi_type_struct(blocklengths, byte_displacements, types) -> int:
+    t = _ctx()[1]
+    return t.datatypes.register(
+        _derived.struct(blocklengths, byte_displacements,
+                        [t.datatypes.lookup(h) for h in types]))
+
+
+def mpi_type_commit(datatype) -> None:
+    _ctx()[1].datatypes.lookup(datatype).commit()
+
+
+def mpi_type_free(datatype) -> None:
+    t = _ctx()[1]
+    dt = t.datatypes.lookup(datatype)
+    dt.free()
+    t.datatypes.release(datatype)
+
+
+def mpi_type_extent(datatype) -> int:
+    return _ctx()[1].datatypes.lookup(datatype).extent_bytes()
+
+
+def mpi_type_size(datatype) -> int:
+    return _ctx()[1].datatypes.lookup(datatype).size_bytes()
+
+
+def mpi_type_lb(datatype) -> int:
+    return _ctx()[1].datatypes.lookup(datatype).lb_bytes()
+
+
+def mpi_type_ub(datatype) -> int:
+    return _ctx()[1].datatypes.lookup(datatype).ub_bytes()
+
+
+def mpi_pack_size(incount, datatype) -> int:
+    return _packing.pack_size(incount, _ctx()[1].datatypes.lookup(datatype))
+
+
+def mpi_pack(inbuf, offset, incount, datatype, outbuf, position) -> int:
+    return _packing.pack(inbuf, offset, incount,
+                         _ctx()[1].datatypes.lookup(datatype), outbuf,
+                         position)
+
+
+def mpi_unpack(inbuf, position, outbuf, offset, outcount, datatype) -> int:
+    return _packing.unpack(inbuf, position, outbuf, offset, outcount,
+                           _ctx()[1].datatypes.lookup(datatype))

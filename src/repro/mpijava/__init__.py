@@ -1,0 +1,49 @@
+"""The mpiJava object-oriented API (the paper's contribution).
+
+The class hierarchy is lifted from the MPI-2 C++ binding, exactly as the
+paper's Figure 1::
+
+    MPI        Comm ─┬─ Intracomm ─┬─ Cartcomm     Datatype   Status
+                     │             └─ Graphcomm    Group      Request ─ Prequest
+                     └─ Intercomm                  Op         Errhandler
+
+Usage follows the paper's Figure 3 minimal program:
+
+>>> from repro import mpirun
+>>> from repro.mpijava import MPI
+>>> def hello():
+...     MPI.Init([])
+...     myrank = MPI.COMM_WORLD.Rank()
+...     if myrank == 0:
+...         message = MPI.to_chars("Hello, there")
+...         MPI.COMM_WORLD.Send(message, 0, len(message), MPI.CHAR, 1, 99)
+...         out = None
+...     else:
+...         message = MPI.new_chars(20)
+...         status = MPI.COMM_WORLD.Recv(message, 0, 20, MPI.CHAR, 0, 99)
+...         out = MPI.from_chars(message[:status.Get_count(MPI.CHAR)])
+...     MPI.Finalize()
+...     return out
+>>> mpirun(2, hello)[1]
+'Hello, there'
+"""
+
+from repro.mpijava.mpi import MPI
+from repro.mpijava.comm import Comm
+from repro.mpijava.intracomm import Intracomm
+from repro.mpijava.intercomm import Intercomm
+from repro.mpijava.cartcomm import Cartcomm, CartParms, ShiftParms
+from repro.mpijava.graphcomm import Graphcomm, GraphParms
+from repro.mpijava.group import Group
+from repro.mpijava.datatype import Datatype
+from repro.mpijava.op import Op, User_function
+from repro.mpijava.status import Status
+from repro.mpijava.request import Request
+from repro.mpijava.prequest import Prequest
+from repro.mpijava.errhandler import Errhandler
+from repro.errors import MPIException
+
+__all__ = ["MPI", "Comm", "Intracomm", "Intercomm", "Cartcomm", "Graphcomm",
+           "Group", "Datatype", "Op", "User_function", "Status", "Request",
+           "Prequest", "Errhandler", "MPIException", "CartParms",
+           "GraphParms", "ShiftParms"]

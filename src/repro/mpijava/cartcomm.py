@@ -1,0 +1,87 @@
+"""``Cartcomm`` — cartesian-topology communicators.
+
+Multi-valued C outputs come back as auxiliary result classes
+(``CartParms``, ``ShiftParms``), the pattern the paper describes in §2.1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.jni import capi, handles as H
+from repro.mpijava.intracomm import Intracomm
+
+
+class CartParms:
+    """Result of ``Cartcomm.Get()``: dims, periods, this rank's coords."""
+
+    __slots__ = ("dims", "periods", "coords")
+
+    def __init__(self, dims, periods, coords):
+        self.dims = list(dims)
+        self.periods = list(periods)
+        self.coords = list(coords)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"CartParms(dims={self.dims}, periods={self.periods}, "
+                f"coords={self.coords})")
+
+
+class ShiftParms:
+    """Result of ``Cartcomm.Shift()``: source and destination ranks."""
+
+    __slots__ = ("rank_source", "rank_dest")
+
+    def __init__(self, rank_source: int, rank_dest: int):
+        self.rank_source = rank_source
+        self.rank_dest = rank_dest
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ShiftParms(source={self.rank_source}, "
+                f"dest={self.rank_dest})")
+
+
+class Cartcomm(Intracomm):
+    """Communicator with an attached cartesian grid."""
+
+    __slots__ = ()
+
+    @staticmethod
+    def Create_dims(nnodes: int, dims) -> list[int]:
+        """``MPI_Dims_create`` — balanced factorization; zero entries are
+        free dimensions."""
+        return capi.mpi_dims_create(nnodes, list(dims))
+
+    def Dim(self) -> int:
+        """Number of grid dimensions (``MPI_Cartdim_get``)."""
+        return self._guard(capi.mpi_cartdim_get, self._handle)
+
+    def Get(self) -> CartParms:
+        dims, periods, coords = self._guard(capi.mpi_cart_get, self._handle)
+        return CartParms(dims, periods, coords)
+
+    def Rank(self, coords=None) -> int:
+        """Rank at ``coords`` (``MPI_Cart_rank``); with no argument, this
+        process's rank as inherited from ``Comm``."""
+        if coords is None:
+            return super().Rank()
+        return self._guard(capi.mpi_cart_rank, self._handle, coords)
+
+    def Coords(self, rank: int) -> list[int]:
+        return self._guard(capi.mpi_cart_coords, self._handle, rank)
+
+    def Shift(self, direction: int, disp: int) -> ShiftParms:
+        """Source/destination for a shift along one dimension;
+        ``MPI.PROC_NULL`` off a non-periodic edge."""
+        src, dst = self._guard(capi.mpi_cart_shift, self._handle,
+                               direction, disp)
+        return ShiftParms(src, dst)
+
+    def Sub(self, remain_dims) -> Optional["Cartcomm"]:
+        """Slice the grid into lower-dimensional sub-grids."""
+        h = self._guard(capi.mpi_cart_sub, self._handle, remain_dims)
+        return None if h == H.COMM_NULL else Cartcomm(h)
+
+    def Map(self, dims, periods) -> int:
+        """Suggested rank placement (``MPI_Cart_map``)."""
+        return self._guard(capi.mpi_cart_map, self._handle, dims, periods)

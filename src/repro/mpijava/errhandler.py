@@ -1,0 +1,31 @@
+"""``Errhandler`` — error-handler objects.
+
+Python has exceptions, so the two predefined handlers map to:
+
+* ``MPI.ERRORS_ARE_FATAL`` (the default, per the standard) — any MPI error
+  aborts the whole job, like a fatal error in a C MPI program;
+* ``MPI.ERRORS_RETURN`` — the error surfaces to the caller as an
+  :class:`~repro.errors.MPIException` (the analogue of checking return
+  codes).
+"""
+
+from __future__ import annotations
+
+from repro.jni import handles as H
+
+
+class Errhandler:
+    """Opaque error-handler handle."""
+
+    __slots__ = ("_handle", "_name")
+
+    def __init__(self, handle: int, name: str):
+        self._handle = handle
+        self._name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Errhandler({self._name})"
+
+
+ERRORS_ARE_FATAL = Errhandler(H.ERRORS_ARE_FATAL, "MPI.ERRORS_ARE_FATAL")
+ERRORS_RETURN = Errhandler(H.ERRORS_RETURN, "MPI.ERRORS_RETURN")

@@ -1,0 +1,54 @@
+"""``Graphcomm`` — general-graph topology communicators."""
+
+from __future__ import annotations
+
+from repro.jni import capi
+from repro.mpijava.intracomm import Intracomm
+
+
+class GraphParms:
+    """Result of ``Graphcomm.Get()``: the index/edges arrays."""
+
+    __slots__ = ("index", "edges")
+
+    def __init__(self, index, edges):
+        self.index = list(index)
+        self.edges = list(edges)
+
+    @property
+    def nnodes(self) -> int:
+        return len(self.index)
+
+    @property
+    def nedges(self) -> int:
+        return len(self.edges)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GraphParms(index={self.index}, edges={self.edges})"
+
+
+class Graphcomm(Intracomm):
+    """Communicator with an attached process graph."""
+
+    __slots__ = ()
+
+    def Get(self) -> GraphParms:
+        index, edges = self._guard(capi.mpi_graph_get, self._handle)
+        return GraphParms(index, edges)
+
+    def Neighbours_count(self, rank: int) -> int:
+        return self._guard(capi.mpi_graph_neighbors_count, self._handle,
+                           rank)
+
+    # both spellings, as a courtesy to the paper's UK/US author mix
+    Neighbors_count = Neighbours_count
+
+    def Neighbours(self, rank: int) -> list[int]:
+        """Neighbour ranks of ``rank`` (the array result replaces C's
+        count+array output pair, paper §2.1)."""
+        return self._guard(capi.mpi_graph_neighbors, self._handle, rank)
+
+    Neighbors = Neighbours
+
+    def Map(self, index, edges) -> int:
+        return self._guard(capi.mpi_graph_map, self._handle, index, edges)

@@ -1,0 +1,75 @@
+"""``Group`` — ordered sets of processes (MPI 1.1 §5.3).
+
+Set operations are static members (as in mpiJava); subsetting operations
+are instance methods.  Results that C returns through output arrays come
+back as plain return values (paper §2.1).
+"""
+
+from __future__ import annotations
+
+from repro.jni import capi
+
+
+class Group:
+    """Opaque group handle."""
+
+    __slots__ = ("_handle",)
+
+    def __init__(self, handle: int):
+        self._handle = handle
+
+    # -- inquiry -----------------------------------------------------------
+    def Size(self) -> int:
+        return capi.mpi_group_size(self._handle)
+
+    def Rank(self) -> int:
+        """This process's rank in the group, or ``MPI.UNDEFINED``."""
+        return capi.mpi_group_rank(self._handle)
+
+    @staticmethod
+    def Translate_ranks(group1: "Group", ranks, group2: "Group") \
+            -> list[int]:
+        """Ranks in group2 of the given ranks of group1 (UNDEFINED where
+        absent)."""
+        return capi.mpi_group_translate_ranks(group1._handle, ranks,
+                                              group2._handle)
+
+    @staticmethod
+    def Compare(group1: "Group", group2: "Group") -> int:
+        """``MPI.IDENT``, ``MPI.SIMILAR`` or ``MPI.UNEQUAL``."""
+        return capi.mpi_group_compare(group1._handle, group2._handle)
+
+    # -- set operations (static, as in mpiJava) --------------------------------
+    @staticmethod
+    def Union(group1: "Group", group2: "Group") -> "Group":
+        return Group(capi.mpi_group_union(group1._handle, group2._handle))
+
+    @staticmethod
+    def Intersection(group1: "Group", group2: "Group") -> "Group":
+        return Group(capi.mpi_group_intersection(group1._handle,
+                                                 group2._handle))
+
+    @staticmethod
+    def Difference(group1: "Group", group2: "Group") -> "Group":
+        return Group(capi.mpi_group_difference(group1._handle,
+                                               group2._handle))
+
+    # -- subsetting --------------------------------------------------------------
+    def Incl(self, ranks) -> "Group":
+        return Group(capi.mpi_group_incl(self._handle, ranks))
+
+    def Excl(self, ranks) -> "Group":
+        return Group(capi.mpi_group_excl(self._handle, ranks))
+
+    def Range_incl(self, ranges) -> "Group":
+        """``ranges`` is a sequence of (first, last, stride) triples."""
+        return Group(capi.mpi_group_range_incl(self._handle, ranges))
+
+    def Range_excl(self, ranges) -> "Group":
+        return Group(capi.mpi_group_range_excl(self._handle, ranges))
+
+    def Free(self) -> None:
+        capi.mpi_group_free(self._handle)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Group(handle={self._handle})"

@@ -1,0 +1,31 @@
+"""``Intercomm`` — communicators bridging two disjoint groups.
+
+In MPI 1.1 intercommunicators support point-to-point (inherited from
+``Comm``; ranks address the *remote* group), remote inquiry, and ``Merge``.
+"""
+
+from __future__ import annotations
+
+from repro.jni import capi
+from repro.mpijava.comm import Comm
+from repro.mpijava.group import Group
+
+
+class Intercomm(Comm):
+    """Inter-communicator."""
+
+    __slots__ = ()
+
+    def Remote_size(self) -> int:
+        """Number of processes in the remote group."""
+        return self._guard(capi.mpi_comm_remote_size, self._handle)
+
+    def Remote_group(self) -> Group:
+        return Group(self._guard(capi.mpi_comm_remote_group, self._handle))
+
+    def Merge(self, high: bool) -> "Intracomm":
+        """Fuse the two groups into one intracommunicator; ``high`` orders
+        this side after the other when the flags differ."""
+        from repro.mpijava.intracomm import Intracomm
+        return Intracomm(self._guard(capi.mpi_intercomm_merge, self._handle,
+                                     high))

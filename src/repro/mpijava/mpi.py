@@ -1,0 +1,222 @@
+"""The ``MPI`` class: global services and constants (paper §2).
+
+``MPI`` only has static members.  It acts as a module containing global
+services such as initialization, and many global constants including the
+default communicator ``COMM_WORLD``.
+
+``COMM_WORLD`` can be a single shared object even though ranks are threads:
+its *handle* is the same predefined integer in every rank, and the stub
+layer resolves handles through the calling thread's rank binding — exactly
+how a compile-time ``MPI_COMM_WORLD`` constant works across C processes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import errors as _errors
+from repro.jni import capi, handles as H
+from repro.mpijava import errhandler as _errh
+from repro.mpijava.datatype import Datatype
+from repro.mpijava.intracomm import Intracomm
+from repro.mpijava.op import Op
+from repro.runtime import consts as _consts
+
+
+class _MPIMeta(type):
+    """Forbid instantiation: MPI has only static members."""
+
+    def __call__(cls, *args, **kwargs):
+        raise TypeError("MPI is a static class and cannot be instantiated")
+
+
+class MPI(metaclass=_MPIMeta):
+    """Static global services, constants and predefined objects."""
+
+    # ------------------------------------------------------------------
+    # predefined communicators
+    # ------------------------------------------------------------------
+    COMM_WORLD = Intracomm(H.COMM_WORLD)
+    COMM_SELF = Intracomm(H.COMM_SELF)
+    COMM_NULL = None
+
+    # ------------------------------------------------------------------
+    # basic datatypes (paper Figure 2) + pair types + OBJECT extension
+    # ------------------------------------------------------------------
+    BYTE = Datatype(H.DT_BYTE, "MPI.BYTE")
+    CHAR = Datatype(H.DT_CHAR, "MPI.CHAR")
+    SHORT = Datatype(H.DT_SHORT, "MPI.SHORT")
+    BOOLEAN = Datatype(H.DT_BOOLEAN, "MPI.BOOLEAN")
+    INT = Datatype(H.DT_INT, "MPI.INT")
+    LONG = Datatype(H.DT_LONG, "MPI.LONG")
+    FLOAT = Datatype(H.DT_FLOAT, "MPI.FLOAT")
+    DOUBLE = Datatype(H.DT_DOUBLE, "MPI.DOUBLE")
+    PACKED = Datatype(H.DT_PACKED, "MPI.PACKED")
+    SHORT2 = Datatype(H.DT_SHORT2, "MPI.SHORT2")
+    INT2 = Datatype(H.DT_INT2, "MPI.INT2")
+    LONG2 = Datatype(H.DT_LONG2, "MPI.LONG2")
+    FLOAT2 = Datatype(H.DT_FLOAT2, "MPI.FLOAT2")
+    DOUBLE2 = Datatype(H.DT_DOUBLE2, "MPI.DOUBLE2")
+    #: the serialization extension of paper §2.2
+    OBJECT = Datatype(H.DT_OBJECT, "MPI.OBJECT")
+
+    # ------------------------------------------------------------------
+    # reduction operations
+    # ------------------------------------------------------------------
+    MAX = Op(H.OP_MAX, name="MPI.MAX")
+    MIN = Op(H.OP_MIN, name="MPI.MIN")
+    SUM = Op(H.OP_SUM, name="MPI.SUM")
+    PROD = Op(H.OP_PROD, name="MPI.PROD")
+    LAND = Op(H.OP_LAND, name="MPI.LAND")
+    LOR = Op(H.OP_LOR, name="MPI.LOR")
+    LXOR = Op(H.OP_LXOR, name="MPI.LXOR")
+    BAND = Op(H.OP_BAND, name="MPI.BAND")
+    BOR = Op(H.OP_BOR, name="MPI.BOR")
+    BXOR = Op(H.OP_BXOR, name="MPI.BXOR")
+    MAXLOC = Op(H.OP_MAXLOC, name="MPI.MAXLOC")
+    MINLOC = Op(H.OP_MINLOC, name="MPI.MINLOC")
+
+    # ------------------------------------------------------------------
+    # wildcard / sentinel constants
+    # ------------------------------------------------------------------
+    ANY_SOURCE = _consts.ANY_SOURCE
+    ANY_TAG = _consts.ANY_TAG
+    PROC_NULL = _consts.PROC_NULL
+    UNDEFINED = _consts.UNDEFINED
+    IDENT = _consts.IDENT
+    CONGRUENT = _consts.CONGRUENT
+    SIMILAR = _consts.SIMILAR
+    UNEQUAL = _consts.UNEQUAL
+    GRAPH = _consts.GRAPH
+    CART = _consts.CART
+    BSEND_OVERHEAD = _consts.BSEND_OVERHEAD
+    TAG_UB = _consts.TAG_UB
+
+    # error classes
+    SUCCESS = _errors.SUCCESS
+    ERR_BUFFER = _errors.ERR_BUFFER
+    ERR_COUNT = _errors.ERR_COUNT
+    ERR_TYPE = _errors.ERR_TYPE
+    ERR_TAG = _errors.ERR_TAG
+    ERR_COMM = _errors.ERR_COMM
+    ERR_RANK = _errors.ERR_RANK
+    ERR_REQUEST = _errors.ERR_REQUEST
+    ERR_ROOT = _errors.ERR_ROOT
+    ERR_GROUP = _errors.ERR_GROUP
+    ERR_OP = _errors.ERR_OP
+    ERR_TOPOLOGY = _errors.ERR_TOPOLOGY
+    ERR_DIMS = _errors.ERR_DIMS
+    ERR_ARG = _errors.ERR_ARG
+    ERR_UNKNOWN = _errors.ERR_UNKNOWN
+    ERR_TRUNCATE = _errors.ERR_TRUNCATE
+    ERR_OTHER = _errors.ERR_OTHER
+    ERR_INTERN = _errors.ERR_INTERN
+    ERR_PENDING = _errors.ERR_PENDING
+    ERR_IN_STATUS = _errors.ERR_IN_STATUS
+    ERR_LASTCODE = _errors.ERR_LASTCODE
+
+    # error handlers
+    ERRORS_ARE_FATAL = _errh.ERRORS_ARE_FATAL
+    ERRORS_RETURN = _errh.ERRORS_RETURN
+
+    # predefined attribute keyvals
+    TAG_UB_KEY = 1
+    HOST_KEY = 2
+    IO_KEY = 3
+    WTIME_IS_GLOBAL_KEY = 4
+
+    # ------------------------------------------------------------------
+    # global services
+    # ------------------------------------------------------------------
+    @staticmethod
+    def Init(args=None):
+        """Initialize MPI for the calling rank; returns ``args``.
+
+        Under :func:`repro.mpirun` the rank binding already exists; called
+        stand-alone, a singleton one-rank job is created (like
+        ``mpiexec -n 1``).
+        """
+        capi.mpi_init(args)
+        return args
+
+    @staticmethod
+    def Initialized() -> bool:
+        return capi.mpi_initialized()
+
+    @staticmethod
+    def Finalize() -> None:
+        capi.mpi_finalize()
+
+    @staticmethod
+    def Finalized() -> bool:
+        return capi.mpi_finalized()
+
+    @staticmethod
+    def Wtime() -> float:
+        """Wall-clock (or virtual, in modeled mode) seconds."""
+        return capi.mpi_wtime()
+
+    @staticmethod
+    def Wtick() -> float:
+        return capi.mpi_wtick()
+
+    @staticmethod
+    def Get_processor_name() -> str:
+        return capi.mpi_get_processor_name()
+
+    @staticmethod
+    def Get_version() -> tuple[int, int]:
+        return capi.mpi_get_version()
+
+    @staticmethod
+    def Get_error_string(code: int) -> str:
+        return capi.mpi_error_string(code)
+
+    @staticmethod
+    def Get_error_class(code: int) -> int:
+        return capi.mpi_error_class(code)
+
+    @staticmethod
+    def Buffer_attach(nbytes: int) -> None:
+        """Provide buffer space for buffered-mode sends."""
+        capi.mpi_buffer_attach(nbytes)
+
+    @staticmethod
+    def Buffer_detach() -> int:
+        """Drain and detach; returns the detached capacity in bytes."""
+        return capi.mpi_buffer_detach()
+
+    @staticmethod
+    def Keyval_create(copy_fn=None, delete_fn=None, extra_state=None) \
+            -> int:
+        """Create an attribute key.  ``copy_fn(comm, keyval, extra, value)
+        -> (flag, newvalue)`` controls propagation on ``Dup``."""
+        return capi.mpi_keyval_create(copy_fn, delete_fn, extra_state)
+
+    @staticmethod
+    def Keyval_free(keyval: int) -> None:
+        capi.mpi_keyval_free(keyval)
+
+    @staticmethod
+    def Pcontrol(level: int, *args) -> None:
+        capi.mpi_pcontrol(level, *args)
+
+    # ------------------------------------------------------------------
+    # Java-char helpers (``"...".toCharArray()`` analogues)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def to_chars(text: str) -> np.ndarray:
+        """A string as an ``MPI.CHAR`` buffer (UTF-16 code units)."""
+        return np.frombuffer(text.encode("utf-16-le"), dtype=np.uint16) \
+            .copy()
+
+    @staticmethod
+    def new_chars(length: int) -> np.ndarray:
+        """An empty ``MPI.CHAR`` buffer of ``length`` characters."""
+        return np.zeros(int(length), dtype=np.uint16)
+
+    @staticmethod
+    def from_chars(buf: np.ndarray) -> str:
+        """Decode an ``MPI.CHAR`` buffer back into a string."""
+        return np.asarray(buf, dtype=np.uint16).tobytes() \
+            .decode("utf-16-le")

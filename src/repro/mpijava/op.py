@@ -1,0 +1,47 @@
+"""``Op`` — reduction operations, including user-defined ones.
+
+A user operation subclasses :class:`User_function` (mpiJava style) or is
+any callable ``f(invec, inoutvec, count, datatype)`` accumulating into
+``inoutvec`` in place.
+"""
+
+from __future__ import annotations
+
+from repro.jni import capi
+
+
+class User_function:
+    """Base class for user-defined reduction functions (mpiJava style)."""
+
+    def Call(self, invec, inoutvec, count, datatype) -> None:
+        raise NotImplementedError
+
+    def __call__(self, invec, inoutvec, count, datatype) -> None:
+        self.Call(invec, inoutvec, count, datatype)
+
+
+class Op:
+    """Opaque reduction-operation handle."""
+
+    __slots__ = ("_handle", "_name")
+
+    def __init__(self, function_or_handle, commute: bool | None = None,
+                 name: str = "op"):
+        if isinstance(function_or_handle, int):
+            self._handle = function_or_handle
+        else:
+            # Op(function, commute) — the mpiJava constructor
+            self._handle = capi.mpi_op_create(function_or_handle,
+                                              bool(commute))
+        self._name = name
+
+    @staticmethod
+    def Create(function, commute: bool) -> "Op":
+        """``MPI_Op_create`` as a named constructor."""
+        return Op(function, commute)
+
+    def Free(self) -> None:
+        capi.mpi_op_free(self._handle)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Op({self._name}, handle={self._handle})"

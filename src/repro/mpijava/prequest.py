@@ -1,0 +1,27 @@
+"""``Prequest`` — persistent communication request (MPI 1.1 §3.9).
+
+Created by ``Comm.Send_init`` / ``Comm.Recv_init`` (and the buffered,
+synchronous and ready variants); activated with ``Start`` or the static
+``Startall``; each completion (Wait/Test) deactivates it so it can be
+started again.
+"""
+
+from __future__ import annotations
+
+from repro.jni import capi
+from repro.mpijava.request import Request
+
+
+class Prequest(Request):
+    """A reusable request; survives Wait/Test, freed only explicitly."""
+
+    _persistent = True
+
+    def Start(self) -> None:
+        """(Re)activate the operation (``MPI_Start``)."""
+        capi.mpi_start(self._handle)
+
+    @staticmethod
+    def Startall(requests: list["Prequest"]) -> None:
+        """``MPI_Startall`` — activate a whole array at once."""
+        capi.mpi_startall([r._handle for r in requests])

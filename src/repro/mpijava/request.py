@@ -1,0 +1,132 @@
+"""``Request`` — handle to a non-blocking communication operation.
+
+Static members ``Waitany``/``Waitall``/``Waitsome`` (and the ``Test``
+variants) operate on arrays of requests; per the paper §2.1, the Status
+objects they produce carry the array ``index`` as an extra field.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.jni import capi, handles as H
+from repro.mpijava.status import Status
+from repro.runtime.consts import UNDEFINED
+
+
+class Request:
+    """One outstanding operation; freed automatically on completion."""
+
+    _handle: int
+    _persistent = False
+
+    def __init__(self, handle: int):
+        self._handle = handle
+
+    # -- single-request completion ---------------------------------------
+    def Wait(self) -> Status:
+        """Block until complete; returns the Status (sends included).
+
+        Completing a persistent request deactivates it but keeps the
+        handle valid for the next ``Start``.
+        """
+        status = Status(capi.mpi_wait(self._handle))
+        if not self._persistent:
+            self._handle = H.REQUEST_NULL
+        return status
+
+    def Test(self) -> Optional[Status]:
+        """Non-blocking completion check; Status if done, else None."""
+        done, cstatus = capi.mpi_test(self._handle)
+        if not done:
+            return None
+        if not self._persistent:
+            self._handle = H.REQUEST_NULL
+        return Status(cstatus)
+
+    def Cancel(self) -> None:
+        capi.mpi_cancel(self._handle)
+
+    def Free(self) -> None:
+        """Explicit ``MPI_Request_free`` (see paper §2.1: Free is explicit
+        for Request because it has observable side effects)."""
+        capi.mpi_request_free(self._handle)
+        self._handle = H.REQUEST_NULL
+
+    def Is_null(self) -> bool:
+        return self._handle == H.REQUEST_NULL
+
+    # -- array operations (static members, as in mpiJava) ----------------------
+    @staticmethod
+    def _handles(requests: list["Request"]) -> list[int]:
+        return [r._handle for r in requests]
+
+    @staticmethod
+    def _mark_done(requests: list["Request"], index: int) -> None:
+        req = requests[index]
+        if not getattr(req, "_persistent", False):
+            req._handle = H.REQUEST_NULL
+
+    @staticmethod
+    def Waitany(requests: list["Request"]) -> Status:
+        """Wait for any request; ``status.index`` identifies which."""
+        index, cstatus = capi.mpi_waitany(Request._handles(requests))
+        if index == UNDEFINED:
+            return Status(capi.CStatus(index=UNDEFINED))
+        Request._mark_done(requests, index)
+        return Status(cstatus)
+
+    @staticmethod
+    def Testany(requests: list["Request"]) -> Optional[Status]:
+        done, index, cstatus = capi.mpi_testany(Request._handles(requests))
+        if not done:
+            return None
+        Request._mark_done(requests, index)
+        return Status(cstatus)
+
+    @staticmethod
+    def Waitall(requests: list["Request"]) -> list[Status]:
+        statuses = capi.mpi_waitall(Request._handles(requests))
+        out = []
+        for i, c in enumerate(statuses):
+            if c is not None:
+                Request._mark_done(requests, i)
+                out.append(Status(c))
+            else:
+                out.append(Status(capi.CStatus(index=i)))
+        return out
+
+    @staticmethod
+    def Testall(requests: list["Request"]) -> Optional[list[Status]]:
+        done, statuses = capi.mpi_testall(Request._handles(requests))
+        if not done:
+            return None
+        out = []
+        for i, c in enumerate(statuses):
+            if c is not None:
+                Request._mark_done(requests, i)
+                out.append(Status(c))
+            else:
+                out.append(Status(capi.CStatus(index=i)))
+        return out
+
+    @staticmethod
+    def Waitsome(requests: list["Request"]) -> list[Status]:
+        """Wait for at least one; returns Statuses with ``index`` set.
+        (The array result replaces C's output count, per paper §2.1 —
+        the count is just ``len(result)``.)"""
+        statuses = capi.mpi_waitsome(Request._handles(requests))
+        for c in statuses:
+            Request._mark_done(requests, c.index)
+        return [Status(c) for c in statuses]
+
+    @staticmethod
+    def Testsome(requests: list["Request"]) -> list[Status]:
+        statuses = capi.mpi_testsome(Request._handles(requests))
+        for c in statuses:
+            Request._mark_done(requests, c.index)
+        return [Status(c) for c in statuses]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "null" if self.Is_null() else f"handle={self._handle}"
+        return f"{type(self).__name__}({state})"

@@ -1,0 +1,44 @@
+"""``Status`` — result object of receive and probe operations.
+
+As the paper notes (§2.1), the Java binding adds an extra public field
+``index``, set by functions like ``Waitany``, because Java cannot return
+through reference arguments.
+"""
+
+from __future__ import annotations
+
+from repro.jni import capi
+from repro.runtime.consts import UNDEFINED
+
+
+class Status:
+    """Source, tag, error of a received message — plus mpiJava's ``index``."""
+
+    __slots__ = ("source", "tag", "error", "index", "_c")
+
+    def __init__(self, cstatus: capi.CStatus):
+        self._c = cstatus
+        #: rank of the message source (within the receive's communicator)
+        self.source = cstatus.source
+        #: tag the message was sent with
+        self.tag = cstatus.tag
+        #: error class associated with the message (0 on success)
+        self.error = cstatus.error
+        #: position within a request array (Waitany/Testany), else UNDEFINED
+        self.index = cstatus.index
+
+    def Get_count(self, datatype) -> int:
+        """Number of whole ``datatype`` items received (or ``UNDEFINED``)."""
+        return capi.mpi_get_count(self._c, datatype._handle)
+
+    def Get_elements(self, datatype) -> int:
+        """Number of basic elements received (may exceed ``Get_count`` ×
+        size for a partially filled trailing item)."""
+        return capi.mpi_get_elements(self._c, datatype._handle)
+
+    def Test_cancelled(self) -> bool:
+        return capi.mpi_test_cancelled(self._c)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        extra = "" if self.index == UNDEFINED else f", index={self.index}"
+        return f"Status(source={self.source}, tag={self.tag}{extra})"

@@ -1,0 +1,9 @@
+"""The "native MPI library" layer: a complete MPI 1.1 engine in Python.
+
+This package plays the role WMPI/MPICH play in the paper's Figure 4: the
+message-passing substrate underneath the JNI stub layer and the OO binding.
+"""
+
+from repro.runtime.engine import Universe, RankRuntime, current_runtime
+
+__all__ = ["Universe", "RankRuntime", "current_runtime"]

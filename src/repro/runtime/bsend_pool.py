@@ -1,0 +1,86 @@
+"""Buffered-mode send pool (``MPI_Buffer_attach`` / ``MPI_Buffer_detach``).
+
+MPI's buffered mode copies the outgoing message into user-provided buffer
+space so the send completes locally.  The pool tracks reservations against
+the attached capacity; each message consumes its packed size plus
+``BSEND_OVERHEAD`` bookkeeping bytes, exactly as the standard specifies the
+accounting.  ``detach`` blocks until all buffered messages have drained.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import MPIException, ERR_BUFFER, ERR_INTERN
+from repro.runtime.consts import BSEND_OVERHEAD
+
+
+class BsendPool:
+    """Reservation accounting for one rank's attached buffer."""
+
+    def __init__(self, universe):
+        self.universe = universe
+        self._lock = threading.Lock()
+        self._drained = threading.Condition(self._lock)
+        self._capacity = 0
+        self._in_use = 0
+        self._attached = False
+
+    def attach(self, nbytes: int) -> None:
+        with self._lock:
+            if self._attached:
+                raise MPIException(ERR_BUFFER,
+                                   "a buffer is already attached")
+            if nbytes < 0:
+                raise MPIException(ERR_BUFFER,
+                                   f"negative buffer size {nbytes}")
+            self._attached = True
+            self._capacity = int(nbytes)
+            self._in_use = 0
+
+    def detach(self, abort_poll: float = 0.05) -> int:
+        """Block until drained; returns the detached capacity."""
+        with self._drained:
+            if not self._attached:
+                raise MPIException(ERR_BUFFER, "no buffer attached")
+            while self._in_use:
+                self.universe.check_abort()
+                self._drained.wait(timeout=abort_poll)
+            size = self._capacity
+            self._attached = False
+            self._capacity = 0
+            return size
+
+    def reserve(self, payload_bytes: int) -> int:
+        """Claim space for one buffered message; returns the reservation."""
+        need = int(payload_bytes) + BSEND_OVERHEAD
+        with self._lock:
+            if not self._attached:
+                raise MPIException(
+                    ERR_BUFFER,
+                    "buffered-mode send without an attached buffer "
+                    "(MPI.Buffer_attach)")
+            if self._in_use + need > self._capacity:
+                raise MPIException(
+                    ERR_BUFFER,
+                    f"attached buffer exhausted: need {need} bytes, "
+                    f"{self._capacity - self._in_use} of {self._capacity} "
+                    f"free")
+            self._in_use += need
+        return need
+
+    def release(self, reservation: int) -> None:
+        with self._drained:
+            self._in_use -= reservation
+            if self._in_use < 0:  # pragma: no cover - internal invariant
+                raise MPIException(ERR_INTERN, "bsend pool underflow")
+            if self._in_use == 0:
+                self._drained.notify_all()
+
+    @property
+    def attached(self) -> bool:
+        return self._attached
+
+    def usage(self) -> tuple[int, int]:
+        with self._lock:
+            return self._in_use, self._capacity

@@ -1,0 +1,149 @@
+"""Buffer validation and endpoint copy in/out.
+
+The binding follows the paper's Java model: a message buffer is a
+one-dimensional array of a single primitive type, and every call takes an
+explicit ``offset``.  Here that means:
+
+* primitive/derived datatypes require a 1-D ``numpy.ndarray`` whose dtype
+  equals the datatype's base dtype (strict agreement, like Java's typed
+  arrays — no silent casting);
+* ``MPI.OBJECT`` accepts any mutable sequence (list, object ndarray) of
+  serializable Python objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import (MPIException, ERR_BUFFER, ERR_COUNT, ERR_TRUNCATE,
+                          ERR_TYPE, SUCCESS)
+from repro.datatypes.base import DatatypeImpl
+from repro.datatypes.packing import gather_elements, scatter_elements
+from repro.datatypes.object_serial import (deserialize_objects,
+                                           serialize_objects)
+
+
+def validate_buffer(buf, offset: int, count: int,
+                    datatype: DatatypeImpl) -> None:
+    """Common argument validation for all communication entry points."""
+    datatype._check_alive()
+    if not datatype.committed:
+        raise MPIException(ERR_TYPE,
+                           f"datatype {datatype.name} is not committed")
+    if count < 0:
+        raise MPIException(ERR_COUNT, f"negative count {count}")
+    if offset < 0:
+        raise MPIException(ERR_BUFFER, f"negative offset {offset}")
+    if datatype.base.is_object:
+        if isinstance(buf, np.ndarray) and buf.dtype != object:
+            raise MPIException(ERR_BUFFER,
+                               "MPI.OBJECT requires an object array or list")
+        if not hasattr(buf, "__len__"):
+            raise MPIException(ERR_BUFFER, "buffer must be a sequence")
+        if offset + count > len(buf):
+            raise MPIException(ERR_BUFFER,
+                               f"{count} objects at offset {offset} exceed "
+                               f"buffer length {len(buf)}")
+        return
+    if not isinstance(buf, np.ndarray):
+        raise MPIException(
+            ERR_BUFFER,
+            f"buffers must be 1-D numpy arrays (got {type(buf).__name__}); "
+            f"the binding mirrors Java's primitive-array restriction")
+    if buf.ndim != 1:
+        raise MPIException(
+            ERR_BUFFER,
+            f"buffers must be one-dimensional (got {buf.ndim}-D); Java "
+            f"multidimensional arrays are arrays of arrays — see paper §2")
+    if buf.dtype != datatype.base.np_dtype:
+        raise MPIException(
+            ERR_TYPE,
+            f"buffer dtype {buf.dtype} does not match datatype base "
+            f"{datatype.base.name} ({datatype.base.np_dtype})")
+
+
+def extract_send_payload(buf, offset: int, count: int,
+                         datatype: DatatypeImpl):
+    """Gather the message into its dense wire form.
+
+    Returns ``(payload, nelems, is_object)`` where payload is a dense
+    ndarray of base elements, or a pickled blob for ``MPI.OBJECT``.
+    """
+    validate_buffer(buf, offset, count, datatype)
+    if datatype.base.is_object:
+        blob = serialize_objects(list(buf[offset:offset + count]))
+        return blob, count, True
+    dense = gather_elements(buf, offset, count, datatype)
+    return dense, int(dense.shape[0]), False
+
+
+class _DenseEnv:
+    """Envelope-shaped adapter so collectives can reuse ``land_payload``."""
+
+    __slots__ = ("payload", "nelems", "is_object")
+
+    def __init__(self, payload, nelems, is_object):
+        self.payload = payload
+        self.nelems = nelems
+        self.is_object = is_object
+
+
+def land_dense(buf, offset: int, count: int, datatype: DatatypeImpl,
+               payload, nelems: int, is_object: bool) -> int:
+    """Scatter a dense payload into a buffer; raises on error.
+
+    Collective algorithms land intermediate dense data with this; unlike the
+    mailbox path, errors raise immediately in the calling rank.
+    """
+    n, error, message = land_payload(buf, offset, count, datatype,
+                                     _DenseEnv(payload, nelems, is_object))
+    if error != SUCCESS:
+        raise MPIException(error, message)
+    return n
+
+
+def land_payload(buf, offset: int, count: int, datatype: DatatypeImpl,
+                 env) -> tuple[int, int, str]:
+    """Scatter an arrived envelope into the posted receive buffer.
+
+    Returns ``(count_elements, error_code, error_message)`` — the contract
+    of the mailbox ``land`` callback.  Receiving *less* than posted is fine
+    (count reflects the actual message); receiving *more* is the MPI
+    truncation error.
+    """
+    if datatype.base.is_object:
+        if not env.is_object:
+            return 0, ERR_TYPE, ("primitive message received into an "
+                                 "MPI.OBJECT buffer")
+        objs = deserialize_objects(bytes(env.payload))
+        n = len(objs)
+        if n > count:
+            return 0, ERR_TRUNCATE, (f"message of {n} objects truncated to "
+                                     f"posted count {count}")
+        for i, obj in enumerate(objs):
+            buf[offset + i] = obj
+        return n, SUCCESS, ""
+    if env.is_object:
+        return 0, ERR_TYPE, ("MPI.OBJECT message received into a "
+                             "primitive buffer")
+    payload = env.payload
+    if payload is None or payload.shape[0] == 0:
+        # empty messages carry no element data; the wire format encodes
+        # them with a placeholder dtype, so skip the dtype agreement check
+        return 0, SUCCESS, ""
+    if payload.dtype != datatype.base.np_dtype:
+        return 0, ERR_TYPE, (f"message of {payload.dtype} elements received "
+                             f"into {datatype.base.name} buffer")
+    nelems = int(payload.shape[0])
+    capacity = count * datatype.size_elems
+    if nelems > capacity:
+        return 0, ERR_TRUNCATE, (f"message of {nelems} elements truncated "
+                                 f"to capacity {capacity}")
+    full, part = divmod(nelems, datatype.size_elems)
+    if part == 0:
+        scatter_elements(buf, offset, full, datatype, payload)
+    else:
+        # partial trailing instance: land element-by-element via index map
+        idx = datatype.flat_indices(count, offset)[:nelems]
+        buf[idx] = payload
+    return nelems, SUCCESS, ""

@@ -1,0 +1,20 @@
+"""Collective operations (MPI 1.1 chapter 4).
+
+Every routine is built on the runtime's eager point-to-point layer using
+the communicator's *collective* context, so user point-to-point traffic can
+never interfere with collective traffic (the reason MPI allocates a second
+context per communicator).
+
+Algorithm selection is configurable through :data:`CONFIG` — the ablation
+benchmark flips these to compare e.g. binomial vs linear broadcast, which
+DESIGN.md lists as a design-choice experiment.
+"""
+
+from repro.runtime.collective import (allgather, allreduce, alltoall,
+                                      barrier, bcast, gather, reduce,
+                                      reduce_scatter, scan, scatter)
+from repro.runtime.collective.common import CONFIG
+
+__all__ = ["allgather", "allreduce", "alltoall", "barrier", "bcast",
+           "gather", "reduce", "reduce_scatter", "scan", "scatter",
+           "CONFIG"]

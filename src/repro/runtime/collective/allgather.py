@@ -1,0 +1,101 @@
+"""``MPI_Allgather`` / ``MPI_Allgatherv``.
+
+Default: gather the concatenated block at rank 0, broadcast it, and land
+each segment locally.  The ring variant (``p - 1`` neighbour exchanges,
+better for large payloads on real networks) exists for the ablation bench.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MPIException, ERR_ARG
+from repro.runtime.collective.common import (CONFIG, TAG_ALLGATHER,
+                                             concat, extract_contrib,
+                                             land_contrib, recv_contrib,
+                                             send_contrib, slice_contrib)
+
+
+def allgather(comm, sendbuf, soffset, scount, sdtype,
+              recvbuf, roffset, rcount, rdtype,
+              algorithm: str | None = None) -> None:
+    comm._check_alive()
+    comm._require_intra("Allgather")
+    algorithm = algorithm or CONFIG["allgather"]
+    if algorithm == "ring":
+        _ring(comm, sendbuf, soffset, scount, sdtype,
+              recvbuf, roffset, rcount, rdtype)
+        return
+    if algorithm != "gather_bcast":
+        raise ValueError(f"unknown allgather algorithm {algorithm!r}")
+    mine = extract_contrib(sendbuf, soffset, scount, sdtype)
+    total = _gather_concat(comm, mine)
+    total = _bcast_contrib(comm, total)
+    _land_segments(comm, recvbuf, roffset, rcount, rdtype, total)
+
+
+def allgatherv(comm, sendbuf, soffset, scount, sdtype,
+               recvbuf, roffset, rcounts, displs, rdtype) -> None:
+    comm._check_alive()
+    comm._require_intra("Allgatherv")
+    if len(rcounts) != comm.size or len(displs) != comm.size:
+        raise MPIException(ERR_ARG,
+                           f"Allgatherv needs {comm.size} counts/displs")
+    mine = extract_contrib(sendbuf, soffset, scount, sdtype)
+    total = _gather_concat(comm, mine)
+    total = _bcast_contrib(comm, total)
+    ext = rdtype.extent_elems
+    kind, data = total
+    per = rdtype.size_elems
+    pos = 0
+    for r in range(comm.size):
+        n = int(rcounts[r])
+        width = n if kind == "obj" else n * per
+        seg = slice_contrib(total, pos, pos + width)
+        land_contrib(recvbuf, roffset + int(displs[r]) * ext, n, rdtype, seg)
+        pos += width
+
+
+def _gather_concat(comm, mine):
+    """Rank 0 assembles all contributions in rank order."""
+    if comm.rank == 0:
+        parts = [mine]
+        for r in range(1, comm.size):
+            parts.append(recv_contrib(comm, r, TAG_ALLGATHER))
+        return concat(parts)
+    send_contrib(comm, mine, 0, TAG_ALLGATHER)
+    return None
+
+
+def _bcast_contrib(comm, total):
+    if comm.size == 1:
+        return total
+    if comm.rank == 0:
+        for r in range(1, comm.size):
+            send_contrib(comm, total, r, TAG_ALLGATHER)
+        return total
+    return recv_contrib(comm, 0, TAG_ALLGATHER)
+
+
+def _land_segments(comm, recvbuf, roffset, rcount, rdtype, total) -> None:
+    kind, data = total
+    per = rcount if kind == "obj" else rcount * rdtype.size_elems
+    stride = rcount * rdtype.extent_elems
+    for r in range(comm.size):
+        seg = slice_contrib(total, r * per, (r + 1) * per)
+        land_contrib(recvbuf, roffset + r * stride, rcount, rdtype, seg)
+
+
+def _ring(comm, sendbuf, soffset, scount, sdtype,
+          recvbuf, roffset, rcount, rdtype) -> None:
+    """Ring allgather: pass segments around, one hop per step."""
+    rank, size = comm.rank, comm.size
+    stride = rcount * rdtype.extent_elems
+    current = extract_contrib(sendbuf, soffset, scount, sdtype)
+    land_contrib(recvbuf, roffset + rank * stride, rcount, rdtype, current)
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    for step in range(size - 1):
+        send_contrib(comm, current, right, TAG_ALLGATHER)
+        current = recv_contrib(comm, left, TAG_ALLGATHER)
+        src = (rank - step - 1) % size
+        land_contrib(recvbuf, roffset + src * stride, rcount, rdtype,
+                     current)

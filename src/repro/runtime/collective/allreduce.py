@@ -1,0 +1,54 @@
+"""``MPI_Allreduce``.
+
+Default algorithm is recursive doubling for commutative operations on
+power-of-two communicators (``log2 p`` exchange rounds); everything else
+falls back to reduce-to-0 + broadcast, which the ablation benchmark also
+exercises explicitly.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.buffers import validate_buffer
+from repro.runtime.collective.common import (CONFIG, TAG_ALLREDUCE,
+                                             combine, extract_contrib,
+                                             land_contrib, recv_contrib,
+                                             send_contrib, writable)
+from repro.runtime.collective import bcast as _bcast
+from repro.runtime.collective import reduce as _reduce
+
+
+def allreduce(comm, sendbuf, soffset, recvbuf, roffset, count, datatype,
+              op, algorithm: str | None = None) -> None:
+    comm._check_alive()
+    comm._require_intra("Allreduce")
+    op.check_usable(datatype)
+    validate_buffer(recvbuf, roffset, count, datatype)
+    algorithm = algorithm or CONFIG["allreduce"]
+    pow2 = comm.size & (comm.size - 1) == 0
+    if algorithm == "recursive_doubling" and op.commute and pow2:
+        result = _recursive_doubling(comm, sendbuf, soffset, count,
+                                     datatype, op)
+        land_contrib(recvbuf, roffset, count, datatype, result)
+        return
+    # reduce + bcast fallback (also the explicit ablation variant)
+    _reduce.reduce(comm, sendbuf, soffset, recvbuf, roffset, count,
+                   datatype, op, root=0)
+    _bcast.bcast(comm, recvbuf, roffset, count, datatype, root=0)
+
+
+def _recursive_doubling(comm, sendbuf, soffset, count, datatype, op):
+    rank, size = comm.rank, comm.size
+    accum = writable(extract_contrib(sendbuf, soffset, count, datatype))
+    mask = 1
+    while mask < size:
+        peer = rank ^ mask
+        send_contrib(comm, accum, peer, TAG_ALLREDUCE)
+        theirs = recv_contrib(comm, peer, TAG_ALLREDUCE)
+        # keep rank-order convention: lower rank's data is `invec`
+        if peer < rank:
+            accum = combine(op, theirs, accum, datatype)
+        else:
+            theirs = writable(theirs)
+            accum = combine(op, accum, theirs, datatype)
+        mask <<= 1
+    return accum

@@ -1,0 +1,62 @@
+"""``MPI_Alltoall`` / ``MPI_Alltoallv`` (pairwise exchange).
+
+Step ``i`` sends this rank's segment for ``(rank + i) % p`` and receives
+from ``(rank - i) % p``.  Eager sends make the blocking loop deadlock-free.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MPIException, ERR_ARG
+from repro.runtime.collective.common import (TAG_ALLTOALL, extract_contrib,
+                                             land_contrib, recv_contrib,
+                                             send_contrib)
+
+
+def alltoall(comm, sendbuf, soffset, scount, sdtype,
+             recvbuf, roffset, rcount, rdtype) -> None:
+    comm._check_alive()
+    comm._require_intra("Alltoall")
+    rank, size = comm.rank, comm.size
+    sstride = scount * sdtype.extent_elems
+    rstride = rcount * rdtype.extent_elems
+    for step in range(size):
+        dst = (rank + step) % size
+        src = (rank - step) % size
+        seg = extract_contrib(sendbuf, soffset + dst * sstride, scount,
+                              sdtype)
+        if dst == rank:
+            land_contrib(recvbuf, roffset + rank * rstride, rcount, rdtype,
+                         seg)
+            continue
+        send_contrib(comm, seg, dst, TAG_ALLTOALL)
+        got = recv_contrib(comm, src, TAG_ALLTOALL)
+        land_contrib(recvbuf, roffset + src * rstride, rcount, rdtype, got)
+
+
+def alltoallv(comm, sendbuf, soffset, scounts, sdispls, sdtype,
+              recvbuf, roffset, rcounts, rdispls, rdtype) -> None:
+    comm._check_alive()
+    comm._require_intra("Alltoallv")
+    size = comm.size
+    for name, seq in (("scounts", scounts), ("sdispls", sdispls),
+                      ("rcounts", rcounts), ("rdispls", rdispls)):
+        if len(seq) != size:
+            raise MPIException(ERR_ARG,
+                               f"Alltoallv {name} must have {size} entries, "
+                               f"got {len(seq)}")
+    rank = comm.rank
+    sext = sdtype.extent_elems
+    rext = rdtype.extent_elems
+    for step in range(size):
+        dst = (rank + step) % size
+        src = (rank - step) % size
+        seg = extract_contrib(sendbuf, soffset + int(sdispls[dst]) * sext,
+                              int(scounts[dst]), sdtype)
+        if dst == rank:
+            land_contrib(recvbuf, roffset + int(rdispls[rank]) * rext,
+                         int(rcounts[rank]), rdtype, seg)
+            continue
+        send_contrib(comm, seg, dst, TAG_ALLTOALL)
+        got = recv_contrib(comm, src, TAG_ALLTOALL)
+        land_contrib(recvbuf, roffset + int(rdispls[src]) * rext,
+                     int(rcounts[src]), rdtype, got)

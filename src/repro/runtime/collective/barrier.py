@@ -1,0 +1,48 @@
+"""``MPI_Barrier``.
+
+Default algorithm is dissemination (Hensgen/Finkel/Manber): ``ceil(log2 p)``
+rounds, in round ``k`` each rank sends a token to ``(rank + 2^k) % p`` and
+receives from ``(rank - 2^k) % p``.  The linear variant (everyone reports
+to rank 0, rank 0 releases) exists for the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.collective.common import (CONFIG, TAG_BARRIER,
+                                             empty_token, recv_contrib,
+                                             send_contrib)
+
+
+def barrier(comm, algorithm: str | None = None) -> None:
+    comm._check_alive()
+    comm._require_intra("Barrier")
+    if comm.size == 1:
+        return
+    algorithm = algorithm or CONFIG["barrier"]
+    if algorithm == "dissemination":
+        _dissemination(comm)
+    elif algorithm == "linear":
+        _linear(comm)
+    else:
+        raise ValueError(f"unknown barrier algorithm {algorithm!r}")
+
+
+def _dissemination(comm) -> None:
+    rank, size = comm.rank, comm.size
+    k = 1
+    while k < size:
+        send_contrib(comm, empty_token(), (rank + k) % size, TAG_BARRIER)
+        recv_contrib(comm, (rank - k) % size, TAG_BARRIER)
+        k *= 2
+
+
+def _linear(comm) -> None:
+    rank, size = comm.rank, comm.size
+    if rank == 0:
+        for r in range(1, size):
+            recv_contrib(comm, r, TAG_BARRIER)
+        for r in range(1, size):
+            send_contrib(comm, empty_token(), r, TAG_BARRIER)
+    else:
+        send_contrib(comm, empty_token(), 0, TAG_BARRIER)
+        recv_contrib(comm, 0, TAG_BARRIER)

@@ -1,0 +1,72 @@
+"""``MPI_Bcast``.
+
+Binomial tree by default (``ceil(log2 p)`` communication steps on the
+critical path); the linear variant (root sends ``p - 1`` messages) exists
+for the ablation benchmark.  The message is gathered into dense form once
+at the root and forwarded dense, so derived-datatype packing costs are paid
+exactly once per endpoint.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.buffers import validate_buffer
+from repro.runtime.collective.common import (CONFIG, TAG_BCAST, check_root,
+                                             extract_contrib, land_contrib,
+                                             recv_contrib, send_contrib)
+
+
+def bcast(comm, buf, offset, count, datatype, root,
+          algorithm: str | None = None) -> None:
+    comm._check_alive()
+    comm._require_intra("Bcast")
+    check_root(comm, root)
+    validate_buffer(buf, offset, count, datatype)
+    if comm.size == 1:
+        return
+    algorithm = algorithm or CONFIG["bcast"]
+    if algorithm == "binomial":
+        _binomial(comm, buf, offset, count, datatype, root)
+    elif algorithm == "linear":
+        _linear(comm, buf, offset, count, datatype, root)
+    else:
+        raise ValueError(f"unknown bcast algorithm {algorithm!r}")
+
+
+def _binomial(comm, buf, offset, count, datatype, root) -> None:
+    rank, size = comm.rank, comm.size
+    vrank = (rank - root) % size
+
+    if vrank == 0:
+        contrib = extract_contrib(buf, offset, count, datatype)
+        mask = 1
+        while mask < size:
+            mask <<= 1
+    else:
+        mask = 1
+        while mask < size:
+            if vrank & mask:
+                src = (vrank - mask + root) % size
+                contrib = recv_contrib(comm, src, TAG_BCAST)
+                land_contrib(buf, offset, count, datatype, contrib)
+                break
+            mask <<= 1
+    # here mask is below vrank's lowest set bit (or above size for the
+    # root), so vrank + mask addresses exactly this node's subtree children
+    mask >>= 1
+    while mask > 0:
+        if vrank + mask < size:
+            dst = (vrank + mask + root) % size
+            send_contrib(comm, contrib, dst, TAG_BCAST)
+        mask >>= 1
+
+
+def _linear(comm, buf, offset, count, datatype, root) -> None:
+    rank = comm.rank
+    if rank == root:
+        contrib = extract_contrib(buf, offset, count, datatype)
+        for r in range(comm.size):
+            if r != root:
+                send_contrib(comm, contrib, r, TAG_BCAST)
+    else:
+        contrib = recv_contrib(comm, root, TAG_BCAST)
+        land_contrib(buf, offset, count, datatype, contrib)

@@ -1,0 +1,134 @@
+"""Shared machinery for collective algorithms.
+
+A *contribution* is one rank's dense message: ``("dense", ndarray)`` for
+primitive data or ``("obj", list)`` for ``MPI.OBJECT`` data.  The helpers
+here move contributions between ranks over the collective context and land
+them into user buffers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MPIException, ERR_ROOT
+from repro.datatypes.object_serial import (deserialize_objects,
+                                           serialize_objects)
+from repro.runtime.buffers import extract_send_payload, land_dense
+
+# internal tags on the collective context, one per operation
+TAG_BARRIER = 10
+TAG_BCAST = 11
+TAG_GATHER = 12
+TAG_SCATTER = 13
+TAG_ALLGATHER = 14
+TAG_ALLTOALL = 15
+TAG_REDUCE = 16
+TAG_ALLREDUCE = 17
+TAG_SCAN = 18
+TAG_REDUCE_SCATTER = 19
+
+#: algorithm selection, mutable for ablation benchmarks
+CONFIG = {
+    "bcast": "binomial",          # binomial | linear
+    "reduce": "binomial",         # binomial | linear
+    "allreduce": "recursive_doubling",  # recursive_doubling | reduce_bcast
+    "barrier": "dissemination",   # dissemination | linear
+    "allgather": "gather_bcast",  # gather_bcast | ring
+}
+
+
+def check_root(comm, root: int) -> None:
+    if not 0 <= root < comm.size:
+        raise MPIException(ERR_ROOT, f"root {root} out of range for "
+                                     f"{comm.name} (size {comm.size})")
+
+
+def extract_contrib(buf, offset, count, datatype):
+    """One rank's contribution in dense form."""
+    payload, nelems, is_object = extract_send_payload(buf, offset, count,
+                                                      datatype)
+    if is_object:
+        return ("obj", deserialize_objects(payload))
+    return ("dense", payload)
+
+
+def land_contrib(buf, offset, count, datatype, contrib) -> int:
+    kind, data = contrib
+    if kind == "obj":
+        return land_dense(buf, offset, count, datatype,
+                          serialize_objects(data), len(data), True)
+    return land_dense(buf, offset, count, datatype, data,
+                      int(data.shape[0]), False)
+
+
+def send_contrib(comm, contrib, dest: int, tag: int) -> None:
+    kind, data = contrib
+    if kind == "obj":
+        comm.coll_send(serialize_objects(data), len(data), True, dest, tag)
+    else:
+        comm.coll_send(data, int(data.shape[0]), False, dest, tag)
+
+
+def recv_contrib(comm, src: int, tag: int):
+    env = comm.coll_recv(src, tag)
+    if env.is_object:
+        return ("obj", deserialize_objects(bytes(env.payload)))
+    payload = env.payload
+    if payload is None:
+        payload = np.empty(0, dtype=np.int8)
+    return ("dense", payload)
+
+
+def writable(contrib):
+    """A private mutable copy of a contribution.
+
+    Always copies: the in-process transport hands payload arrays over by
+    reference, so a contribution that arrived from (or was sent to) a peer
+    may alias that peer's live accumulator.  Reduction algorithms must
+    combine into private storage only.
+    """
+    kind, data = contrib
+    if kind == "obj":
+        return (kind, list(data))
+    return (kind, data.copy())
+
+
+def combine(op, invec_contrib, inout_contrib, datatype):
+    """Pure combine: ``invec OP inout`` into *fresh* storage.
+
+    Contributions must be treated as immutable once created: the in-process
+    transport passes arrays by reference, so an array this rank sent (or
+    received) may be concurrently read by a peer.  Combining in place into
+    a shared array is a data race — always allocate.
+    """
+    kind_a, a = invec_contrib
+    kind_b, b = inout_contrib
+    if kind_a != kind_b:
+        raise MPIException(ERR_ROOT,
+                           "mixed object/primitive reduction contributions")
+    if kind_a == "obj":
+        return ("obj", op.reduce_objects(a, b))
+    out = b.copy()
+    op.reduce_dense(a, out, datatype)
+    return ("dense", out)
+
+
+def concat(contribs):
+    """Concatenate contributions rank order (gather/allgather plumbing)."""
+    kinds = {k for k, _ in contribs}
+    if kinds == {"obj"}:
+        out = []
+        for _, data in contribs:
+            out.extend(data)
+        return ("obj", out)
+    return ("dense", np.concatenate([d for _, d in contribs]))
+
+
+def slice_contrib(contrib, start: int, stop: int):
+    kind, data = contrib
+    return (kind, data[start:stop])
+
+
+def empty_token():
+    """Zero-length contribution used by barrier rounds."""
+    return ("dense", np.empty(0, dtype=np.int8))

@@ -1,0 +1,49 @@
+"""``MPI_Gather`` / ``MPI_Gatherv`` (linear to the root).
+
+Per MPI, segment ``r`` lands at ``recvoffset + r*recvcount*extent(recvtype)``
+(or at ``recvoffset + displs[r]*extent`` for Gatherv, with per-rank counts).
+"""
+
+from __future__ import annotations
+
+from repro.errors import MPIException, ERR_ARG
+from repro.runtime.collective.common import (TAG_GATHER, check_root,
+                                             extract_contrib, land_contrib,
+                                             recv_contrib, send_contrib)
+
+
+def gather(comm, sendbuf, soffset, scount, sdtype,
+           recvbuf, roffset, rcount, rdtype, root) -> None:
+    comm._check_alive()
+    comm._require_intra("Gather")
+    check_root(comm, root)
+    mine = extract_contrib(sendbuf, soffset, scount, sdtype)
+    if comm.rank != root:
+        send_contrib(comm, mine, root, TAG_GATHER)
+        return
+    stride = rcount * rdtype.extent_elems
+    for r in range(comm.size):
+        contrib = mine if r == root \
+            else recv_contrib(comm, r, TAG_GATHER)
+        land_contrib(recvbuf, roffset + r * stride, rcount, rdtype, contrib)
+
+
+def gatherv(comm, sendbuf, soffset, scount, sdtype,
+            recvbuf, roffset, rcounts, displs, rdtype, root) -> None:
+    comm._check_alive()
+    comm._require_intra("Gatherv")
+    check_root(comm, root)
+    mine = extract_contrib(sendbuf, soffset, scount, sdtype)
+    if comm.rank != root:
+        send_contrib(comm, mine, root, TAG_GATHER)
+        return
+    if len(rcounts) != comm.size or len(displs) != comm.size:
+        raise MPIException(ERR_ARG,
+                           f"Gatherv needs {comm.size} counts/displs, got "
+                           f"{len(rcounts)}/{len(displs)}")
+    ext = rdtype.extent_elems
+    for r in range(comm.size):
+        contrib = mine if r == root \
+            else recv_contrib(comm, r, TAG_GATHER)
+        land_contrib(recvbuf, roffset + int(displs[r]) * ext,
+                     int(rcounts[r]), rdtype, contrib)

@@ -1,0 +1,77 @@
+"""``MPI_Reduce``.
+
+Two algorithms:
+
+* ``binomial`` — combine up a binomial tree rooted (virtually) at the
+  root; requires a commutative operation;
+* ``linear`` — the root receives every contribution and folds them in rank
+  order (``a0 op a1 op … op a_{p-1}``, left-associated), which is the
+  correct evaluation for non-commutative user operations.
+
+The dispatcher falls back to ``linear`` automatically for non-commutative
+operations.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.buffers import validate_buffer
+from repro.runtime.collective.common import (CONFIG, TAG_REDUCE, check_root,
+                                             combine, extract_contrib,
+                                             land_contrib, recv_contrib,
+                                             send_contrib, writable)
+
+
+def reduce(comm, sendbuf, soffset, recvbuf, roffset, count, datatype, op,
+           root, algorithm: str | None = None) -> None:
+    comm._check_alive()
+    comm._require_intra("Reduce")
+    check_root(comm, root)
+    op.check_usable(datatype)
+    if comm.rank == root:
+        validate_buffer(recvbuf, roffset, count, datatype)
+    algorithm = algorithm or CONFIG["reduce"]
+    if not op.commute:
+        algorithm = "linear"
+    if algorithm == "binomial":
+        result = _binomial(comm, sendbuf, soffset, count, datatype, op, root)
+    elif algorithm == "linear":
+        result = _linear(comm, sendbuf, soffset, count, datatype, op, root)
+    else:
+        raise ValueError(f"unknown reduce algorithm {algorithm!r}")
+    if comm.rank == root:
+        land_contrib(recvbuf, roffset, count, datatype, result)
+
+
+def _linear(comm, sendbuf, soffset, count, datatype, op, root):
+    mine = extract_contrib(sendbuf, soffset, count, datatype)
+    if comm.rank != root:
+        send_contrib(comm, mine, root, TAG_REDUCE)
+        return None
+    contribs = [None] * comm.size
+    contribs[root] = mine
+    for r in range(comm.size):
+        if r != root:
+            contribs[r] = recv_contrib(comm, r, TAG_REDUCE)
+    # left-associated fold in rank order: accumulate from the top down
+    accum = writable(contribs[-1])
+    for r in range(comm.size - 2, -1, -1):
+        accum = combine(op, contribs[r], accum, datatype)
+    return accum
+
+
+def _binomial(comm, sendbuf, soffset, count, datatype, op, root):
+    rank, size = comm.rank, comm.size
+    vrank = (rank - root) % size
+    accum = writable(extract_contrib(sendbuf, soffset, count, datatype))
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            dst = (vrank - mask + root) % size
+            send_contrib(comm, accum, dst, TAG_REDUCE)
+            return None
+        src_v = vrank | mask
+        if src_v < size:
+            child = recv_contrib(comm, (src_v + root) % size, TAG_REDUCE)
+            accum = combine(op, child, accum, datatype)
+        mask <<= 1
+    return accum

@@ -1,0 +1,43 @@
+"""``MPI_Reduce_scatter``: reduce a vector, scatter segments by count."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MPIException, ERR_ARG
+from repro.runtime.collective import reduce as _reduce
+from repro.runtime.collective.common import (TAG_REDUCE_SCATTER,
+                                             land_contrib, recv_contrib,
+                                             send_contrib, slice_contrib)
+from repro.runtime.collective.reduce import _linear
+
+
+def reduce_scatter(comm, sendbuf, soffset, recvbuf, roffset, recvcounts,
+                   datatype, op) -> None:
+    comm._check_alive()
+    comm._require_intra("Reduce_scatter")
+    if len(recvcounts) != comm.size:
+        raise MPIException(ERR_ARG,
+                           f"Reduce_scatter needs {comm.size} recvcounts, "
+                           f"got {len(recvcounts)}")
+    total = int(sum(int(c) for c in recvcounts))
+    op.check_usable(datatype)
+    # reduce the whole vector at rank 0 (rank order, safe for all ops) ...
+    result = _linear(comm, sendbuf, soffset, total, datatype, op, root=0)
+    # ... then scatter the per-rank segments
+    per = datatype.size_elems
+    if comm.rank == 0:
+        pos = 0
+        for r in range(comm.size):
+            n = int(recvcounts[r])
+            width = n if result[0] == "obj" else n * per
+            seg = slice_contrib(result, pos, pos + width)
+            pos += width
+            if r == 0:
+                land_contrib(recvbuf, roffset, n, datatype, seg)
+            else:
+                send_contrib(comm, seg, r, TAG_REDUCE_SCATTER)
+    else:
+        seg = recv_contrib(comm, 0, TAG_REDUCE_SCATTER)
+        land_contrib(recvbuf, roffset, int(recvcounts[comm.rank]),
+                     datatype, seg)

@@ -1,0 +1,29 @@
+"""``MPI_Scan``: inclusive prefix reduction along the rank chain.
+
+The linear chain evaluates ``a0 op a1 op … op a_r`` left-associated at each
+rank, which is correct for non-commutative operations too.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.buffers import validate_buffer
+from repro.runtime.collective.common import (TAG_SCAN, combine,
+                                             extract_contrib, land_contrib,
+                                             recv_contrib, send_contrib,
+                                             writable)
+
+
+def scan(comm, sendbuf, soffset, recvbuf, roffset, count, datatype,
+         op) -> None:
+    comm._check_alive()
+    comm._require_intra("Scan")
+    op.check_usable(datatype)
+    validate_buffer(recvbuf, roffset, count, datatype)
+    rank, size = comm.rank, comm.size
+    accum = writable(extract_contrib(sendbuf, soffset, count, datatype))
+    if rank > 0:
+        prefix = recv_contrib(comm, rank - 1, TAG_SCAN)
+        accum = combine(op, prefix, accum, datatype)
+    if rank + 1 < size:
+        send_contrib(comm, accum, rank + 1, TAG_SCAN)
+    land_contrib(recvbuf, roffset, count, datatype, accum)

@@ -1,0 +1,55 @@
+"""``MPI_Scatter`` / ``MPI_Scatterv`` (linear from the root)."""
+
+from __future__ import annotations
+
+from repro.errors import MPIException, ERR_ARG
+from repro.runtime.collective.common import (TAG_SCATTER, check_root,
+                                             extract_contrib, land_contrib,
+                                             recv_contrib, send_contrib)
+
+
+def scatter(comm, sendbuf, soffset, scount, sdtype,
+            recvbuf, roffset, rcount, rdtype, root) -> None:
+    comm._check_alive()
+    comm._require_intra("Scatter")
+    check_root(comm, root)
+    if comm.rank == root:
+        stride = scount * sdtype.extent_elems
+        mine = None
+        for r in range(comm.size):
+            seg = extract_contrib(sendbuf, soffset + r * stride, scount,
+                                  sdtype)
+            if r == root:
+                mine = seg
+            else:
+                send_contrib(comm, seg, r, TAG_SCATTER)
+        land_contrib(recvbuf, roffset, rcount, rdtype, mine)
+    else:
+        seg = recv_contrib(comm, root, TAG_SCATTER)
+        land_contrib(recvbuf, roffset, rcount, rdtype, seg)
+
+
+def scatterv(comm, sendbuf, soffset, scounts, displs, sdtype,
+             recvbuf, roffset, rcount, rdtype, root) -> None:
+    comm._check_alive()
+    comm._require_intra("Scatterv")
+    check_root(comm, root)
+    if comm.rank == root:
+        if len(scounts) != comm.size or len(displs) != comm.size:
+            raise MPIException(ERR_ARG,
+                               f"Scatterv needs {comm.size} counts/displs, "
+                               f"got {len(scounts)}/{len(displs)}")
+        ext = sdtype.extent_elems
+        mine = None
+        for r in range(comm.size):
+            seg = extract_contrib(sendbuf,
+                                  soffset + int(displs[r]) * ext,
+                                  int(scounts[r]), sdtype)
+            if r == root:
+                mine = seg
+            else:
+                send_contrib(comm, seg, r, TAG_SCATTER)
+        land_contrib(recvbuf, roffset, rcount, rdtype, mine)
+    else:
+        seg = recv_contrib(comm, root, TAG_SCATTER)
+        land_contrib(recvbuf, roffset, rcount, rdtype, seg)

@@ -1,0 +1,745 @@
+"""Communicator implementation: point-to-point, management, attributes.
+
+A :class:`CommImpl` is *per-rank* state (each rank holds its own instance,
+as each process does in a real MPI); what ranks share is the pair of
+context ids and the group membership, agreed collectively at creation time.
+
+Point-to-point is eager: a send gathers the message into dense wire form
+and hands it to the transport; standard/buffered/ready sends complete
+locally, synchronous sends complete when the receiver matches (direct
+callback in SM, ACK frame in DM).  This preserves every MPI 1.1 semantic
+the paper's test suite exercises, including non-overtaking order.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from typing import Optional
+
+from repro.errors import (MPIException, SUCCESS, ERR_ARG, ERR_COMM,
+                          ERR_INTERN, ERR_OTHER, ERR_RANK, ERR_TAG)
+from repro.datatypes.base import DatatypeImpl
+from repro.runtime.buffers import extract_send_payload, land_payload, \
+    validate_buffer
+from repro.runtime.consts import (ANY_SOURCE, ANY_TAG, CART, CONGRUENT,
+                                  GRAPH, IDENT, PROC_NULL, SIMILAR, TAG_UB,
+                                  UNDEFINED, UNEQUAL)
+from repro.runtime.envelope import (Envelope, MODE_BUFFERED, MODE_READY,
+                                    MODE_STANDARD, MODE_SYNCHRONOUS)
+from repro.runtime.groups import GroupImpl
+from repro.runtime.requests import RequestImpl
+from repro.runtime.topology import CartTopology, GraphTopology
+
+# --- internal tags used on the collective context ------------------------------
+TAG_CTX_AGREE = 1
+TAG_OBJ_COLL = 2
+TAG_INTERCOMM_HANDSHAKE = 3
+
+# --- attribute keyvals ------------------------------------------------------------
+
+
+class _KeyvalRegistry:
+    """Process-wide registry for ``MPI_Keyval_create`` keys."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._next = 100
+        self.entries: dict[int, tuple] = {}
+
+    def create(self, copy_fn, delete_fn, extra_state) -> int:
+        with self._lock:
+            kv = self._next
+            self._next += 1
+            self.entries[kv] = (copy_fn, delete_fn, extra_state)
+            return kv
+
+    def free(self, keyval: int) -> None:
+        with self._lock:
+            self.entries.pop(keyval, None)
+
+    def get(self, keyval: int):
+        return self.entries.get(keyval)
+
+
+KEYVALS = _KeyvalRegistry()
+
+#: predefined attribute keys (values match on every communicator)
+KEY_TAG_UB = 1
+KEY_HOST = 2
+KEY_IO = 3
+KEY_WTIME_IS_GLOBAL = 4
+
+
+class ProbeInfo:
+    """Result of a (non-)blocking probe: enough to size the real receive."""
+
+    __slots__ = ("source", "tag", "nelems", "is_object", "nbytes")
+
+    def __init__(self, source, tag, nelems, is_object, nbytes):
+        self.source = source
+        self.tag = tag
+        self.nelems = nelems
+        self.is_object = is_object
+        self.nbytes = nbytes
+
+
+class CommImpl:
+    """Runtime communicator (intra- or inter-)."""
+
+    def __init__(self, rt, group: GroupImpl, ctx_pt2pt: int, ctx_coll: int,
+                 name: str = "comm", remote_group: GroupImpl | None = None,
+                 topology=None):
+        self.rt = rt
+        self.universe = rt.universe
+        self.group = group
+        self.remote_group = remote_group
+        self.ctx_pt2pt = int(ctx_pt2pt)
+        self.ctx_coll = int(ctx_coll)
+        self.name = name
+        self.topology = topology
+        self.my_rank = group.rank_of_world(rt.world_rank)
+        self.attributes: dict[int, object] = {
+            KEY_TAG_UB: TAG_UB,
+            KEY_HOST: PROC_NULL,
+            KEY_IO: self.my_rank if self.my_rank != UNDEFINED else 0,
+            KEY_WTIME_IS_GLOBAL: True,
+        }
+        self.freed = False
+        self.permanent = False   # COMM_WORLD / COMM_SELF cannot be freed
+
+    # -- basic inquiry ------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self.group.size
+
+    @property
+    def rank(self) -> int:
+        return self.my_rank
+
+    @property
+    def is_inter(self) -> bool:
+        return self.remote_group is not None
+
+    def remote_size(self) -> int:
+        self._require_inter()
+        return self.remote_group.size
+
+    def _require_inter(self) -> None:
+        if not self.is_inter:
+            raise MPIException(ERR_COMM,
+                               f"{self.name} is not an intercommunicator")
+
+    def _require_intra(self, what: str) -> None:
+        if self.is_inter:
+            raise MPIException(ERR_COMM,
+                               f"{what} is not defined on "
+                               f"intercommunicators in MPI 1.1")
+
+    def _check_alive(self) -> None:
+        if self.freed:
+            raise MPIException(ERR_COMM, f"{self.name} was freed")
+        if self.my_rank == UNDEFINED:
+            raise MPIException(ERR_COMM,
+                               f"calling rank is not a member of {self.name}")
+
+    def compare(self, other: "CommImpl") -> int:
+        """``MPI_Comm_compare``."""
+        if self is other or (self.ctx_pt2pt == other.ctx_pt2pt
+                             and self.group.ranks == other.group.ranks):
+            return IDENT
+        gc = self.group.compare(other.group)
+        if gc == IDENT:
+            return CONGRUENT
+        if gc == SIMILAR:
+            return SIMILAR
+        return UNEQUAL
+
+    # -- rank translation helpers -------------------------------------------------
+    def _peer_group(self) -> GroupImpl:
+        """Group that send destinations / receive sources index into."""
+        return self.remote_group if self.is_inter else self.group
+
+    def _dest_world(self, dest: int) -> int:
+        peers = self._peer_group()
+        if not 0 <= dest < peers.size:
+            raise MPIException(ERR_RANK,
+                               f"destination rank {dest} out of range for "
+                               f"{self.name} (size {peers.size})")
+        return peers.world_rank(dest)
+
+    def _source_world(self, source: int) -> int:
+        if source == ANY_SOURCE:
+            return ANY_SOURCE
+        peers = self._peer_group()
+        if not 0 <= source < peers.size:
+            raise MPIException(ERR_RANK,
+                               f"source rank {source} out of range for "
+                               f"{self.name} (size {peers.size})")
+        return peers.world_rank(source)
+
+    def source_rank_of_world(self, world: int) -> int:
+        """Translate an envelope's world source to a comm rank for Status."""
+        if world < 0:
+            return world
+        return self._peer_group().rank_of_world(world)
+
+    @staticmethod
+    def _check_tag(tag: int, allow_any: bool = False) -> None:
+        if tag == ANY_TAG and allow_any:
+            return
+        if not 0 <= tag <= TAG_UB:
+            raise MPIException(ERR_TAG, f"tag {tag} out of range [0,"
+                                        f" {TAG_UB}]")
+
+    # ======================================================================
+    # point-to-point
+    # ======================================================================
+    def _isend_raw(self, payload, nelems: int, is_object: bool,
+                   dest_world: int, tag: int, ctx: int,
+                   mode: int = MODE_STANDARD) -> RequestImpl:
+        """Ship a dense payload; returns the (possibly completed) request."""
+        rt = self.rt
+        req = RequestImpl(self.universe, RequestImpl.KIND_SEND)
+        seq = rt.next_seq()
+        env = Envelope(src=rt.world_rank, dst=dest_world, context=ctx,
+                       tag=tag, mode=mode, seq=seq, payload=payload,
+                       nelems=nelems, is_object=is_object)
+        transport = self.universe.transport
+        wire = getattr(transport, "mode", "SM") == "DM" \
+            and dest_world != rt.world_rank
+
+        reservation = None
+        if mode == MODE_BUFFERED:
+            reservation = rt.bsend_pool.reserve(env.payload_nbytes())
+        if mode == MODE_READY and not wire:
+            if not self.universe.mailboxes[dest_world].has_posted_match(env):
+                if reservation is not None:
+                    rt.bsend_pool.release(reservation)
+                raise MPIException(
+                    ERR_OTHER,
+                    "ready-mode send with no matching receive posted "
+                    "(erroneous per MPI 1.1 §3.4)")
+        if mode == MODE_SYNCHRONOUS:
+            if wire:
+                rt.mailbox.register_ack(seq, req.complete)
+            else:
+                env.on_matched = req.complete
+        try:
+            transport.send(env)
+        finally:
+            if reservation is not None:
+                rt.bsend_pool.release(reservation)
+        if mode != MODE_SYNCHRONOUS:
+            req.complete()
+        return req
+
+    def isend(self, buf, offset: int, count: int, datatype: DatatypeImpl,
+              dest: int, tag: int,
+              mode: int = MODE_STANDARD) -> RequestImpl:
+        self._check_alive()
+        self._check_tag(tag)
+        if dest == PROC_NULL:
+            req = RequestImpl(self.universe, RequestImpl.KIND_SEND)
+            req.complete()
+            return req
+        payload, nelems, is_object = extract_send_payload(
+            buf, offset, count, datatype)
+        return self._isend_raw(payload, nelems, is_object,
+                               self._dest_world(dest), tag, self.ctx_pt2pt,
+                               mode)
+
+    def send(self, buf, offset, count, datatype, dest, tag,
+             mode: int = MODE_STANDARD) -> None:
+        self.isend(buf, offset, count, datatype, dest, tag, mode).wait()
+
+    def irecv(self, buf, offset: int, count: int, datatype: DatatypeImpl,
+              source: int, tag: int) -> RequestImpl:
+        self._check_alive()
+        self._check_tag(tag, allow_any=True)
+        req = RequestImpl(self.universe, RequestImpl.KIND_RECV)
+        req.source_comm = self
+        if source == PROC_NULL:
+            req.complete(source_world=PROC_NULL, tag=ANY_TAG,
+                         count_elements=0)
+            return req
+        validate_buffer(buf, offset, count, datatype)
+        req.recv_datatype = datatype
+
+        def land(env):
+            return land_payload(buf, offset, count, datatype, env)
+
+        self.rt.mailbox.post_recv(req, self._source_world(source), tag,
+                                  self.ctx_pt2pt, land)
+        return req
+
+    def recv(self, buf, offset, count, datatype, source, tag) -> RequestImpl:
+        req = self.irecv(buf, offset, count, datatype, source, tag)
+        req.wait()
+        return req
+
+    # -- persistent requests ---------------------------------------------------
+    @staticmethod
+    def _relay_completion(inner: RequestImpl, outer: RequestImpl):
+        """Propagate an inner (per-Start) request's completion outward."""
+        def fire():
+            if inner.cancelled:
+                outer.complete_cancelled()
+            else:
+                outer.complete(inner.status_source_world, inner.status_tag,
+                               inner.count_elements, inner.error,
+                               inner.error_message)
+        return fire
+
+    def send_init(self, buf, offset, count, datatype, dest, tag,
+                  mode: int = MODE_STANDARD) -> RequestImpl:
+        self._check_alive()
+        self._check_tag(tag)
+        req = RequestImpl(self.universe, RequestImpl.KIND_SEND)
+
+        def restart():
+            inner = self.isend(buf, offset, count, datatype, dest, tag, mode)
+            req.persistent_inner = inner
+            inner.add_listener(self._relay_completion(inner, req))
+
+        req.make_persistent(restart)
+        return req
+
+    def recv_init(self, buf, offset, count, datatype, source,
+                  tag) -> RequestImpl:
+        self._check_alive()
+        self._check_tag(tag, allow_any=True)
+        if source != PROC_NULL:
+            validate_buffer(buf, offset, count, datatype)
+        req = RequestImpl(self.universe, RequestImpl.KIND_RECV)
+        req.source_comm = self
+        req.recv_datatype = datatype
+
+        def restart():
+            inner = self.irecv(buf, offset, count, datatype, source, tag)
+            req.persistent_inner = inner
+            inner.add_listener(self._relay_completion(inner, req))
+
+        req.make_persistent(restart)
+        return req
+
+    # -- probe / cancel -----------------------------------------------------------
+    def _probe_env_info(self, env) -> ProbeInfo:
+        return ProbeInfo(source=self.source_rank_of_world(env.src),
+                         tag=env.tag, nelems=env.nelems,
+                         is_object=env.is_object,
+                         nbytes=env.payload_nbytes())
+
+    def iprobe(self, source: int, tag: int) -> Optional[ProbeInfo]:
+        self._check_alive()
+        self._check_tag(tag, allow_any=True)
+        env = self.rt.mailbox.iprobe(self._source_world(source), tag,
+                                     self.ctx_pt2pt)
+        return None if env is None else self._probe_env_info(env)
+
+    def probe(self, source: int, tag: int) -> ProbeInfo:
+        self._check_alive()
+        self._check_tag(tag, allow_any=True)
+        env = self.rt.mailbox.probe(self._source_world(source), tag,
+                                    self.ctx_pt2pt)
+        return self._probe_env_info(env)
+
+    def cancel(self, req: RequestImpl) -> None:
+        if req.persistent:
+            inner = getattr(req, "persistent_inner", None)
+            if inner is not None and not inner.done:
+                self.cancel(inner)
+            return
+        if req.kind == RequestImpl.KIND_RECV:
+            self.rt.mailbox.cancel_recv(req)
+        # eager sends are already delivered; cancellation never succeeds,
+        # which the standard permits (Test_cancelled stays False)
+
+    # -- combined send/recv ----------------------------------------------------------
+    def sendrecv(self, sendbuf, soffset, scount, sdtype, dest, stag,
+                 recvbuf, roffset, rcount, rdtype, source,
+                 rtag) -> RequestImpl:
+        rreq = self.irecv(recvbuf, roffset, rcount, rdtype, source, rtag)
+        self.send(sendbuf, soffset, scount, sdtype, dest, stag)
+        rreq.wait()
+        return rreq
+
+    def sendrecv_replace(self, buf, offset, count, datatype, dest, stag,
+                         source, rtag) -> RequestImpl:
+        import numpy as np
+        validate_buffer(buf, offset, count, datatype)
+        if datatype.base.is_object:
+            tmp = list(buf[offset:offset + count])
+            out = list(tmp)
+            rreq = self.irecv(out, 0, count, datatype, source, rtag)
+            self.send(tmp, 0, count, datatype, dest, stag)
+            rreq.wait()
+            if source != PROC_NULL:
+                for i in range(count):
+                    buf[offset + i] = out[i]
+            return rreq
+        from repro.datatypes.packing import gather_elements
+        prim = _primitive_of(datatype)
+        tmp = gather_elements(buf, offset, count, datatype).copy()
+        inbox = np.empty_like(tmp)
+        rreq = self.irecv(inbox, 0, len(inbox), prim, source, rtag)
+        if dest != PROC_NULL:
+            self._isend_raw(tmp, len(tmp), False, self._dest_world(dest),
+                            stag, self.ctx_pt2pt).wait()
+        rreq.wait()
+        n = rreq.count_elements
+        if source != PROC_NULL and n:
+            idx = datatype.flat_indices(count, offset)[:n]
+            buf[idx] = inbox[:n]
+        return rreq
+
+    # ======================================================================
+    # internal dense/object messaging for collectives and management
+    # ======================================================================
+    def coll_send(self, payload, nelems, is_object, dest_comm_rank: int,
+                  tag: int) -> None:
+        """Internal eager send on the collective context (intra-comm)."""
+        dest_world = self.group.world_rank(dest_comm_rank)
+        self._isend_raw(payload, nelems, is_object, dest_world, tag,
+                        self.ctx_coll).wait()
+
+    def coll_recv(self, src_comm_rank: int, tag: int) -> Envelope:
+        """Internal capture-receive on the collective context."""
+        box: dict[str, Envelope] = {}
+        req = RequestImpl(self.universe, RequestImpl.KIND_RECV)
+
+        def land(env):
+            box["env"] = env
+            return env.nelems, SUCCESS, ""
+
+        src_world = (ANY_SOURCE if src_comm_rank == ANY_SOURCE
+                     else self.group.world_rank(src_comm_rank))
+        self.rt.mailbox.post_recv(req, src_world, tag, self.ctx_coll, land)
+        req.wait()
+        return box["env"]
+
+    def obj_send(self, obj, dest_comm_rank: int, tag: int,
+                 world_dest: int | None = None, ctx: int | None = None) \
+            -> None:
+        """Pickle-and-send an arbitrary object (management traffic)."""
+        blob = pickle.dumps(obj, protocol=4)
+        dest_world = (world_dest if world_dest is not None
+                      else self.group.world_rank(dest_comm_rank))
+        self._isend_raw(blob, 1, True, dest_world, tag,
+                        self.ctx_coll if ctx is None else ctx).wait()
+
+    def obj_recv(self, src_comm_rank: int, tag: int,
+                 world_src: int | None = None, ctx: int | None = None):
+        box: dict[str, Envelope] = {}
+        req = RequestImpl(self.universe, RequestImpl.KIND_RECV)
+
+        def land(env):
+            box["env"] = env
+            return env.nelems, SUCCESS, ""
+
+        src_world = (world_src if world_src is not None
+                     else self.group.world_rank(src_comm_rank))
+        self.rt.mailbox.post_recv(req, src_world, tag,
+                                  self.ctx_coll if ctx is None else ctx,
+                                  land)
+        req.wait()
+        return pickle.loads(bytes(box["env"].payload))
+
+    def obj_bcast(self, obj, root: int):
+        """Linear object broadcast used for communicator construction."""
+        if self.my_rank == root:
+            for r in range(self.size):
+                if r != root:
+                    self.obj_send(obj, r, TAG_CTX_AGREE)
+            return obj
+        return self.obj_recv(root, TAG_CTX_AGREE)
+
+    def obj_gather(self, obj, root: int):
+        if self.my_rank == root:
+            out = [None] * self.size
+            out[root] = obj
+            for r in range(self.size):
+                if r != root:
+                    out[r] = self.obj_recv(r, TAG_OBJ_COLL)
+            return out
+        self.obj_send(obj, root, TAG_OBJ_COLL)
+        return None
+
+    def obj_scatter(self, objs, root: int):
+        if self.my_rank == root:
+            if len(objs) != self.size:
+                raise MPIException(ERR_ARG,
+                                   f"scatter list of {len(objs)} for comm "
+                                   f"size {self.size}")
+            for r in range(self.size):
+                if r != root:
+                    self.obj_send(objs[r], r, TAG_OBJ_COLL)
+            return objs[root]
+        return self.obj_recv(root, TAG_OBJ_COLL)
+
+    # ======================================================================
+    # communicator management (collective)
+    # ======================================================================
+    def _new_comm(self, group: GroupImpl, ctxs: tuple[int, int],
+                  name: str, remote_group=None, topology=None) \
+            -> Optional["CommImpl"]:
+        if not group.contains_world(self.rt.world_rank):
+            return None
+        return CommImpl(self.rt, group, ctxs[0], ctxs[1], name=name,
+                        remote_group=remote_group, topology=topology)
+
+    def _agree_contexts(self, n_pairs: int = 1) -> list[tuple[int, int]]:
+        """Leader allocates ``n_pairs`` context pairs, broadcasts to all."""
+        self._check_alive()
+        if self.my_rank == 0:
+            pairs = [self.universe.alloc_context_pair()
+                     for _ in range(n_pairs)]
+        else:
+            pairs = None
+        return self.obj_bcast(pairs, root=0)
+
+    def dup(self) -> "CommImpl":
+        """``MPI_Comm_dup`` — same group, fresh contexts, copied attrs."""
+        self._check_alive()
+        (ctxs,) = self._agree_contexts()
+        out = CommImpl(self.rt, self.group, ctxs[0], ctxs[1],
+                       name=f"{self.name}+dup",
+                       remote_group=self.remote_group,
+                       topology=self.topology)
+        for keyval, value in list(self.attributes.items()):
+            entry = KEYVALS.get(keyval)
+            if entry is None:
+                continue
+            copy_fn, _, extra = entry
+            if copy_fn is None:
+                continue
+            flag, newvalue = copy_fn(self, keyval, extra, value)
+            if flag:
+                out.attributes[keyval] = newvalue
+        return out
+
+    def create(self, newgroup: GroupImpl) -> Optional["CommImpl"]:
+        """``MPI_Comm_create`` — collective over *this* communicator."""
+        self._require_intra("Comm.Create")
+        (ctxs,) = self._agree_contexts()
+        return self._new_comm(newgroup, ctxs,
+                              name=f"{self.name}+create")
+
+    def split(self, color: int, key: int) -> Optional["CommImpl"]:
+        """``MPI_Comm_split`` — collective partition by color/key."""
+        self._require_intra("Comm.Split")
+        self._check_alive()
+        mine = (color, key, self.my_rank)
+        entries = self.obj_gather(mine, root=0)
+        if self.my_rank == 0:
+            plans: list = [None] * self.size
+            colors = sorted({c for c, _, _ in entries
+                             if c != UNDEFINED})
+            for c in colors:
+                members = sorted(((k, r) for cc, k, r in entries if cc == c))
+                ranks = [r for _, r in members]
+                ctxs = self.universe.alloc_context_pair()
+                world = [self.group.world_rank(r) for r in ranks]
+                for r in ranks:
+                    plans[r] = (ctxs, world)
+            plan = self.obj_scatter(plans, root=0)
+        else:
+            plan = self.obj_scatter(None, root=0)
+        if plan is None:
+            return None
+        ctxs, world_ranks = plan
+        return self._new_comm(GroupImpl(world_ranks), ctxs,
+                              name=f"{self.name}+split")
+
+    def free(self) -> None:
+        """``MPI_Comm_free`` (has observable side effects, hence explicit,
+        as the paper notes in §2.1)."""
+        self._check_alive()
+        if self.permanent:
+            raise MPIException(ERR_COMM, f"cannot free {self.name}")
+        for keyval in list(self.attributes):
+            self._run_delete_callback(keyval)
+        self.freed = True
+
+    # -- attribute caching -------------------------------------------------------
+    def attr_put(self, keyval: int, value) -> None:
+        self._check_alive()
+        if KEYVALS.get(keyval) is None:
+            raise MPIException(ERR_ARG, f"unknown keyval {keyval}")
+        self._run_delete_callback(keyval)
+        self.attributes[keyval] = value
+
+    def attr_get(self, keyval: int):
+        self._check_alive()
+        return self.attributes.get(keyval)
+
+    def attr_delete(self, keyval: int) -> None:
+        self._check_alive()
+        if keyval not in self.attributes:
+            return
+        self._run_delete_callback(keyval)
+        del self.attributes[keyval]
+
+    def _run_delete_callback(self, keyval: int) -> None:
+        if keyval not in self.attributes:
+            return
+        entry = KEYVALS.get(keyval)
+        if entry is None:
+            return
+        _, delete_fn, extra = entry
+        if delete_fn is not None:
+            delete_fn(self, keyval, self.attributes[keyval], extra)
+
+    # ======================================================================
+    # virtual topologies (collective constructors)
+    # ======================================================================
+    def cart_create(self, dims, periods, reorder: bool) \
+            -> Optional["CommImpl"]:
+        self._require_intra("Cartcomm creation")
+        topo = CartTopology(dims, periods)
+        if topo.size > self.size:
+            raise MPIException(ERR_ARG,
+                               f"cartesian grid of {topo.size} exceeds "
+                               f"communicator size {self.size}")
+        (ctxs,) = self._agree_contexts()
+        # reorder is advisory; we keep the identity mapping (standard-legal)
+        newgroup = self.group.incl(range(topo.size))
+        return self._new_comm(newgroup, ctxs, name=f"{self.name}+cart",
+                              topology=topo)
+
+    def graph_create(self, index, edges, reorder: bool) \
+            -> Optional["CommImpl"]:
+        self._require_intra("Graphcomm creation")
+        topo = GraphTopology(index, edges)
+        if topo.nnodes > self.size:
+            raise MPIException(ERR_ARG,
+                               f"graph of {topo.nnodes} nodes exceeds "
+                               f"communicator size {self.size}")
+        (ctxs,) = self._agree_contexts()
+        newgroup = self.group.incl(range(topo.nnodes))
+        return self._new_comm(newgroup, ctxs, name=f"{self.name}+graph",
+                              topology=topo)
+
+    def cart_sub(self, remain_dims) -> Optional["CommImpl"]:
+        topo = self._require_cart()
+        color, key, kept_dims, kept_periods = topo.sub_keep(
+            remain_dims, self.my_rank)
+        sub = self.split(color, key)
+        if sub is not None:
+            if kept_dims:
+                sub.topology = CartTopology(kept_dims, kept_periods)
+            else:
+                # zero remaining dimensions: single-process cartesian comm
+                sub.topology = CartTopology([1], [False])
+            sub.name = f"{self.name}+cartsub"
+        return sub
+
+    def _require_cart(self) -> CartTopology:
+        if not isinstance(self.topology, CartTopology):
+            raise MPIException(ERR_OTHER,
+                               f"{self.name} has no cartesian topology")
+        return self.topology
+
+    def _require_graph(self) -> GraphTopology:
+        if not isinstance(self.topology, GraphTopology):
+            raise MPIException(ERR_OTHER,
+                               f"{self.name} has no graph topology")
+        return self.topology
+
+    def topo_test(self) -> int:
+        if isinstance(self.topology, CartTopology):
+            return CART
+        if isinstance(self.topology, GraphTopology):
+            return GRAPH
+        return UNDEFINED
+
+    # ======================================================================
+    # intercommunicators
+    # ======================================================================
+    def create_intercomm(self, local_leader: int, peer_comm: "CommImpl",
+                         remote_leader: int, tag: int) \
+            -> "CommImpl":
+        """``MPI_Intercomm_create`` — collective over the local comm."""
+        self._require_intra("Intercomm_create source")
+        self._check_alive()
+        i_am_leader = self.my_rank == local_leader
+        if i_am_leader:
+            my_leader_world = peer_comm.group.world_rank(peer_comm.my_rank)
+            remote_leader_world = peer_comm.group.world_rank(remote_leader)
+            propose = (self.universe.alloc_context_pair()
+                       if my_leader_world < remote_leader_world else None)
+            peer_comm.obj_send((list(self.group.ranks), propose),
+                               remote_leader, tag)
+            remote_ranks, their_propose = peer_comm.obj_recv(remote_leader,
+                                                             tag)
+            ctxs = propose if propose is not None else their_propose
+            payload = (remote_ranks, ctxs)
+        else:
+            payload = None
+        remote_ranks, ctxs = self.obj_bcast(payload, root=local_leader)
+        return CommImpl(self.rt, self.group, ctxs[0], ctxs[1],
+                        name=f"{self.name}+inter",
+                        remote_group=GroupImpl(remote_ranks))
+
+    def merge(self, high: bool) -> "CommImpl":
+        """``MPI_Intercomm_merge`` — collective over the intercommunicator."""
+        self._require_inter()
+        self._check_alive()
+        if self.my_rank == 0:
+            my_leader_world = self.group.world_rank(0)
+            remote_leader_world = self.remote_group.world_rank(0)
+            i_allocate = my_leader_world < remote_leader_world
+            propose = self.universe.alloc_context_pair() if i_allocate \
+                else None
+            self.obj_send((bool(high), propose), 0, TAG_INTERCOMM_HANDSHAKE,
+                          world_dest=remote_leader_world)
+            their_high, their_propose = self.obj_recv(
+                0, TAG_INTERCOMM_HANDSHAKE, world_src=remote_leader_world)
+            ctxs = propose if propose is not None else their_propose
+            if bool(high) == bool(their_high):
+                # tie: order by leader world rank, per common practice
+                mine_first = my_leader_world < remote_leader_world
+            else:
+                mine_first = not high
+            payload = (ctxs, mine_first)
+        else:
+            payload = None
+        # broadcast within the *local* group of the intercommunicator
+        payload = self._local_obj_bcast(payload, root=0)
+        ctxs, mine_first = payload
+        if mine_first:
+            ranks = list(self.group.ranks) + list(self.remote_group.ranks)
+        else:
+            ranks = list(self.remote_group.ranks) + list(self.group.ranks)
+        return CommImpl(self.rt, GroupImpl(ranks), ctxs[0], ctxs[1],
+                        name=f"{self.name}+merged")
+
+    def _local_obj_bcast(self, obj, root: int):
+        """Object bcast over the local group of an intercommunicator."""
+        if self.my_rank == root:
+            for r in range(self.size):
+                if r != root:
+                    self.obj_send(obj, r, TAG_CTX_AGREE,
+                                  world_dest=self.group.world_rank(r))
+            return obj
+        return self.obj_recv(root, TAG_CTX_AGREE,
+                             world_src=self.group.world_rank(root))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "inter" if self.is_inter else "intra"
+        return (f"CommImpl({self.name}, {kind}, size={self.size}, "
+                f"rank={self.my_rank}, ctx={self.ctx_pt2pt})")
+
+
+def _primitive_of(datatype: DatatypeImpl) -> DatatypeImpl:
+    """The predefined basic type matching a datatype's base."""
+    from repro.datatypes import primitives
+    for t in primitives.BASIC_TYPES:
+        if t.base is datatype.base:
+            return t
+    # fall back on dtype equality (covers user-constructed bases)
+    for t in primitives.BASIC_TYPES:
+        if t.base.np_dtype == datatype.base.np_dtype:
+            return t
+    raise MPIException(ERR_INTERN,
+                       f"no primitive for base {datatype.base.name}")

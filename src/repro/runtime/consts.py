@@ -1,0 +1,22 @@
+"""Runtime-level wildcard and sentinel constants (mirrored by ``MPI.*``)."""
+
+ANY_SOURCE = -2
+ANY_TAG = -1
+PROC_NULL = -3
+UNDEFINED = -32766
+
+#: result values of Comm/Group compare
+IDENT = 0
+CONGRUENT = 1
+SIMILAR = 2
+UNEQUAL = 3
+
+#: topology status (MPI_Topo_test)
+GRAPH = 1
+CART = 2
+
+#: bytes of bookkeeping per buffered-mode message (MPI_BSEND_OVERHEAD)
+BSEND_OVERHEAD = 32
+
+#: upper bound on tag values (predefined attribute TAG_UB)
+TAG_UB = 2 ** 30

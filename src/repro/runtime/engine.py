@@ -1,0 +1,189 @@
+"""Job-level engine: the :class:`Universe` and per-rank runtimes.
+
+A :class:`Universe` is one MPI job: ``nprocs`` ranks, one transport, the
+mailbox per rank, the context-id allocator, the ``Wtime`` clock and the
+abort machinery.  A :class:`RankRuntime` is one rank's view of the job —
+the executor binds one to each SPMD thread, and the JNI stub layer resolves
+the current thread's runtime through :func:`current_runtime`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Optional
+
+from repro.errors import AbortException, MPIException, ERR_INTERN, ERR_OTHER
+from repro.runtime.bsend_pool import BsendPool
+from repro.runtime.envelope import Envelope, KIND_ABORT
+from repro.runtime.groups import GroupImpl
+from repro.runtime.mailbox import Mailbox
+from repro.transport import make_transport
+from repro.transport.base import Transport
+from repro.util.clock import Clock, WallClock
+
+#: context ids 0..3 are reserved: COMM_WORLD (pt2pt, coll), COMM_SELF ditto
+CTX_WORLD_PT2PT = 0
+CTX_WORLD_COLL = 1
+CTX_SELF_PT2PT = 2
+CTX_SELF_COLL = 3
+_FIRST_DYNAMIC_CTX = 4
+
+_tls = threading.local()
+
+
+def current_runtime() -> "RankRuntime":
+    """The rank runtime bound to the calling thread (raises if unbound)."""
+    rt = getattr(_tls, "runtime", None)
+    if rt is None:
+        raise MPIException(ERR_OTHER,
+                           "no MPI rank is bound to this thread; run under "
+                           "repro.mpirun(...) or call MPI.Init first")
+    return rt
+
+
+def bind_thread(rt: "RankRuntime") -> None:
+    _tls.runtime = rt
+
+
+def unbind_thread() -> None:
+    _tls.runtime = None
+
+
+def try_current_runtime() -> Optional["RankRuntime"]:
+    return getattr(_tls, "runtime", None)
+
+
+class Universe:
+    """One MPI job: shared state for all of its ranks."""
+
+    def __init__(self, nprocs: int, transport: Transport | str = "inproc",
+                 clock: Clock | None = None, cost_model=None):
+        if nprocs < 1:
+            raise MPIException(ERR_OTHER, f"nprocs must be >= 1, "
+                                          f"got {nprocs}")
+        self.nprocs = int(nprocs)
+        if isinstance(transport, str):
+            transport = make_transport(transport, self.nprocs)
+        if transport.nprocs != self.nprocs:
+            raise MPIException(ERR_INTERN,
+                               "transport sized for a different job")
+        self.transport = transport
+        self.clock: Clock = clock or WallClock()
+        #: optional NetworkModel; the OO layer charges wrapper costs to it
+        self.cost_model = cost_model
+        self.world_group = GroupImpl(range(self.nprocs))
+        self.mailboxes = [Mailbox(r, self) for r in range(self.nprocs)]
+        for r, mb in enumerate(self.mailboxes):
+            transport.set_deliver(r, mb.deliver)
+        transport.start()
+        self._ctx_lock = threading.Lock()
+        self._next_ctx = itertools.count(_FIRST_DYNAMIC_CTX)
+        self._abort: AbortException | None = None
+        self._closed = False
+
+    # -- context ids --------------------------------------------------------
+    def alloc_context_pair(self) -> tuple[int, int]:
+        """Fresh (pt2pt, collective) context ids.
+
+        Called by a single leader rank during communicator construction; the
+        leader distributes the pair collectively so every member agrees.
+        """
+        with self._ctx_lock:
+            return next(self._next_ctx), next(self._next_ctx)
+
+    # -- abort ---------------------------------------------------------------
+    def abort(self, origin_rank: int, errorcode: int = 1) -> None:
+        """``MPI_Abort``: poison the job and wake every blocked rank."""
+        if self._abort is None:
+            self._abort = AbortException(errorcode, origin_rank)
+        try:
+            self.transport.broadcast_control(
+                Envelope(kind=KIND_ABORT, src=origin_rank))
+        except Exception:
+            pass  # teardown is best-effort once the job is poisoned
+        raise self._abort
+
+    def check_abort(self) -> None:
+        if self._abort is not None:
+            raise self._abort
+
+    def note_abort_delivery(self) -> None:
+        """Mailbox hook; the abort flag is already visible (shared memory)."""
+
+    @property
+    def aborted(self) -> bool:
+        return self._abort is not None
+
+    # -- cost-model hooks (modeled benchmark mode) -----------------------------
+    def charge_wrapper(self, nbytes: int) -> None:
+        """Charge the OO-binding per-call overhead to a virtual clock."""
+        if self.cost_model is not None:
+            self.clock.advance(self.cost_model.wrapper_call_time(nbytes))
+
+    # -- lifecycle ---------------------------------------------------------------
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self.transport.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+class RankRuntime:
+    """One rank's runtime state (bound to exactly one thread at a time)."""
+
+    def __init__(self, universe: Universe, world_rank: int):
+        from repro.runtime.communicator import CommImpl  # cycle-free import
+        self.universe = universe
+        self.world_rank = int(world_rank)
+        self.mailbox = universe.mailboxes[self.world_rank]
+        self._seq = itertools.count(1)
+        self.bsend_pool = BsendPool(universe)
+        self.initialized = False
+        self.finalized = False
+        self.attached_buffer_hint = 0
+        self.comm_world = CommImpl(
+            self, universe.world_group,
+            ctx_pt2pt=CTX_WORLD_PT2PT, ctx_coll=CTX_WORLD_COLL,
+            name="MPI.COMM_WORLD")
+        self.comm_self = CommImpl(
+            self, GroupImpl([self.world_rank]),
+            ctx_pt2pt=CTX_SELF_PT2PT, ctx_coll=CTX_SELF_COLL,
+            name="MPI.COMM_SELF")
+        # the predefined communicators cannot be freed (MPI 1.1 §5.4.3)
+        self.comm_world.permanent = True
+        self.comm_self.permanent = True
+
+    def next_seq(self) -> int:
+        return next(self._seq)
+
+    # -- environment (MPI 1.1 chapter 7) ------------------------------------
+    def wtime(self) -> float:
+        return self.universe.clock.now()
+
+    def wtick(self) -> float:
+        return self.universe.clock.tick()
+
+    def processor_name(self) -> str:
+        import socket as _socket
+        return f"{_socket.gethostname()}/rank{self.world_rank}"
+
+    def init(self) -> None:
+        if self.initialized:
+            raise MPIException(ERR_OTHER, "MPI.Init called twice")
+        self.initialized = True
+
+    def finalize(self) -> None:
+        if not self.initialized:
+            raise MPIException(ERR_OTHER, "MPI.Finalize before Init")
+        if self.finalized:
+            raise MPIException(ERR_OTHER, "MPI.Finalize called twice")
+        # the standard requires Finalize to behave like a barrier
+        from repro.runtime.collective import barrier
+        barrier.barrier(self.comm_world)
+        self.finalized = True

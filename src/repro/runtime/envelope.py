@@ -1,0 +1,135 @@
+"""In-flight message records and the wire encoding shared by transports.
+
+An :class:`Envelope` is what travels between ranks: matching keys
+(source, destination, context id, tag), a communication-mode flag, and a
+*dense* payload — either a contiguous NumPy array of base elements (derived
+datatypes are gathered/scattered at the endpoints) or a serialized-object
+blob for ``MPI.OBJECT`` traffic.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+# --- message kinds -----------------------------------------------------------
+KIND_DATA = 0
+KIND_ACK = 1      # synchronous-mode acknowledgement
+KIND_ABORT = 2    # job teardown broadcast
+
+# --- communication modes (MPI 1.1 §3.4) --------------------------------------
+MODE_STANDARD = 0
+MODE_BUFFERED = 1
+MODE_SYNCHRONOUS = 2
+MODE_READY = 3
+
+MODE_NAMES = {MODE_STANDARD: "standard", MODE_BUFFERED: "buffered",
+              MODE_SYNCHRONOUS: "synchronous", MODE_READY: "ready"}
+
+# --- payload dtype codes for the socket wire format ---------------------------
+DTYPE_CODES = {
+    "i1": np.dtype(np.int8), "u1": np.dtype(np.uint8),
+    "u2": np.dtype(np.uint16), "i2": np.dtype(np.int16),
+    "b1": np.dtype(np.bool_), "i4": np.dtype(np.int32),
+    "i8": np.dtype(np.int64), "f4": np.dtype(np.float32),
+    "f8": np.dtype(np.float64),
+}
+_CODE_BY_DTYPE = {v: k for k, v in DTYPE_CODES.items()}
+OBJECT_CODE = "ob"
+
+
+def dtype_code_of(payload) -> str:
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return OBJECT_CODE
+    return _CODE_BY_DTYPE[payload.dtype]
+
+
+class Envelope:
+    """One message in flight (or one control record)."""
+
+    __slots__ = ("kind", "src", "dst", "context", "tag", "mode", "seq",
+                 "payload", "nelems", "is_object", "on_matched",
+                 "transport_notify")
+
+    def __init__(self, kind=KIND_DATA, src=0, dst=0, context=0, tag=0,
+                 mode=MODE_STANDARD, seq=0, payload=None, nelems=0,
+                 is_object=False):
+        self.kind = kind
+        self.src = src
+        self.dst = dst
+        self.context = context
+        self.tag = tag
+        self.mode = mode
+        self.seq = seq
+        self.payload = payload
+        self.nelems = nelems
+        self.is_object = is_object
+        #: in-process path: sender-side callback fired when matched
+        #: (completes a synchronous-mode send request directly)
+        self.on_matched = None
+        #: wire path: transport hook that routes a matched ACK back
+        self.transport_notify = None
+
+    def notify_matched(self) -> None:
+        """Signal the sender that a synchronous send has been matched."""
+        if self.on_matched is not None:
+            self.on_matched()
+        if self.transport_notify is not None:
+            self.transport_notify(self)
+
+    def payload_nbytes(self) -> int:
+        if self.payload is None:
+            return 0
+        if isinstance(self.payload, (bytes, bytearray, memoryview)):
+            return len(self.payload)
+        return self.payload.nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Envelope(kind={self.kind}, {self.src}->{self.dst}, "
+                f"ctx={self.context}, tag={self.tag}, "
+                f"mode={MODE_NAMES.get(self.mode)}, n={self.nelems})")
+
+
+# --- socket wire format --------------------------------------------------------
+#: kind, src, dst, context, tag, mode, seq, nelems, flags, dtype code, nbytes
+HEADER = struct.Struct("!BiiiiBQQB2sQ")
+FLAG_OBJECT = 1
+
+HEADER_SIZE = HEADER.size
+
+
+def encode(env: Envelope) -> tuple[bytes, bytes]:
+    """Encode an envelope into (header, payload-bytes) for a byte stream."""
+    if env.payload is None:
+        body = b""
+        code = b"--"
+    elif env.is_object:
+        body = bytes(env.payload)
+        code = OBJECT_CODE.encode()
+    else:
+        body = env.payload.tobytes()
+        code = dtype_code_of(env.payload).encode()
+    flags = FLAG_OBJECT if env.is_object else 0
+    header = HEADER.pack(env.kind, env.src, env.dst, env.context, env.tag,
+                         env.mode, env.seq, env.nelems, flags, code,
+                         len(body))
+    return header, body
+
+
+def decode(header: bytes, body: bytes) -> Envelope:
+    """Inverse of :func:`encode`."""
+    (kind, src, dst, context, tag, mode, seq, nelems, flags, code,
+     nbytes) = HEADER.unpack(header)
+    is_object = bool(flags & FLAG_OBJECT)
+    if nbytes == 0:
+        payload = b"" if is_object else None
+    elif is_object:
+        payload = body
+    else:
+        dtype = DTYPE_CODES[code.decode()]
+        payload = np.frombuffer(body, dtype=dtype)
+    env = Envelope(kind=kind, src=src, dst=dst, context=context, tag=tag,
+                   mode=mode, seq=seq, payload=payload, nelems=nelems,
+                   is_object=is_object)
+    return env

@@ -1,0 +1,124 @@
+"""Process-group algebra (MPI 1.1 §5.3).
+
+A group is an ordered set of distinct *world* ranks.  All the set-like
+operations follow the standard's ordering rules: ``union`` keeps the first
+group's order then appends new members in second-group order;
+``intersection`` and ``difference`` keep the first group's order.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MPIException, ERR_ARG, ERR_RANK
+from repro.runtime.consts import IDENT, SIMILAR, UNDEFINED, UNEQUAL
+
+
+class GroupImpl:
+    """Immutable ordered set of world ranks."""
+
+    __slots__ = ("ranks", "_index")
+
+    def __init__(self, ranks):
+        ranks = tuple(int(r) for r in ranks)
+        if len(set(ranks)) != len(ranks):
+            raise MPIException(ERR_RANK, f"duplicate ranks in group: {ranks}")
+        self.ranks = ranks
+        self._index = {w: i for i, w in enumerate(ranks)}
+
+    # -- inquiry -----------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    def rank_of_world(self, world_rank: int) -> int:
+        """Group rank of a world rank, or UNDEFINED if not a member."""
+        return self._index.get(world_rank, UNDEFINED)
+
+    def world_rank(self, group_rank: int) -> int:
+        if not 0 <= group_rank < self.size:
+            raise MPIException(ERR_RANK,
+                               f"rank {group_rank} out of range for group "
+                               f"of size {self.size}")
+        return self.ranks[group_rank]
+
+    def contains_world(self, world_rank: int) -> bool:
+        return world_rank in self._index
+
+    # -- comparison ----------------------------------------------------------
+    def compare(self, other: "GroupImpl") -> int:
+        if self.ranks == other.ranks:
+            return IDENT
+        if set(self.ranks) == set(other.ranks):
+            return SIMILAR
+        return UNEQUAL
+
+    # -- set operations ----------------------------------------------------------
+    def union(self, other: "GroupImpl") -> "GroupImpl":
+        extra = [r for r in other.ranks if r not in self._index]
+        return GroupImpl(self.ranks + tuple(extra))
+
+    def intersection(self, other: "GroupImpl") -> "GroupImpl":
+        return GroupImpl(r for r in self.ranks if other.contains_world(r))
+
+    def difference(self, other: "GroupImpl") -> "GroupImpl":
+        return GroupImpl(r for r in self.ranks
+                         if not other.contains_world(r))
+
+    # -- subsetting -----------------------------------------------------------
+    def incl(self, group_ranks) -> "GroupImpl":
+        return GroupImpl(self.world_rank(r) for r in group_ranks)
+
+    def excl(self, group_ranks) -> "GroupImpl":
+        drop = set(int(r) for r in group_ranks)
+        for r in drop:
+            if not 0 <= r < self.size:
+                raise MPIException(ERR_RANK,
+                                   f"excl rank {r} out of range")
+        return GroupImpl(w for i, w in enumerate(self.ranks)
+                         if i not in drop)
+
+    @staticmethod
+    def _expand_ranges(ranges, size: int) -> list[int]:
+        out: list[int] = []
+        for triple in ranges:
+            if len(triple) != 3:
+                raise MPIException(ERR_ARG,
+                                   f"range triple expected, got {triple!r}")
+            first, last, stride = (int(x) for x in triple)
+            if stride == 0:
+                raise MPIException(ERR_ARG, "zero stride in range")
+            r = first
+            if stride > 0:
+                while r <= last:
+                    out.append(r)
+                    r += stride
+            else:
+                while r >= last:
+                    out.append(r)
+                    r += stride
+        for r in out:
+            if not 0 <= r < size:
+                raise MPIException(ERR_RANK,
+                                   f"range rank {r} out of range for group "
+                                   f"of size {size}")
+        return out
+
+    def range_incl(self, ranges) -> "GroupImpl":
+        return self.incl(self._expand_ranges(ranges, self.size))
+
+    def range_excl(self, ranges) -> "GroupImpl":
+        return self.excl(self._expand_ranges(ranges, self.size))
+
+    # -- rank translation --------------------------------------------------------
+    def translate_ranks(self, ranks, other: "GroupImpl") -> list[int]:
+        """``MPI_Group_translate_ranks``: my ranks -> other's ranks."""
+        out = []
+        for r in ranks:
+            w = self.world_rank(int(r))
+            out.append(other.rank_of_world(w))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GroupImpl({list(self.ranks)})"
+
+
+EMPTY_GROUP = GroupImpl(())

@@ -1,0 +1,184 @@
+"""Per-rank mailbox: MPI matching semantics.
+
+Each rank owns one mailbox.  Transports push envelopes into
+:meth:`Mailbox.deliver`; receives are posted with :meth:`Mailbox.post_recv`.
+The two queues implement the standard's matching rules:
+
+* a message matches a posted receive when contexts are equal, tags are equal
+  or the receive posted ``ANY_TAG``, and sources are equal or the receive
+  posted ``ANY_SOURCE``;
+* arrivals scan posted receives in *post order*; receives scan the
+  unexpected queue in *arrival order* — together with FIFO transports this
+  yields MPI's non-overtaking guarantee;
+* matching a synchronous-mode envelope fires its ``notify_matched`` hook
+  (``Ssend`` completes no earlier than the matching receive starts).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Optional
+
+from repro.errors import AbortException
+from repro.runtime.consts import ANY_SOURCE, ANY_TAG
+from repro.runtime.envelope import (Envelope, KIND_ABORT, KIND_ACK,
+                                    KIND_DATA, MODE_READY)
+from repro.runtime.requests import RequestImpl
+
+#: land callback: consume the envelope into the user buffer; returns
+#: (count_elements, error_code, error_message)
+LandFn = Callable[[Envelope], tuple[int, int, str]]
+
+
+class PostedRecv:
+    """A receive waiting in the posted queue."""
+
+    __slots__ = ("req", "source_world", "tag", "context", "land")
+
+    def __init__(self, req: RequestImpl, source_world: int, tag: int,
+                 context: int, land: LandFn):
+        self.req = req
+        self.source_world = source_world
+        self.tag = tag
+        self.context = context
+        self.land = land
+
+    def matches(self, env: Envelope) -> bool:
+        if env.context != self.context:
+            return False
+        if self.tag != ANY_TAG and env.tag != self.tag:
+            return False
+        if self.source_world != ANY_SOURCE and env.src != self.source_world:
+            return False
+        return True
+
+
+class Mailbox:
+    """Matching queues plus sync-ACK routing for one rank."""
+
+    def __init__(self, rank: int, universe):
+        self.rank = rank
+        self.universe = universe
+        self._lock = threading.Lock()
+        self._arrival = threading.Condition(self._lock)
+        self._unexpected: deque[Envelope] = deque()
+        self._posted: list[PostedRecv] = []
+        #: seq -> callback, for synchronous sends over wire transports
+        self._pending_acks: dict[int, Callable[[], None]] = {}
+        self.ready_mode_errors: list[Envelope] = []
+
+    # -- intake (transport callback; runs in sender / pump threads) ----------
+    def deliver(self, env: Envelope) -> None:
+        if env.kind == KIND_ACK:
+            self._route_ack(env)
+            return
+        if env.kind == KIND_ABORT:
+            self.universe.note_abort_delivery()
+            with self._arrival:
+                self._arrival.notify_all()
+            return
+        assert env.kind == KIND_DATA
+        with self._lock:
+            posted = self._match_posted(env)
+            if posted is None:
+                if env.mode == MODE_READY:
+                    # erroneous program per MPI 1.1: ready send with no
+                    # posted receive; record it for diagnosis and still
+                    # deliver (the standard leaves behaviour undefined)
+                    self.ready_mode_errors.append(env)
+                self._unexpected.append(env)
+                self._arrival.notify_all()
+                return
+        self._consume(posted, env)
+
+    def _route_ack(self, env: Envelope) -> None:
+        with self._lock:
+            fn = self._pending_acks.pop(env.seq, None)
+        if fn is not None:
+            fn()
+
+    def register_ack(self, seq: int, fn: Callable[[], None]) -> None:
+        with self._lock:
+            self._pending_acks[seq] = fn
+
+    def _match_posted(self, env: Envelope) -> Optional[PostedRecv]:
+        for i, p in enumerate(self._posted):
+            if p.matches(env):
+                del self._posted[i]
+                return p
+        return None
+
+    # -- receives --------------------------------------------------------------
+    def post_recv(self, req: RequestImpl, source_world: int, tag: int,
+                  context: int, land: LandFn) -> None:
+        posted = PostedRecv(req, source_world, tag, context, land)
+        with self._lock:
+            env = self._match_unexpected(posted)
+            if env is None:
+                self._posted.append(posted)
+                return
+        self._consume(posted, env)
+
+    def _match_unexpected(self, posted: PostedRecv) -> Optional[Envelope]:
+        for i, env in enumerate(self._unexpected):
+            if posted.matches(env):
+                del self._unexpected[i]
+                return env
+        return None
+
+    def _consume(self, posted: PostedRecv, env: Envelope) -> None:
+        """Land a matched envelope and complete the receive request."""
+        count, error, message = posted.land(env)
+        env.notify_matched()
+        posted.req.complete(source_world=env.src, tag=env.tag,
+                            count_elements=count, error=error,
+                            error_message=message)
+
+    def cancel_recv(self, req: RequestImpl) -> bool:
+        """Remove a posted receive; True if it was still pending."""
+        with self._lock:
+            for i, p in enumerate(self._posted):
+                if p.req is req:
+                    del self._posted[i]
+                    break
+            else:
+                return False
+        req.complete_cancelled()
+        return True
+
+    # -- probe -------------------------------------------------------------------
+    def iprobe(self, source_world: int, tag: int,
+               context: int) -> Optional[Envelope]:
+        """Non-consuming match against the unexpected queue."""
+        probe = PostedRecv(None, source_world, tag, context, None)
+        with self._lock:
+            for env in self._unexpected:
+                if probe.matches(env):
+                    return env
+        return None
+
+    def probe(self, source_world: int, tag: int, context: int,
+              abort_poll: float = 0.05) -> Envelope:
+        """Blocking probe: wait for a matching arrival, do not consume it."""
+        probe = PostedRecv(None, source_world, tag, context, None)
+        with self._arrival:
+            while True:
+                self.universe.check_abort()
+                for env in self._unexpected:
+                    if probe.matches(env):
+                        return env
+                self._arrival.wait(timeout=abort_poll)
+
+    # -- introspection -------------------------------------------------------------
+    def has_posted_match(self, env: Envelope) -> bool:
+        """Would ``env`` match a posted receive right now? (ready mode)."""
+        with self._lock:
+            for p in self._posted:
+                if p.matches(env):
+                    return True
+        return False
+
+    def pending_counts(self) -> tuple[int, int]:
+        with self._lock:
+            return len(self._unexpected), len(self._posted)

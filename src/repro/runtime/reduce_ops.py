@@ -1,0 +1,169 @@
+"""Reduction operations (MPI 1.1 §4.9).
+
+Predefined operations are vectorized NumPy kernels; ``MINLOC``/``MAXLOC``
+operate on the mpiJava pair types (interleaved value/index arrays); user
+operations (``Op.Create``) receive mpiJava-style ``(invec, inoutvec, count,
+datatype)`` callbacks.
+
+For ``MPI.OBJECT`` buffers the arithmetic/logical predefined operations fall
+back to Python semantics elementwise (``SUM`` is ``+`` and so on) — a small
+extension in the spirit of the paper's serialization proposal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MPIException, ERR_OP, ERR_TYPE
+from repro.datatypes.base import DatatypeImpl
+
+
+class OpImpl:
+    """One reduction operation.
+
+    ``fn(invec, inoutvec, datatype)`` combines dense base-element arrays,
+    accumulating into ``inoutvec`` (``inoutvec = invec OP inoutvec`` with
+    MPI's convention that ``invec`` holds the lower-ranked contribution).
+    """
+
+    def __init__(self, name: str, fn, commute: bool, predefined: bool = True,
+                 pyfn=None, pair_only: bool = False, numeric_only: bool = True):
+        self.name = name
+        self.fn = fn
+        self.commute = bool(commute)
+        self.predefined = predefined
+        #: Python-object fallback for MPI.OBJECT payloads
+        self.pyfn = pyfn
+        #: MINLOC/MAXLOC accept only pair datatypes
+        self.pair_only = pair_only
+        self.numeric_only = numeric_only
+        self.freed = False
+
+    def check_usable(self, datatype: DatatypeImpl) -> None:
+        if self.freed:
+            raise MPIException(ERR_OP, f"operation {self.name} was freed")
+        if self.pair_only and not datatype.is_pair:
+            raise MPIException(
+                ERR_OP,
+                f"{self.name} requires a pair datatype (MPI.INT2 &c.), "
+                f"got {datatype.name}")
+        if (not self.pair_only and datatype.is_pair and self.predefined
+                and self.name not in ("MPI.SUM", "MPI.MAX", "MPI.MIN")):
+            # permissive: most ops are still meaningful elementwise on pairs
+            pass
+
+    def reduce_dense(self, invec, inoutvec, datatype: DatatypeImpl):
+        """Combine dense arrays in place (returns inoutvec)."""
+        self.check_usable(datatype)
+        self.fn(invec, inoutvec, datatype)
+        return inoutvec
+
+    def reduce_objects(self, inobjs: list, inoutobjs: list) -> list:
+        if self.pyfn is None:
+            raise MPIException(ERR_OP,
+                               f"{self.name} is not defined for MPI.OBJECT")
+        return [self.pyfn(a, b) for a, b in zip(inobjs, inoutobjs)]
+
+    def free(self) -> None:
+        if self.predefined:
+            raise MPIException(ERR_OP,
+                               f"cannot free predefined op {self.name}")
+        self.freed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OpImpl({self.name})"
+
+
+def _check_numeric(a, name):
+    if a.dtype == np.bool_ and name in ("MPI.SUM", "MPI.PROD"):
+        raise MPIException(ERR_TYPE,
+                           f"{name} is not defined for MPI.BOOLEAN")
+
+
+def _arith(name, ufunc):
+    def fn(invec, inoutvec, datatype):
+        _check_numeric(inoutvec, name)
+        ufunc(invec, inoutvec, out=inoutvec)
+    return fn
+
+
+def _logical(name, ufunc):
+    def fn(invec, inoutvec, datatype):
+        if inoutvec.dtype == np.bool_:
+            ufunc(invec, inoutvec, out=inoutvec)
+        else:
+            np.copyto(inoutvec,
+                      ufunc(invec != 0, inoutvec != 0)
+                      .astype(inoutvec.dtype))
+    return fn
+
+
+def _bitwise(name, ufunc):
+    def fn(invec, inoutvec, datatype):
+        if not np.issubdtype(inoutvec.dtype, np.integer) \
+                and inoutvec.dtype != np.bool_:
+            raise MPIException(ERR_TYPE,
+                               f"{name} requires an integer datatype, "
+                               f"got {inoutvec.dtype}")
+        ufunc(invec, inoutvec, out=inoutvec)
+    return fn
+
+
+def _loc(extremum: str):
+    """MINLOC/MAXLOC on interleaved (value, index) pair arrays.
+
+    Ties choose the smaller index, per the standard.
+    """
+    def fn(invec, inoutvec, datatype):
+        a_val, a_idx = invec[0::2], invec[1::2]
+        b_val, b_idx = inoutvec[0::2], inoutvec[1::2]
+        if extremum == "max":
+            take_a = (a_val > b_val) | ((a_val == b_val) & (a_idx < b_idx))
+        else:
+            take_a = (a_val < b_val) | ((a_val == b_val) & (a_idx < b_idx))
+        b_val[take_a] = a_val[take_a]
+        b_idx[take_a] = a_idx[take_a]
+    return fn
+
+
+MAX = OpImpl("MPI.MAX", _arith("MPI.MAX", np.maximum), True, pyfn=max)
+MIN = OpImpl("MPI.MIN", _arith("MPI.MIN", np.minimum), True, pyfn=min)
+SUM = OpImpl("MPI.SUM", _arith("MPI.SUM", np.add), True,
+             pyfn=lambda a, b: a + b)
+PROD = OpImpl("MPI.PROD", _arith("MPI.PROD", np.multiply), True,
+              pyfn=lambda a, b: a * b)
+LAND = OpImpl("MPI.LAND", _logical("MPI.LAND", np.logical_and), True,
+              pyfn=lambda a, b: bool(a) and bool(b))
+LOR = OpImpl("MPI.LOR", _logical("MPI.LOR", np.logical_or), True,
+             pyfn=lambda a, b: bool(a) or bool(b))
+LXOR = OpImpl("MPI.LXOR", _logical("MPI.LXOR", np.logical_xor), True,
+              pyfn=lambda a, b: bool(a) != bool(b))
+BAND = OpImpl("MPI.BAND", _bitwise("MPI.BAND", np.bitwise_and), True)
+BOR = OpImpl("MPI.BOR", _bitwise("MPI.BOR", np.bitwise_or), True)
+BXOR = OpImpl("MPI.BXOR", _bitwise("MPI.BXOR", np.bitwise_xor), True)
+MAXLOC = OpImpl("MPI.MAXLOC", _loc("max"), True, pair_only=True)
+MINLOC = OpImpl("MPI.MINLOC", _loc("min"), True, pair_only=True)
+
+PREDEFINED_OPS = (MAX, MIN, SUM, PROD, LAND, LOR, LXOR, BAND, BOR, BXOR,
+                  MAXLOC, MINLOC)
+
+
+def make_user_op(function, commute: bool) -> OpImpl:
+    """Wrap an mpiJava-style user function into an :class:`OpImpl`.
+
+    ``function(invec, inoutvec, count, datatype)`` must accumulate into
+    ``inoutvec`` in place; for ``MPI.OBJECT`` it receives lists and must
+    return the combined list.
+    """
+    def fn(invec, inoutvec, datatype):
+        function(invec, inoutvec, len(inoutvec) // max(1, datatype.size_elems),
+                 datatype)
+
+    def pyfn(a, b):
+        out = [b]
+        function([a], out, 1, None)
+        return out[0]
+
+    op = OpImpl(f"user({getattr(function, '__name__', 'op')})", fn,
+                commute, predefined=False, pyfn=pyfn, numeric_only=False)
+    return op

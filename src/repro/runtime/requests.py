@@ -1,0 +1,181 @@
+"""Request state machine for non-blocking and persistent communication.
+
+A :class:`RequestImpl` is the runtime object behind the OO layer's
+``Request``/``Prequest``.  Completion may happen in another thread (the
+matching happens in whichever thread delivers the envelope), so the state is
+lock-protected and completion fires registered listeners — that is what
+``Waitany``/``Waitsome`` build their "wake on first completion" on without
+polling.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+from repro.errors import (AbortException, MPIException, ERR_PENDING,
+                          ERR_REQUEST, SUCCESS)
+
+#: how often blocked waits re-check for job abort, seconds
+_ABORT_POLL = 0.05
+
+
+class RequestImpl:
+    """One outstanding communication operation."""
+
+    KIND_SEND = "send"
+    KIND_RECV = "recv"
+
+    def __init__(self, universe, kind: str):
+        self.universe = universe
+        self.kind = kind
+        self._lock = threading.Lock()
+        self._event = threading.Event()
+        self._listeners: list[Callable[[], None]] = []
+        self.done = False
+        self.cancelled = False
+        self.error = SUCCESS
+        self.error_message = ""
+        # status fields (world-rank source; the OO layer translates)
+        self.status_source_world = -1
+        self.status_tag = -1
+        self.count_elements = 0
+        # persistent-request machinery
+        self.persistent = False
+        self.active = True           # inactive persistent requests await Start
+        self._restart: Optional[Callable[[], None]] = None
+        self.persistent_inner: Optional["RequestImpl"] = None
+        # recv-side landing zone, set by the engine
+        self._recv_sink = None
+
+    # -- completion (called by mailbox / engine threads) ---------------------
+    def complete(self, source_world: int = -1, tag: int = -1,
+                 count_elements: int = 0, error: int = SUCCESS,
+                 error_message: str = "") -> None:
+        with self._lock:
+            if self.done:
+                return
+            self.done = True
+            self.status_source_world = source_world
+            self.status_tag = tag
+            self.count_elements = count_elements
+            self.error = error
+            self.error_message = error_message
+            listeners = list(self._listeners)
+            self._listeners.clear()
+        self._event.set()
+        for fn in listeners:
+            fn()
+
+    def complete_cancelled(self) -> None:
+        with self._lock:
+            if self.done:
+                return
+            self.cancelled = True
+        self.complete()
+
+    def add_listener(self, fn: Callable[[], None]) -> bool:
+        """Register a completion callback; fired immediately if done.
+
+        Returns True if the request was already complete.
+        """
+        with self._lock:
+            if not self.done:
+                self._listeners.append(fn)
+                return False
+        fn()
+        return True
+
+    # -- waiting --------------------------------------------------------------
+    def wait(self) -> None:
+        """Block until complete; raise on communication error or job abort."""
+        while not self._event.wait(timeout=_ABORT_POLL):
+            self.universe.check_abort()
+        self.universe.check_abort()
+        self.raise_if_error()
+
+    def test(self) -> bool:
+        self.universe.check_abort()
+        if self._event.is_set():
+            self.raise_if_error()
+            return True
+        return False
+
+    def raise_if_error(self) -> None:
+        if self.error != SUCCESS:
+            raise MPIException(self.error, self.error_message)
+
+    # -- persistent requests ----------------------------------------------------
+    def make_persistent(self, restart: Callable[[], None]) -> None:
+        self.persistent = True
+        self.active = False
+        self._restart = restart
+
+    def start(self) -> None:
+        """(Re)activate a persistent request (``MPI_Start``)."""
+        if not self.persistent:
+            raise MPIException(ERR_REQUEST, "Start on a non-persistent "
+                                            "request")
+        if self.active and not self.done:
+            raise MPIException(ERR_PENDING, "Start on an active persistent "
+                                            "request")
+        with self._lock:
+            self.done = False
+            self.cancelled = False
+            self.error = SUCCESS
+            self.error_message = ""
+            self._event.clear()
+            self.active = True
+        self._restart()
+
+    def deactivate(self) -> None:
+        """Wait/Test on a completed persistent request deactivates it."""
+        self.active = False
+
+    def is_null(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "done" if self.done else "pending"
+        return f"RequestImpl({self.kind}, {state})"
+
+
+def wait_any(requests: list[Optional[RequestImpl]], universe) -> int:
+    """``MPI_Waitany`` core: index of first completion, or -1 if all null."""
+    live = [(i, r) for i, r in enumerate(requests) if r is not None]
+    if not live:
+        return -1
+    trigger = threading.Event()
+    for _, r in live:
+        r.add_listener(trigger.set)
+    while not trigger.wait(timeout=_ABORT_POLL):
+        universe.check_abort()
+    universe.check_abort()
+    for i, r in live:
+        if r.done:
+            return i
+    raise AssertionError("waitany woke without a completed request")
+
+
+def wait_all(requests: list[Optional[RequestImpl]], universe) -> None:
+    for r in requests:
+        if r is not None:
+            r.wait()
+
+
+def test_all(requests: list[Optional[RequestImpl]], universe) -> bool:
+    universe.check_abort()
+    return all(r is None or r.done for r in requests)
+
+
+def wait_some(requests: list[Optional[RequestImpl]], universe) -> list[int]:
+    """``MPI_Waitsome``: block for >=1 completion, return all done indices."""
+    idx = wait_any(requests, universe)
+    if idx < 0:
+        return []
+    return [i for i, r in enumerate(requests) if r is not None and r.done]
+
+
+def test_some(requests: list[Optional[RequestImpl]], universe) -> list[int]:
+    universe.check_abort()
+    return [i for i, r in enumerate(requests) if r is not None and r.done]

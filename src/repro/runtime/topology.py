@@ -1,0 +1,205 @@
+"""Virtual-topology math (MPI 1.1 chapter 6).
+
+Pure functions and small immutable descriptors — the communicator layer
+attaches a :class:`CartTopology` or :class:`GraphTopology` to a
+communicator; all coordinate/neighbour arithmetic lives here so it can be
+unit- and property-tested without any communication.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MPIException, ERR_ARG, ERR_DIMS, ERR_RANK, \
+    ERR_TOPOLOGY
+from repro.runtime.consts import PROC_NULL, UNDEFINED
+
+
+def dims_create(nnodes: int, dims: list[int]) -> list[int]:
+    """``MPI_Dims_create``: balanced factorization of ``nnodes``.
+
+    Zero entries are free; non-zero entries are constraints.  The result is
+    as close to square as possible with dimensions in non-increasing order
+    over the free slots, per the standard.
+    """
+    dims = [int(d) for d in dims]
+    if nnodes <= 0:
+        raise MPIException(ERR_DIMS, f"nnodes must be positive, got {nnodes}")
+    fixed = 1
+    free_slots = []
+    for i, d in enumerate(dims):
+        if d < 0:
+            raise MPIException(ERR_DIMS, f"negative dimension {d}")
+        if d == 0:
+            free_slots.append(i)
+        else:
+            fixed *= d
+    if fixed <= 0 or nnodes % fixed:
+        raise MPIException(ERR_DIMS,
+                           f"nnodes {nnodes} not divisible by fixed "
+                           f"dimensions (product {fixed})")
+    remaining = nnodes // fixed
+    if not free_slots:
+        if remaining != 1:
+            raise MPIException(ERR_DIMS,
+                               f"fixed dimensions use {fixed} of {nnodes} "
+                               f"nodes")
+        return dims
+    factors = _balanced_factors(remaining, len(free_slots))
+    for slot, f in zip(free_slots, factors):
+        dims[slot] = f
+    return dims
+
+
+def _balanced_factors(n: int, k: int) -> list[int]:
+    """Split ``n`` into ``k`` factors, as equal as possible, decreasing."""
+    if k == 1:
+        return [n]
+    primes = _prime_factors(n)
+    out = [1] * k
+    # greedy: largest prime onto the currently smallest factor
+    for p in sorted(primes, reverse=True):
+        out[out.index(min(out))] *= p
+    out.sort(reverse=True)
+    return out
+
+
+def _prime_factors(n: int) -> list[int]:
+    out = []
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            out.append(d)
+            n //= d
+        d += 1
+    if n > 1:
+        out.append(n)
+    return out
+
+
+class CartTopology:
+    """Cartesian grid attached to a communicator."""
+
+    def __init__(self, dims, periods):
+        self.dims = tuple(int(d) for d in dims)
+        self.periods = tuple(bool(p) for p in periods)
+        if len(self.dims) != len(self.periods):
+            raise MPIException(ERR_DIMS, "dims and periods length mismatch")
+        for d in self.dims:
+            if d <= 0:
+                raise MPIException(ERR_DIMS, f"non-positive dimension {d}")
+        self.size = 1
+        for d in self.dims:
+            self.size *= d
+
+    @property
+    def ndims(self) -> int:
+        return len(self.dims)
+
+    # row-major rank<->coords mapping, as in every mainstream MPI
+    def rank_of(self, coords) -> int:
+        coords = list(coords)
+        if len(coords) != self.ndims:
+            raise MPIException(ERR_DIMS,
+                               f"expected {self.ndims} coordinates, "
+                               f"got {len(coords)}")
+        rank = 0
+        for c, d, periodic in zip(coords, self.dims, self.periods):
+            c = int(c)
+            if periodic:
+                c %= d
+            elif not 0 <= c < d:
+                raise MPIException(ERR_RANK,
+                                   f"coordinate {c} out of range for "
+                                   f"non-periodic extent {d}")
+            rank = rank * d + c
+        return rank
+
+    def coords_of(self, rank: int) -> list[int]:
+        if not 0 <= rank < self.size:
+            raise MPIException(ERR_RANK, f"rank {rank} out of range "
+                                         f"(size {self.size})")
+        coords = []
+        for d in reversed(self.dims):
+            coords.append(rank % d)
+            rank //= d
+        coords.reverse()
+        return coords
+
+    def shift(self, rank: int, direction: int, disp: int) -> tuple[int, int]:
+        """``MPI_Cart_shift``: (source, destination) for one dimension."""
+        if not 0 <= direction < self.ndims:
+            raise MPIException(ERR_DIMS,
+                               f"direction {direction} out of range")
+        coords = self.coords_of(rank)
+
+        def neighbour(offset: int) -> int:
+            c = coords[direction] + offset
+            d = self.dims[direction]
+            if self.periods[direction]:
+                c %= d
+            elif not 0 <= c < d:
+                return PROC_NULL
+            nc = list(coords)
+            nc[direction] = c
+            return self.rank_of(nc)
+
+        return neighbour(-disp), neighbour(disp)
+
+    def sub_keep(self, remain_dims, rank: int):
+        """``MPI_Cart_sub`` math: (color, key, kept dims, kept periods)."""
+        remain = [bool(r) for r in remain_dims]
+        if len(remain) != self.ndims:
+            raise MPIException(ERR_DIMS, "remain_dims length mismatch")
+        coords = self.coords_of(rank)
+        color = 0
+        key = 0
+        kept_dims, kept_periods = [], []
+        for c, d, p, keep in zip(coords, self.dims, self.periods, remain):
+            if keep:
+                key = key * d + c
+                kept_dims.append(d)
+                kept_periods.append(p)
+            else:
+                color = color * d + c
+        return color, key, kept_dims, kept_periods
+
+
+class GraphTopology:
+    """General graph topology (``MPI_Graph_create`` index/edges form)."""
+
+    def __init__(self, index, edges):
+        self.index = tuple(int(i) for i in index)
+        self.edges = tuple(int(e) for e in edges)
+        nnodes = len(self.index)
+        if nnodes == 0:
+            raise MPIException(ERR_TOPOLOGY, "empty graph")
+        prev = 0
+        for i in self.index:
+            if i < prev:
+                raise MPIException(ERR_TOPOLOGY,
+                                   "graph index must be non-decreasing")
+            prev = i
+        if self.index[-1] != len(self.edges):
+            raise MPIException(ERR_TOPOLOGY,
+                               f"index[-1]={self.index[-1]} does not match "
+                               f"number of edges {len(self.edges)}")
+        for e in self.edges:
+            if not 0 <= e < nnodes:
+                raise MPIException(ERR_RANK, f"edge target {e} out of range")
+
+    @property
+    def nnodes(self) -> int:
+        return len(self.index)
+
+    @property
+    def nedges(self) -> int:
+        return len(self.edges)
+
+    def neighbours(self, rank: int) -> list[int]:
+        if not 0 <= rank < self.nnodes:
+            raise MPIException(ERR_RANK, f"rank {rank} out of range")
+        lo = self.index[rank - 1] if rank else 0
+        hi = self.index[rank]
+        return list(self.edges[lo:hi])
+
+    def neighbours_count(self, rank: int) -> int:
+        return len(self.neighbours(rank))

@@ -1,0 +1,41 @@
+"""Transports: how envelopes move between ranks.
+
+* :class:`~repro.transport.inproc.InprocTransport` — shared-memory mode
+  (the paper's SM): direct handoff between threads, one copy per side.
+* :class:`~repro.transport.chunked.ChunkedTransport` — an "MPICH-like"
+  portable path: packetized staging copies on top of another transport.
+* :class:`~repro.transport.socket_tcp.SocketTransport` — distributed-memory
+  mode (the paper's DM): every rank pair exchanges frames over a kernel
+  socket pair, with per-rank receiver pumps.
+* :class:`~repro.transport.modeled.ModeledTransport` — charges a calibrated
+  latency/bandwidth cost model to a virtual clock so the benchmark harness
+  can regenerate the paper's published 1999 numbers deterministically.
+"""
+
+from repro.transport.base import Transport
+from repro.transport.inproc import InprocTransport
+from repro.transport.chunked import ChunkedTransport
+from repro.transport.socket_tcp import SocketTransport
+from repro.transport.modeled import ModeledTransport
+from repro.transport import netmodel
+
+TRANSPORTS = {
+    "inproc": InprocTransport,
+    "chunked": ChunkedTransport,
+    "socket": SocketTransport,
+}
+
+
+def make_transport(name: str, nprocs: int, **kwargs) -> Transport:
+    """Factory used by the executor: ``inproc``, ``chunked`` or ``socket``."""
+    try:
+        cls = TRANSPORTS[name]
+    except KeyError:
+        raise ValueError(f"unknown transport {name!r}; "
+                         f"choose from {sorted(TRANSPORTS)}") from None
+    return cls(nprocs, **kwargs)
+
+
+__all__ = ["Transport", "InprocTransport", "ChunkedTransport",
+           "SocketTransport", "ModeledTransport", "make_transport",
+           "netmodel", "TRANSPORTS"]

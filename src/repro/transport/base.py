@@ -1,0 +1,52 @@
+"""Transport interface.
+
+A transport moves :class:`~repro.runtime.envelope.Envelope` objects between
+ranks of one job.  The engine wires a *deliver callback* per rank (the
+rank's mailbox intake); ``send`` must eventually invoke the destination's
+callback exactly once per envelope, preserving per-(source, destination)
+FIFO order — the property MPI's non-overtaking rule is built on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.runtime.envelope import Envelope
+
+DeliverFn = Callable[[Envelope], None]
+
+
+class Transport:
+    """Abstract transport for one job of ``nprocs`` ranks."""
+
+    #: human-readable mode tag used by benchmarks/tests ("SM" or "DM")
+    mode = "SM"
+
+    def __init__(self, nprocs: int):
+        self.nprocs = int(nprocs)
+        self._deliver: list[DeliverFn | None] = [None] * self.nprocs
+
+    def set_deliver(self, rank: int, fn: DeliverFn) -> None:
+        """Install the intake callback for ``rank`` (called by the engine)."""
+        self._deliver[rank] = fn
+
+    def start(self) -> None:
+        """Begin moving messages (spawn pumps etc.). Default: nothing."""
+
+    def send(self, env: Envelope) -> None:
+        """Move ``env`` to ``env.dst``.  Must preserve per-pair FIFO order."""
+        raise NotImplementedError
+
+    def broadcast_control(self, env: Envelope) -> None:
+        """Deliver a control envelope (e.g. abort) to every rank."""
+        for dst in range(self.nprocs):
+            ctl = Envelope(kind=env.kind, src=env.src, dst=dst,
+                           context=env.context, tag=env.tag, seq=env.seq)
+            self.send(ctl)
+
+    def close(self) -> None:
+        """Tear down pumps and OS resources. Idempotent."""
+
+    # -- introspection used by benchmarks --------------------------------------
+    def describe(self) -> str:
+        return f"{type(self).__name__}(nprocs={self.nprocs})"

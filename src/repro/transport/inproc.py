@@ -1,0 +1,25 @@
+"""Shared-memory (SM) transport: direct in-process handoff.
+
+The WMPI-on-one-box analogue: a send gathers the message into a dense array
+(one copy), hands the envelope straight to the destination rank's mailbox
+intake in the sending thread, and the receive scatters into the user buffer
+(the second copy).  No queuing layer, no packetization — this is the fast
+path the paper's WMPI SM numbers ride on.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.envelope import Envelope
+from repro.transport.base import Transport
+
+
+class InprocTransport(Transport):
+    """Direct-call delivery between threads of one process."""
+
+    mode = "SM"
+
+    def send(self, env: Envelope) -> None:
+        deliver = self._deliver[env.dst]
+        if deliver is None:
+            raise RuntimeError(f"rank {env.dst} has no mailbox attached")
+        deliver(env)

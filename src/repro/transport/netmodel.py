@@ -1,0 +1,142 @@
+"""Cost-model calibration for the paper's seven benchmark environments.
+
+The paper measured PingPong on 1999 hardware: dual-P6/200 NT boxes (WMPI),
+dual-UltraSparc/200 Solaris boxes (MPICH), both pairs on 10BaseT Ethernet.
+We cannot rerun that hardware, so *modeled* benchmark mode charges a
+latency/bandwidth cost model to a virtual clock while the real MPI stack
+executes.  The constants below are calibrated directly against the paper's
+published numbers:
+
+Table 1 — one-way 1-byte message time (µs)::
+
+              Wsock  WMPI-C  WMPI-J  MPICH-C  MPICH-J
+        SM    144.8    67.2   161.4    148.7    374.6
+        DM    244.9   623.9   689.7    679.1    961.2
+
+Figure 5 (SM): WMPI-C peaks ~65 MB/s at 64 KB, WMPI-J ~54 MB/s; MPICH
+still rising at 1 MB, ~50 MB/s; J curves mirror C with a roughly constant
+offset, converging by ~256 KB.  Figure 6 (DM): all curves peak ~1 MB/s
+(~90 % of 10 Mbps Ethernet); C/J converge by ~4 KB.
+
+The J-wrapper model is ``wrap_const + wrap_perbyte * min(n, wrap_cap)``:
+a fixed JNI/JVM entry cost plus a per-byte pinned-array copy charge that
+stops growing once the JNI implementation switches to zero-copy access for
+large arrays — the combination that matches both the Table 1 deltas and
+the figures' convergence behaviour.
+
+Linux columns are "-" in the paper (JDK 1.2 was not yet out, §3.3); we
+ship *projected* parameters (flagged) so the harness can optionally print
+the row the authors promised for the workshop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+US = 1e-6
+MB = 1e6
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Latency/bandwidth cost model for one benchmark environment."""
+
+    name: str
+    mode: str                   # "SM" or "DM"
+    t_sw: float                 # per-message software overhead (s)
+    bw_points: tuple            # ((nbytes, raw bytes/s), ...) log-interp
+    wrap_const: float = 0.0     # J-wrapper per-message constant (s)
+    wrap_perbyte: float = 0.0   # J-wrapper per-byte charge (s/B)
+    wrap_cap: int = 64 * 1024   # bytes after which the per-byte charge stops
+    projected: bool = False     # True for the paper's missing Linux columns
+
+    # -- wire ------------------------------------------------------------
+    def raw_bandwidth(self, nbytes: int) -> float:
+        """Raw wire bandwidth at a message size (log-size interpolation)."""
+        pts = self.bw_points
+        xs = np.log2([max(1, s) for s, _ in pts])
+        ys = [bw for _, bw in pts]
+        return float(np.interp(np.log2(max(1, nbytes)), xs, ys))
+
+    def wire_time(self, nbytes: int) -> float:
+        if nbytes <= 0:
+            return 0.0
+        return nbytes / self.raw_bandwidth(nbytes)
+
+    def message_time(self, nbytes: int) -> float:
+        """One-way time for the C path (charged per message)."""
+        return self.t_sw + self.wire_time(nbytes)
+
+    # -- wrapper -----------------------------------------------------------
+    def wrapper_message_time(self, nbytes: int) -> float:
+        """Extra one-way time added by the OO binding (send + recv side)."""
+        return self.wrap_const + self.wrap_perbyte * min(nbytes,
+                                                         self.wrap_cap)
+
+    def wrapper_call_time(self, nbytes: int) -> float:
+        """Per-OO-call charge: half the per-message wrapper delta, since a
+        one-way message crosses the binding twice (Send and Recv)."""
+        return 0.5 * self.wrapper_message_time(nbytes)
+
+    # -- analytic predictions used by the harness/tests ------------------------
+    def predict_time(self, nbytes: int, wrapper: bool) -> float:
+        t = self.message_time(nbytes)
+        if wrapper:
+            t += self.wrapper_message_time(nbytes)
+        return t
+
+    def predict_bandwidth(self, nbytes: int, wrapper: bool) -> float:
+        return nbytes / self.predict_time(nbytes, wrapper)
+
+
+# --- shared wire-bandwidth calibrations ------------------------------------------
+_WMPI_SM_BW = ((1, 70 * MB), (64 * 1024, 70 * MB),
+               (256 * 1024, 62 * MB), (1024 * 1024, 56 * MB))
+_WSOCK_SM_BW = ((1, 78 * MB), (64 * 1024, 78 * MB),
+                (1024 * 1024, 62 * MB))
+_MPICH_SM_BW = ((1, 25 * MB), (4 * 1024, 38 * MB),
+                (64 * 1024, 46 * MB), (1024 * 1024, 50.5 * MB))
+#: 10BaseT Ethernet: 10 Mbps = 1.25 MB/s; ~90 % attainable (paper §4.5)
+_ETHERNET_BW = ((1, 0.90 * MB), (512, 1.05 * MB),
+                (8 * 1024, 1.12 * MB), (1024 * 1024, 1.14 * MB))
+
+ENVIRONMENTS: dict[str, NetworkModel] = {
+    # --- shared memory (Figure 5 / Table 1 row SM) -------------------------
+    "WSOCK_SM": NetworkModel("Wsock", "SM", t_sw=144.8 * US,
+                             bw_points=_WSOCK_SM_BW),
+    "WMPI_SM": NetworkModel("WMPI", "SM", t_sw=67.2 * US,
+                            bw_points=_WMPI_SM_BW,
+                            wrap_const=94.2 * US, wrap_perbyte=1.8e-9),
+    "MPICH_SM": NetworkModel("MPICH", "SM", t_sw=148.7 * US,
+                             bw_points=_MPICH_SM_BW,
+                             wrap_const=225.9 * US, wrap_perbyte=1.8e-9),
+    "LINUX_SM": NetworkModel("Linux", "SM", t_sw=170.0 * US,
+                             bw_points=_MPICH_SM_BW,
+                             wrap_const=250.0 * US, wrap_perbyte=1.8e-9,
+                             projected=True),
+    # --- distributed memory (Figure 6 / Table 1 row DM) ----------------------
+    "WSOCK_DM": NetworkModel("Wsock", "DM", t_sw=244.9 * US,
+                             bw_points=_ETHERNET_BW),
+    "WMPI_DM": NetworkModel("WMPI", "DM", t_sw=623.9 * US,
+                            bw_points=_ETHERNET_BW,
+                            wrap_const=65.8 * US, wrap_perbyte=0.3e-9),
+    "MPICH_DM": NetworkModel("MPICH", "DM", t_sw=679.1 * US,
+                             bw_points=_ETHERNET_BW,
+                             wrap_const=282.1 * US, wrap_perbyte=0.5e-9),
+    "LINUX_DM": NetworkModel("Linux", "DM", t_sw=700.0 * US,
+                             bw_points=_ETHERNET_BW,
+                             wrap_const=290.0 * US, wrap_perbyte=0.5e-9,
+                             projected=True),
+}
+
+#: Table 1 as published, for EXPERIMENTS.md comparisons (µs, one-way 1 B)
+PAPER_TABLE1 = {
+    ("SM", "Wsock"): 144.8, ("SM", "WMPI-C"): 67.2,
+    ("SM", "WMPI-J"): 161.4, ("SM", "MPICH-C"): 148.7,
+    ("SM", "MPICH-J"): 374.6,
+    ("DM", "Wsock"): 244.9, ("DM", "WMPI-C"): 623.9,
+    ("DM", "WMPI-J"): 689.7, ("DM", "MPICH-C"): 679.1,
+    ("DM", "MPICH-J"): 961.2,
+}

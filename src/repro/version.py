@@ -1,0 +1,3 @@
+"""Package version, kept importable without triggering package __init__."""
+
+__version__ = "1.0.0"

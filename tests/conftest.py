@@ -1,0 +1,43 @@
+"""Shared test fixtures: SPMD runner and transport parametrization.
+
+The IBM-suite tests run in both of the paper's §3.4 modes:
+
+* SM — multiple ranks in shared memory (``inproc`` transport);
+* DM — ranks behind kernel sockets (``socket`` transport).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import mpirun
+from repro.mpijava import MPI
+
+#: the paper's two execution modes
+MODES = {"SM": "inproc", "DM": "socket"}
+
+
+@pytest.fixture(params=sorted(MODES), ids=sorted(MODES))
+def mode_transport(request):
+    """Transport name for each of the paper's SM/DM modes."""
+    return MODES[request.param]
+
+
+def spmd(fn):
+    """Wrap a test body with MPI.Init/Finalize, as every program must."""
+    def body(*args):
+        MPI.Init([])
+        try:
+            return fn(*args)
+        finally:
+            MPI.Finalize()
+    body.__name__ = getattr(fn, "__name__", "spmd_body")
+    return body
+
+
+def run(nprocs, fn, transport="inproc", args=(), timeout=60.0,
+        init=True):
+    """Run an SPMD body on ``nprocs`` ranks; returns per-rank results."""
+    body = spmd(fn) if init else fn
+    return mpirun(nprocs, body, args=args, transport=transport,
+                  timeout=timeout)

@@ -1,0 +1,305 @@
+"""IBM-suite category: communicators (management, attributes, intercomms)."""
+
+import numpy as np
+import pytest
+
+from repro.mpijava import MPI, Comm, MPIException
+from tests.conftest import run
+
+
+class TestBasics:
+    def test_rank_size(self, mode_transport):
+        def body():
+            w = MPI.COMM_WORLD
+            return (w.Rank(), w.Size())
+
+        out = run(3, body, transport=mode_transport)
+        assert out == [(0, 3), (1, 3), (2, 3)]
+
+    def test_comm_self(self, mode_transport):
+        def body():
+            s = MPI.COMM_SELF
+            assert s.Size() == 1 and s.Rank() == 0
+            buf = np.array([MPI.COMM_WORLD.Rank()], dtype=np.int32)
+            out = np.zeros(1, dtype=np.int32)
+            req = s.Irecv(out, 0, 1, MPI.INT, 0, 0)
+            s.Send(buf, 0, 1, MPI.INT, 0, 0)
+            req.Wait()
+            return int(out[0])
+
+        assert run(3, body, transport=mode_transport) == [0, 1, 2]
+
+    def test_test_inter_false_for_world(self, mode_transport):
+        def body():
+            return MPI.COMM_WORLD.Test_inter()
+
+        assert run(2, body, transport=mode_transport) == [False, False]
+
+
+class TestDup:
+    def test_dup_is_congruent_not_ident(self, mode_transport):
+        def body():
+            w = MPI.COMM_WORLD
+            d = w.Dup()
+            result = (Comm.Compare(w, d), Comm.Compare(w, w))
+            d.Free()
+            return result
+
+        out = run(2, body, transport=mode_transport)
+        assert all(o == (MPI.CONGRUENT, MPI.IDENT) for o in out)
+
+    def test_dup_isolates_messages(self, mode_transport):
+        def body():
+            w = MPI.COMM_WORLD
+            d = w.Dup()
+            me = w.Rank()
+            if me == 0:
+                # same tag/peer on both communicators: contexts must keep
+                # them apart
+                w.Send(np.array([1], dtype=np.int32), 0, 1, MPI.INT, 1, 9)
+                d.Send(np.array([2], dtype=np.int32), 0, 1, MPI.INT, 1, 9)
+                return None
+            a = np.zeros(1, dtype=np.int32)
+            b = np.zeros(1, dtype=np.int32)
+            d.Recv(b, 0, 1, MPI.INT, 0, 9)   # receive dup's message first
+            w.Recv(a, 0, 1, MPI.INT, 0, 9)
+            return (int(a[0]), int(b[0]))
+
+        assert run(2, body, transport=mode_transport)[1] == (1, 2)
+
+
+class TestSplit:
+    def test_split_even_odd(self, mode_transport):
+        def body():
+            w = MPI.COMM_WORLD
+            me = w.Rank()
+            sub = w.Split(me % 2, me)
+            return (sub.Size(), sub.Rank())
+
+        out = run(4, body, transport=mode_transport)
+        assert out == [(2, 0), (2, 0), (2, 1), (2, 1)]
+
+    def test_split_key_orders_ranks(self, mode_transport):
+        def body():
+            w = MPI.COMM_WORLD
+            me = w.Rank()
+            # reverse ordering via key
+            sub = w.Split(0, w.Size() - me)
+            return sub.Rank()
+
+        out = run(3, body, transport=mode_transport)
+        assert out == [2, 1, 0]
+
+    def test_split_undefined_returns_null(self, mode_transport):
+        def body():
+            w = MPI.COMM_WORLD
+            me = w.Rank()
+            sub = w.Split(MPI.UNDEFINED if me == 0 else 0, me)
+            return sub is None
+
+        out = run(3, body, transport=mode_transport)
+        assert out == [True, False, False]
+
+    def test_split_subcomm_communication(self, mode_transport):
+        def body():
+            w = MPI.COMM_WORLD
+            me = w.Rank()
+            sub = w.Split(me % 2, me)
+            buf = np.array([me], dtype=np.int32)
+            total = np.zeros(1, dtype=np.int32)
+            sub.Allreduce(buf, 0, total, 0, 1, MPI.INT, MPI.SUM)
+            return int(total[0])
+
+        out = run(4, body, transport=mode_transport)
+        assert out == [2, 4, 2, 4]  # 0+2 and 1+3
+
+
+class TestCreate:
+    def test_create_subgroup(self, mode_transport):
+        def body():
+            w = MPI.COMM_WORLD
+            g = w.Group().Incl([0, 2])
+            sub = w.Create(g)
+            if w.Rank() in (0, 2):
+                assert sub is not None
+                return (sub.Rank(), sub.Size())
+            return sub
+
+        out = run(3, body, transport=mode_transport)
+        assert out == [(0, 2), None, (1, 2)]
+
+
+class TestAttributes:
+    def test_predefined_tag_ub(self, mode_transport):
+        def body():
+            return MPI.COMM_WORLD.Attr_get(MPI.TAG_UB_KEY)
+
+        assert all(v >= 32767 for v in
+                   run(2, body, transport=mode_transport))
+
+    def test_keyval_put_get_delete(self, mode_transport):
+        def body():
+            kv = MPI.Keyval_create()
+            w = MPI.COMM_WORLD
+            assert w.Attr_get(kv) is None
+            w.Attr_put(kv, {"x": w.Rank()})
+            got = w.Attr_get(kv)
+            w.Attr_delete(kv)
+            gone = w.Attr_get(kv)
+            MPI.Keyval_free(kv)
+            return (got, gone)
+
+        out = run(2, body, transport=mode_transport)
+        assert out[1] == ({"x": 1}, None)
+
+    def test_dup_runs_copy_callback(self, mode_transport):
+        def body():
+            copies = []
+
+            def copy_fn(comm, keyval, extra, value):
+                copies.append(value)
+                return True, value * 2
+
+            kv = MPI.Keyval_create(copy_fn=copy_fn)
+            w = MPI.COMM_WORLD
+            w.Attr_put(kv, 21)
+            d = w.Dup()
+            out = d.Attr_get(kv)
+            d.Free()
+            return (out, copies)
+
+        assert run(2, body, transport=mode_transport)[0] == (42, [21])
+
+    def test_copy_callback_can_refuse(self, mode_transport):
+        def body():
+            kv = MPI.Keyval_create(
+                copy_fn=lambda c, k, e, v: (False, None))
+            w = MPI.COMM_WORLD
+            w.Attr_put(kv, "secret")
+            d = w.Dup()
+            out = d.Attr_get(kv)
+            d.Free()
+            return out
+
+        assert run(2, body, transport=mode_transport) == [None, None]
+
+    def test_delete_callback_on_free(self, mode_transport):
+        def body():
+            deleted = []
+            kv = MPI.Keyval_create(
+                delete_fn=lambda c, k, v, e: deleted.append(v))
+            d = MPI.COMM_WORLD.Dup()
+            d.Attr_put(kv, "payload")
+            d.Free()
+            return deleted
+
+        assert run(2, body, transport=mode_transport)[0] == ["payload"]
+
+    def test_unknown_keyval_rejected(self, mode_transport):
+        def body():
+            w = MPI.COMM_WORLD
+            w.Errhandler_set(MPI.ERRORS_RETURN)
+            try:
+                w.Attr_put(987654, 1)
+                return "no error"
+            except MPIException as exc:
+                return exc.Get_error_class()
+
+        assert run(2, body, transport=mode_transport)[0] == MPI.ERR_ARG
+
+
+class TestErrhandler:
+    def test_default_handler_is_fatal(self, mode_transport):
+        def body():
+            return MPI.COMM_WORLD.Errhandler_get() is MPI.ERRORS_ARE_FATAL
+
+        assert all(run(2, body, transport=mode_transport))
+
+    def test_errors_return_raises_to_caller(self, mode_transport):
+        def body():
+            w = MPI.COMM_WORLD
+            w.Errhandler_set(MPI.ERRORS_RETURN)
+            try:
+                w.Send(np.zeros(1, dtype=np.int32), 0, 1, MPI.INT, 99, 0)
+                return "no error"
+            except MPIException as exc:
+                return exc.Get_error_class()
+
+        assert run(2, body, transport=mode_transport) == \
+            [MPI.ERR_RANK, MPI.ERR_RANK]
+
+    def test_free_world_rejected(self, mode_transport):
+        def body():
+            w = MPI.COMM_WORLD
+            w.Errhandler_set(MPI.ERRORS_RETURN)
+            try:
+                w.Free()
+                return "freed"
+            except MPIException as exc:
+                return exc.Get_error_class()
+
+        assert run(2, body, transport=mode_transport) == \
+            [MPI.ERR_COMM, MPI.ERR_COMM]
+
+
+class TestIntercomm:
+    def test_create_and_inquire(self, mode_transport):
+        def body():
+            w = MPI.COMM_WORLD
+            me = w.Rank()
+            half = w.Split(me % 2, me)
+            inter = half.Create_intercomm(0, w, (me + 1) % 2, 42)
+            return (inter.Test_inter(), inter.Size(),
+                    inter.Remote_size(), inter.Rank())
+
+        out = run(4, body, transport=mode_transport)
+        assert all(o[0] for o in out)
+        assert [o[1] for o in out] == [2, 2, 2, 2]
+        assert [o[2] for o in out] == [2, 2, 2, 2]
+
+    def test_intercomm_point_to_point(self, mode_transport):
+        def body():
+            w = MPI.COMM_WORLD
+            me = w.Rank()
+            half = w.Split(me % 2, me)
+            inter = half.Create_intercomm(0, w, (me + 1) % 2, 42)
+            lr = inter.Rank()
+            buf = np.array([me], dtype=np.int32)
+            out = np.zeros(1, dtype=np.int32)
+            # ranks address the remote group on an intercommunicator
+            st = inter.Sendrecv(buf, 0, 1, MPI.INT, lr, 5,
+                                out, 0, 1, MPI.INT, lr, 5)
+            return (int(out[0]), st.source)
+
+        out = run(4, body, transport=mode_transport)
+        # peer of world rank r is r^1 (same local rank in the other half)
+        assert [o[0] for o in out] == [1, 0, 3, 2]
+
+    def test_merge_orders_by_high(self, mode_transport):
+        def body():
+            w = MPI.COMM_WORLD
+            me = w.Rank()
+            evens_first = me % 2 == 0
+            half = w.Split(me % 2, me)
+            inter = half.Create_intercomm(0, w, (me + 1) % 2, 7)
+            merged = inter.Merge(high=not evens_first)
+            # merged rank order: evens (high=False) then odds
+            return merged.Rank()
+
+        out = run(4, body, transport=mode_transport)
+        assert out == [0, 2, 1, 3]
+
+    def test_remote_group_contents(self, mode_transport):
+        def body():
+            from repro.mpijava import Group
+            w = MPI.COMM_WORLD
+            me = w.Rank()
+            half = w.Split(me % 2, me)
+            inter = half.Create_intercomm(0, w, (me + 1) % 2, 3)
+            rg = inter.Remote_group()
+            wg = w.Group()
+            return Group.Translate_ranks(rg, list(range(rg.Size())), wg)
+
+        out = run(4, body, transport=mode_transport)
+        assert out[0] == [1, 3]
+        assert out[1] == [0, 2]

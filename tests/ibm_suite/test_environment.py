@@ -1,0 +1,178 @@
+"""IBM-suite category: environmental inquiry (MPI 1.1 chapter 7)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AbortException
+from repro.executor.runner import RankFailure
+from repro.mpijava import MPI
+from tests.conftest import run
+
+
+class TestInitFinalize:
+    def test_initialized_lifecycle(self, mode_transport):
+        from repro import mpirun
+
+        def body():
+            pre = MPI.Initialized()
+            MPI.Init([])
+            mid = MPI.Initialized()
+            fin_pre = MPI.Finalized()
+            MPI.Finalize()
+            return (pre, mid, fin_pre, MPI.Finalized())
+
+        out = mpirun(2, body, transport=mode_transport)
+        assert all(o == (False, True, False, True) for o in out)
+
+    def test_init_returns_args(self, mode_transport):
+        from repro import mpirun
+
+        def body():
+            args = MPI.Init(["prog", "-x"])
+            MPI.Finalize()
+            return args
+
+        assert mpirun(2, body, transport=mode_transport) == \
+            [["prog", "-x"], ["prog", "-x"]]
+
+    def test_double_init_is_error(self, mode_transport):
+        from repro import mpirun
+        from repro.mpijava import MPIException
+
+        def body():
+            MPI.Init([])
+            try:
+                MPI.Init([])
+                out = "no error"
+            except MPIException as exc:
+                out = exc.Get_error_class()
+            MPI.Finalize()
+            return out
+
+        assert mpirun(2, body, transport=mode_transport) == \
+            [MPI.ERR_OTHER, MPI.ERR_OTHER]
+
+    def test_finalize_acts_as_barrier(self, mode_transport):
+        from repro import mpirun
+        import time
+
+        def body():
+            MPI.Init([])
+            me = MPI.COMM_WORLD.Rank()
+            if me == 0:
+                time.sleep(0.1)
+            t0 = time.perf_counter()
+            MPI.Finalize()
+            return time.perf_counter() - t0
+
+        out = mpirun(2, body, transport=mode_transport)
+        # rank 1 must have waited for rank 0's sleep inside Finalize
+        assert out[1] > 0.05
+
+
+class TestClock:
+    def test_wtime_advances(self, mode_transport):
+        def body():
+            import time
+            t0 = MPI.Wtime()
+            time.sleep(0.01)
+            t1 = MPI.Wtime()
+            return t1 - t0
+
+        out = run(2, body, transport=mode_transport)
+        assert all(0.005 < d < 1.0 for d in out)
+
+    def test_wtick_positive(self, mode_transport):
+        def body():
+            return MPI.Wtick()
+
+        assert all(0 < t < 1 for t in run(2, body,
+                                          transport=mode_transport))
+
+
+class TestIdentity:
+    def test_processor_name_distinct_per_rank(self, mode_transport):
+        def body():
+            return MPI.Get_processor_name()
+
+        out = run(3, body, transport=mode_transport)
+        assert len(set(out)) == 3
+
+    def test_version(self, mode_transport):
+        def body():
+            return MPI.Get_version()
+
+        assert run(2, body, transport=mode_transport) == \
+            [(1, 1), (1, 1)]  # the paper: "currently we only support
+        #                        the MPI 1.1 subset"
+
+
+class TestErrorsAndAbort:
+    def test_error_strings_via_mpi(self, mode_transport):
+        def body():
+            return (MPI.Get_error_string(MPI.ERR_TAG),
+                    MPI.Get_error_class(MPI.ERR_TAG))
+
+        out = run(2, body, transport=mode_transport)[0]
+        assert "tag" in out[0] and out[1] == MPI.ERR_TAG
+
+    def test_abort_poisons_all_ranks(self, mode_transport):
+        from repro import mpirun
+
+        def body():
+            MPI.Init([])
+            w = MPI.COMM_WORLD
+            if w.Rank() == 1:
+                w.Abort(17)
+            # other ranks block; abort must wake them
+            buf = np.zeros(1, dtype=np.int32)
+            w.Recv(buf, 0, 1, MPI.INT, MPI.ANY_SOURCE, 0)
+            return "unreachable"
+
+        with pytest.raises(RankFailure) as ei:
+            mpirun(3, body, transport=mode_transport, timeout=30)
+        failure = ei.value.failures[1]
+        assert isinstance(failure, AbortException)
+        assert failure.abort_code == 17
+
+    def test_pcontrol_is_noop(self, mode_transport):
+        def body():
+            MPI.Pcontrol(1, "anything")
+            MPI.Pcontrol(0)
+            return True
+
+        assert all(run(2, body, transport=mode_transport))
+
+
+class TestBufferManagement:
+    def test_attach_detach_cycle(self, mode_transport):
+        def body():
+            MPI.Buffer_attach(2048)
+            return MPI.Buffer_detach()
+
+        assert run(2, body, transport=mode_transport) == [2048, 2048]
+
+    def test_bsend_overhead_constant(self):
+        assert MPI.BSEND_OVERHEAD >= 0
+
+    def test_oversized_bsend_rejected(self, mode_transport):
+        from repro.mpijava import MPIException
+
+        def body():
+            w = MPI.COMM_WORLD
+            w.Errhandler_set(MPI.ERRORS_RETURN)
+            MPI.Buffer_attach(64)
+            try:
+                if w.Rank() == 0:
+                    data = np.zeros(1024, dtype=np.float64)
+                    w.Bsend(data, 0, 1024, MPI.DOUBLE, 1, 0)
+                    out = "no error"
+                else:
+                    out = None
+            except MPIException as exc:
+                out = exc.Get_error_class()
+            MPI.Buffer_detach()
+            w.Barrier()
+            return out
+
+        assert run(2, body, transport=mode_transport)[0] == MPI.ERR_BUFFER

@@ -1,0 +1,217 @@
+"""Programs written directly against the flat "JNI stub" layer.
+
+These are the reproduction's equivalent of the paper's C MPI programs:
+the same functionality as the OO suite, expressed through handle-based
+procedural calls — exactly what the benchmark's ``-C`` columns run.
+"""
+
+import numpy as np
+import pytest
+
+from repro import mpirun
+from repro.jni import capi, handles as H
+from repro.runtime.consts import UNDEFINED
+
+
+def crun(nprocs, fn, transport="inproc", args=()):
+    def body(*a):
+        capi.mpi_init([])
+        try:
+            return fn(*a)
+        finally:
+            capi.mpi_finalize()
+    return mpirun(nprocs, body, transport=transport, args=args)
+
+
+class TestPtp:
+    def test_c_style_pingpong(self):
+        def body():
+            rank = capi.mpi_comm_rank(H.COMM_WORLD)
+            buf = np.zeros(4, dtype=np.float64)
+            if rank == 0:
+                buf[:] = [1, 2, 3, 4]
+                capi.mpi_send(H.COMM_WORLD, buf, 0, 4, H.DT_DOUBLE, 1, 0)
+                st = capi.mpi_recv(H.COMM_WORLD, buf, 0, 4, H.DT_DOUBLE,
+                                   1, 1)
+                return list(buf), st.source
+            st = capi.mpi_recv(H.COMM_WORLD, buf, 0, 4, H.DT_DOUBLE, 0, 0)
+            buf *= 2
+            capi.mpi_send(H.COMM_WORLD, buf, 0, 4, H.DT_DOUBLE, 0, 1)
+            return st.count_elements
+
+        out = crun(2, body)
+        assert out[0] == ([2, 4, 6, 8], 1)
+        assert out[1] == 4
+
+    def test_waitany_testall_via_capi(self):
+        def body():
+            rank = capi.mpi_comm_rank(H.COMM_WORLD)
+            if rank == 0:
+                for i in range(3):
+                    capi.mpi_send(H.COMM_WORLD,
+                                  np.array([i], dtype=np.int32), 0, 1,
+                                  H.DT_INT, 1, i)
+                return None
+            bufs = [np.zeros(1, dtype=np.int32) for _ in range(3)]
+            handles = [capi.mpi_irecv(H.COMM_WORLD, bufs[i], 0, 1,
+                                      H.DT_INT, 0, i) for i in range(3)]
+            idx, st = capi.mpi_waitany(handles)
+            assert st.index == idx
+            handles[idx] = H.REQUEST_NULL
+            rest = capi.mpi_waitall([h for h in handles
+                                     if h != H.REQUEST_NULL])
+            return sorted(int(b[0]) for b in bufs)
+
+        assert crun(2, body)[1] == [0, 1, 2]
+
+    def test_testany_empty_and_pending(self):
+        def body():
+            rank = capi.mpi_comm_rank(H.COMM_WORLD)
+            if rank == 0:
+                buf = np.zeros(1, dtype=np.int32)
+                h = capi.mpi_irecv(H.COMM_WORLD, buf, 0, 1, H.DT_INT, 1,
+                                   9)
+                done, idx, st = capi.mpi_testany([h])
+                assert not done and idx == UNDEFINED
+                capi.mpi_cancel(h)
+                capi.mpi_wait(h)
+                return True
+            return True
+
+        assert all(crun(2, body))
+
+    def test_sendrecv_via_capi(self):
+        def body():
+            rank = capi.mpi_comm_rank(H.COMM_WORLD)
+            other = 1 - rank
+            sb = np.array([rank * 5], dtype=np.int64)
+            rb = np.zeros(1, dtype=np.int64)
+            capi.mpi_sendrecv(H.COMM_WORLD, sb, 0, 1, H.DT_LONG, other, 0,
+                              rb, 0, 1, H.DT_LONG, other, 0)
+            return int(rb[0])
+
+        assert crun(2, body) == [5, 0]
+
+    def test_probe_get_count_via_capi(self):
+        def body():
+            rank = capi.mpi_comm_rank(H.COMM_WORLD)
+            if rank == 0:
+                capi.mpi_send(H.COMM_WORLD,
+                              np.zeros(6, dtype=np.int16), 0, 6,
+                              H.DT_SHORT, 1, 2)
+                return None
+            st = capi.mpi_probe(H.COMM_WORLD, 0, -1)  # ANY_TAG
+            n = capi.mpi_get_count(st, H.DT_SHORT)
+            buf = np.zeros(n, dtype=np.int16)
+            capi.mpi_recv(H.COMM_WORLD, buf, 0, n, H.DT_SHORT, 0, st.tag)
+            return n
+
+        assert crun(2, body)[1] == 6
+
+    def test_get_count_undefined_for_partial(self):
+        def body():
+            rank = capi.mpi_comm_rank(H.COMM_WORLD)
+            pair = capi.mpi_type_contiguous(2, H.DT_INT)
+            capi.mpi_type_commit(pair)
+            if rank == 0:
+                capi.mpi_send(H.COMM_WORLD,
+                              np.arange(3, dtype=np.int32), 0, 3,
+                              H.DT_INT, 1, 0)
+                return None
+            buf = np.zeros(4, dtype=np.int32)
+            st = capi.mpi_recv(H.COMM_WORLD, buf, 0, 2, pair, 0, 0)
+            # 3 elements = 1.5 pairs
+            return (capi.mpi_get_count(st, pair),
+                    capi.mpi_get_elements(st, pair))
+
+        assert crun(2, body)[1] == (UNDEFINED, 3)
+
+
+class TestCollectivesAndTopology:
+    def test_reduce_scatter_via_capi(self):
+        def body():
+            size = capi.mpi_comm_size(H.COMM_WORLD)
+            sb = np.ones(size * 2, dtype=np.int32)
+            rb = np.zeros(2, dtype=np.int32)
+            capi.mpi_reduce_scatter(H.COMM_WORLD, sb, 0, rb, 0,
+                                    [2] * size, H.DT_INT, H.OP_SUM)
+            return list(rb)
+
+        assert crun(3, body) == [[3, 3], [3, 3], [3, 3]]
+
+    def test_cart_workflow_via_capi(self):
+        def body():
+            dims = capi.mpi_dims_create(4, [0, 0])
+            cart = capi.mpi_cart_create(H.COMM_WORLD, dims,
+                                        [True, True], False)
+            me = capi.mpi_comm_rank(cart)
+            coords = capi.mpi_cart_coords(cart, me)
+            assert capi.mpi_cart_rank(cart, coords) == me
+            assert capi.mpi_cartdim_get(cart) == 2
+            src, dst = capi.mpi_cart_shift(cart, 0, 1)
+            sub = capi.mpi_cart_sub(cart, [True, False])
+            return (dims, capi.mpi_comm_size(sub),
+                    capi.mpi_topo_test(cart))
+
+        out = crun(4, body)
+        from repro.runtime.consts import CART
+        assert out[0] == ([2, 2], 2, CART)
+
+    def test_graph_workflow_via_capi(self):
+        def body():
+            g = capi.mpi_graph_create(H.COMM_WORLD, [1, 2], [1, 0], False)
+            if g == H.COMM_NULL:
+                return None
+            nnodes, nedges = capi.mpi_graphdims_get(g)
+            return (nnodes, nedges,
+                    capi.mpi_graph_neighbors(g, 0),
+                    capi.mpi_graph_map(g, [1, 2], [1, 0]))
+
+        out = crun(3, body)
+        assert out[0] == (2, 2, [1], 0)
+        assert out[2] is None  # excess rank got COMM_NULL
+
+    def test_op_create_free_via_capi(self):
+        def body():
+            def double_sum(invec, inoutvec, count, datatype):
+                inoutvec += invec
+
+            op = capi.mpi_op_create(double_sum, True)
+            sb = np.array([2.0])
+            rb = np.zeros(1)
+            capi.mpi_allreduce(H.COMM_WORLD, sb, 0, rb, 0, 1,
+                               H.DT_DOUBLE, op)
+            capi.mpi_op_free(op)
+            return float(rb[0])
+
+        assert crun(3, body) == [6.0, 6.0, 6.0]
+
+
+class TestEnvironmentViaCapi:
+    def test_wtime_wtick(self):
+        def body():
+            t0 = capi.mpi_wtime()
+            t1 = capi.mpi_wtime()
+            return t1 >= t0 and capi.mpi_wtick() > 0
+
+        assert all(crun(2, body))
+
+    def test_version_and_errors(self):
+        def body():
+            return (capi.mpi_get_version(),
+                    capi.mpi_error_class(3),
+                    "datatype" in capi.mpi_error_string(3))
+
+        assert crun(1, body)[0] == ((1, 1), 3, True)
+
+    def test_pack_via_capi(self):
+        def body():
+            data = np.arange(4, dtype=np.int64)
+            out = np.zeros(capi.mpi_pack_size(4, H.DT_LONG),
+                           dtype=np.uint8)
+            pos = capi.mpi_pack(data, 0, 4, H.DT_LONG, out, 0)
+            back = np.zeros(4, dtype=np.int64)
+            capi.mpi_unpack(out, 0, back, 0, 4, H.DT_LONG)
+            return pos == 32 and list(back) == [0, 1, 2, 3]
+
+        assert all(crun(2, body))

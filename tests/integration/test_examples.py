@@ -1,0 +1,67 @@
+"""Every shipped example runs end-to-end and produces its documented
+result."""
+
+import math
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+sys.path.insert(0, str(EXAMPLES))
+
+
+def test_quickstart_matches_paper_figure3():
+    import quickstart
+    from repro import mpirun
+    results = mpirun(2, quickstart.main)
+    assert results == [None, "Hello, there"]
+
+
+def test_pi_reduce_converges():
+    import pi_reduce
+    from repro import mpirun
+    pi = mpirun(4, pi_reduce.compute_pi, args=(50_000,))[0]
+    assert abs(pi - math.pi) < 1e-6
+
+
+def test_matvec_allgather_exact():
+    import matvec_allgather
+    from repro import mpirun
+    err = mpirun(4, matvec_allgather.matvec, args=(32,))[0]
+    assert err < 1e-10
+
+
+def test_laplace_derived_and_copy_agree():
+    import laplace2d
+    from repro import mpirun
+    with_dt = mpirun(4, laplace2d.solve, args=(24, 40, True))
+    with_copy = mpirun(4, laplace2d.solve, args=(24, 40, False))
+    for (r1, patch1), (r2, patch2) in zip(with_dt, with_copy):
+        assert np.allclose(patch1, patch2), \
+            "derived-datatype and explicit-copy halos must agree (§2.2)"
+    assert with_dt[0][0] < 1.0
+
+
+def test_laplace_residual_decreases_with_iterations():
+    import laplace2d
+    from repro import mpirun
+    short = mpirun(4, laplace2d.solve, args=(24, 10))[0][0]
+    long = mpirun(4, laplace2d.solve, args=(24, 120))[0][0]
+    assert long < short
+
+
+def test_object_taskfarm_all_tasks_done():
+    import object_taskfarm
+    from repro import mpirun
+    results = mpirun(3, object_taskfarm.farm, args=(8,))[0]
+    assert results == {t: (t + 1) ** 2 for t in range(8)}
+
+
+def test_pingpong_bench_runs(capsys):
+    import pingpong_bench
+    sys.argv = ["pingpong_bench.py", "modeled"]
+    pingpong_bench.main()
+    out = capsys.readouterr().out
+    assert "WMPI-C" in out and "MPICH-J" in out

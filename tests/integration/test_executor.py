@@ -1,0 +1,116 @@
+"""SPMD executor semantics."""
+
+import numpy as np
+import pytest
+
+from repro import MPIExecutor, mpirun
+from repro.errors import AbortException
+from repro.executor.runner import RankFailure
+from repro.mpijava import MPI
+from tests.conftest import spmd
+
+
+class TestBasics:
+    def test_results_in_rank_order(self):
+        def body():
+            return MPI.COMM_WORLD.Rank() * 10
+
+        assert mpirun(4, spmd(body)) == [0, 10, 20, 30]
+
+    def test_per_rank_args(self):
+        def body(x):
+            return x * 2
+
+        out = mpirun(3, body, args=[(1,), (2,), (3,)], per_rank_args=True)
+        assert out == [2, 4, 6]
+
+    def test_single_rank_job(self):
+        def body():
+            w = MPI.COMM_WORLD
+            assert w.Size() == 1
+            # collectives degenerate correctly at size 1
+            buf = np.array([5.0])
+            out = np.zeros(1)
+            w.Allreduce(buf, 0, out, 0, 1, MPI.DOUBLE, MPI.SUM)
+            w.Barrier()
+            return float(out[0])
+
+        assert mpirun(1, spmd(body)) == [5.0]
+
+    def test_nprocs_must_be_positive(self):
+        with pytest.raises(Exception):
+            mpirun(0, lambda: None)
+
+    def test_executor_reuse_forbidden_after_close(self):
+        ex = MPIExecutor(2)
+        ex.close()
+        # the underlying transport is closed; a fresh executor is needed
+
+
+class TestFailures:
+    def test_rank_exception_reported(self):
+        def body():
+            if MPI.COMM_WORLD.Rank() == 1:
+                raise ValueError("boom")
+            return "ok"
+
+        with pytest.raises(RankFailure) as ei:
+            mpirun(2, spmd(body))
+        assert set(ei.value.failures) == {1}
+        assert isinstance(ei.value.failures[1], ValueError)
+
+    def test_failure_unblocks_peers(self):
+        def body():
+            MPI.Init([])
+            w = MPI.COMM_WORLD
+            if w.Rank() == 0:
+                raise RuntimeError("rank 0 died")
+            # rank 1 would block forever without abort propagation
+            buf = np.zeros(1, dtype=np.int32)
+            w.Recv(buf, 0, 1, MPI.INT, 0, 0)
+            return "unreachable"
+
+        with pytest.raises(RankFailure) as ei:
+            mpirun(2, body, timeout=30)
+        assert isinstance(ei.value.failures[0], RuntimeError)
+
+    def test_blocked_collective_unblocked_by_failure(self):
+        def body():
+            MPI.Init([])
+            w = MPI.COMM_WORLD
+            if w.Rank() == 2:
+                raise RuntimeError("no barrier for me")
+            w.Barrier()
+            return "unreachable"
+
+        with pytest.raises(RankFailure):
+            mpirun(3, body, timeout=30)
+
+    def test_singleton_init_without_mpirun(self):
+        # MPI.Init outside mpirun behaves like mpiexec -n 1
+        import threading
+        result = {}
+
+        def standalone():
+            MPI.Init([])
+            result["rank"] = MPI.COMM_WORLD.Rank()
+            result["size"] = MPI.COMM_WORLD.Size()
+            MPI.Finalize()
+
+        t = threading.Thread(target=standalone)
+        t.start()
+        t.join(10)
+        assert result == {"rank": 0, "size": 1}
+
+
+class TestTransports:
+    @pytest.mark.parametrize("transport", ["inproc", "chunked", "socket"])
+    def test_all_transports_run_jobs(self, transport):
+        def body():
+            w = MPI.COMM_WORLD
+            buf = np.array([w.Rank()], dtype=np.int64)
+            out = np.zeros(1, dtype=np.int64)
+            w.Allreduce(buf, 0, out, 0, 1, MPI.LONG, MPI.SUM)
+            return int(out[0])
+
+        assert mpirun(3, spmd(body), transport=transport) == [3, 3, 3]

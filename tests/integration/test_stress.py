@@ -1,0 +1,170 @@
+"""Stress and concurrency: many messages, mixed traffic, random patterns."""
+
+import numpy as np
+import pytest
+
+from repro.mpijava import MPI, Request
+from tests.conftest import run
+
+
+class TestVolume:
+    def test_many_small_messages_ordered(self, mode_transport):
+        N = 300
+
+        def body():
+            w = MPI.COMM_WORLD
+            if w.Rank() == 0:
+                for i in range(N):
+                    w.Send(np.array([i], dtype=np.int32), 0, 1, MPI.INT,
+                           1, i % 7)
+                return None
+            buf = np.zeros(1, dtype=np.int32)
+            got = []
+            for i in range(N):
+                w.Recv(buf, 0, 1, MPI.INT, 0, i % 7)
+                got.append(int(buf[0]))
+            return got == list(range(N))
+
+        assert run(2, body, transport=mode_transport)[1]
+
+    def test_large_message(self, mode_transport):
+        def body():
+            w = MPI.COMM_WORLD
+            n = 1 << 20  # 1M doubles = 8 MB
+            if w.Rank() == 0:
+                data = np.arange(n, dtype=np.float64)
+                w.Send(data, 0, n, MPI.DOUBLE, 1, 0)
+                return None
+            buf = np.zeros(n, dtype=np.float64)
+            w.Recv(buf, 0, n, MPI.DOUBLE, 0, 0)
+            return float(buf[-1])
+
+        assert run(2, body, transport=mode_transport)[1] == float((1 << 20)
+                                                                  - 1)
+
+    def test_outstanding_requests_flood(self, mode_transport):
+        N = 100
+
+        def body():
+            w = MPI.COMM_WORLD
+            if w.Rank() == 0:
+                reqs = [w.Isend(np.array([i], dtype=np.int32), 0, 1,
+                                MPI.INT, 1, i) for i in range(N)]
+                Request.Waitall(reqs)
+                return None
+            bufs = [np.zeros(1, dtype=np.int32) for _ in range(N)]
+            reqs = [w.Irecv(bufs[i], 0, 1, MPI.INT, 0, i)
+                    for i in range(N)]
+            Request.Waitall(reqs)
+            return all(int(bufs[i][0]) == i for i in range(N))
+
+        assert run(2, body, transport=mode_transport)[1]
+
+
+class TestPatterns:
+    def test_all_pairs_exchange(self, mode_transport):
+        def body():
+            w = MPI.COMM_WORLD
+            me, size = w.Rank(), w.Size()
+            reqs = []
+            inboxes = {}
+            for peer in range(size):
+                if peer == me:
+                    continue
+                inboxes[peer] = np.zeros(1, dtype=np.int32)
+                reqs.append(w.Irecv(inboxes[peer], 0, 1, MPI.INT, peer,
+                                    0))
+                reqs.append(w.Isend(np.array([me], dtype=np.int32), 0, 1,
+                                    MPI.INT, peer, 0))
+            Request.Waitall(reqs)
+            return all(int(inboxes[p][0]) == p for p in inboxes)
+
+        assert all(run(5, body, transport=mode_transport))
+
+    def test_random_rings(self, mode_transport):
+        """Data circulates a randomized ring; every rank must see every
+        value exactly once."""
+        def body():
+            rng = np.random.default_rng(7)   # same permutation everywhere
+            w = MPI.COMM_WORLD
+            me, size = w.Rank(), w.Size()
+            perm = list(rng.permutation(size))
+            pos = perm.index(me)
+            right = perm[(pos + 1) % size]
+            left = perm[(pos - 1) % size]
+            value = np.array([me], dtype=np.int32)
+            seen = [me]
+            for _ in range(size - 1):
+                out = np.zeros(1, dtype=np.int32)
+                w.Sendrecv(value, 0, 1, MPI.INT, right, 1,
+                           out, 0, 1, MPI.INT, left, 1)
+                value = out
+                seen.append(int(out[0]))
+            return sorted(seen)
+
+        out = run(5, body, transport=mode_transport)
+        assert all(row == [0, 1, 2, 3, 4] for row in out)
+
+    def test_mixed_collective_and_ptp_traffic(self, mode_transport):
+        """Collectives and point-to-point on the same communicator must
+        not interfere (separate contexts)."""
+        def body():
+            w = MPI.COMM_WORLD
+            me, size = w.Rank(), w.Size()
+            total = np.zeros(1, dtype=np.int64)
+            for round_no in range(10):
+                if me == 0:
+                    w.Send(np.array([round_no], dtype=np.int32), 0, 1,
+                           MPI.INT, 1, 0)
+                elif me == 1:
+                    buf = np.zeros(1, dtype=np.int32)
+                    w.Recv(buf, 0, 1, MPI.INT, 0, 0)
+                    assert int(buf[0]) == round_no
+                sb = np.array([me + round_no], dtype=np.int64)
+                w.Allreduce(sb, 0, total, 0, 1, MPI.LONG, MPI.SUM)
+            return int(total[0])
+
+        out = run(3, body, transport=mode_transport)
+        assert all(v == (0 + 1 + 2) + 3 * 9 for v in out)
+
+    def test_repeated_comm_creation(self, mode_transport):
+        """Create/destroy communicators in a loop: context ids must not
+        collide across generations."""
+        def body():
+            w = MPI.COMM_WORLD
+            for gen in range(8):
+                sub = w.Split(w.Rank() % 2, w.Rank())
+                buf = np.array([gen], dtype=np.int32)
+                out = np.zeros(1, dtype=np.int32)
+                sub.Allreduce(buf, 0, out, 0, 1, MPI.INT, MPI.MAX)
+                assert int(out[0]) == gen
+                sub.Free()
+            return True
+
+        assert all(run(4, body, transport=mode_transport))
+
+
+class TestWildcardRace:
+    def test_any_source_flood(self, mode_transport):
+        """Many senders racing into ANY_SOURCE receives: each message
+        consumed exactly once."""
+        PER = 20
+
+        def body():
+            w = MPI.COMM_WORLD
+            me, size = w.Rank(), w.Size()
+            if me != 0:
+                for i in range(PER):
+                    w.Send(np.array([me * 1000 + i], dtype=np.int32), 0,
+                           1, MPI.INT, 0, 3)
+                return None
+            buf = np.zeros(1, dtype=np.int32)
+            seen = []
+            for _ in range(PER * (size - 1)):
+                w.Recv(buf, 0, 1, MPI.INT, MPI.ANY_SOURCE, 3)
+                seen.append(int(buf[0]))
+            expected = sorted(m * 1000 + i for m in range(1, size)
+                              for i in range(PER))
+            return sorted(seen) == expected
+
+        assert run(4, body, transport=mode_transport)[0]

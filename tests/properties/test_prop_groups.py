@@ -1,0 +1,84 @@
+"""Property-based tests: group set algebra laws."""
+
+from hypothesis import given, strategies as st
+
+from repro.runtime.consts import IDENT, SIMILAR, UNDEFINED
+from repro.runtime.groups import GroupImpl
+
+
+@st.composite
+def groups(draw, universe=12):
+    ranks = draw(st.lists(st.integers(0, universe - 1), unique=True,
+                          max_size=universe))
+    return GroupImpl(ranks)
+
+
+class TestSetLaws:
+    @given(groups(), groups())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        for r in a.ranks + b.ranks:
+            assert u.contains_world(r)
+
+    @given(groups(), groups())
+    def test_intersection_subset_of_both(self, a, b):
+        i = a.intersection(b)
+        for r in i.ranks:
+            assert a.contains_world(r) and b.contains_world(r)
+
+    @given(groups(), groups())
+    def test_difference_disjoint_from_second(self, a, b):
+        d = a.difference(b)
+        assert not any(b.contains_world(r) for r in d.ranks)
+
+    @given(groups(), groups())
+    def test_partition_sizes(self, a, b):
+        # |A| = |A∩B| + |A\B|
+        assert a.size == a.intersection(b).size + a.difference(b).size
+
+    @given(groups(), groups())
+    def test_union_size(self, a, b):
+        assert a.union(b).size == \
+            a.size + b.size - a.intersection(b).size
+
+    @given(groups())
+    def test_self_laws(self, g):
+        assert g.union(g).compare(g) == IDENT
+        assert g.intersection(g).compare(g) == IDENT
+        assert g.difference(g).size == 0
+
+    @given(groups(), groups())
+    def test_union_commutes_up_to_similarity(self, a, b):
+        u1, u2 = a.union(b), b.union(a)
+        assert u1.compare(u2) in (IDENT, SIMILAR)
+
+    @given(groups())
+    def test_incl_identity(self, g):
+        assert g.incl(range(g.size)).compare(g) == IDENT
+
+    @given(groups())
+    def test_excl_all_gives_empty(self, g):
+        assert g.excl(range(g.size)).size == 0
+
+    @given(groups(), st.data())
+    def test_incl_excl_complement(self, g, data):
+        if g.size == 0:
+            return
+        keep = data.draw(st.lists(st.integers(0, g.size - 1), unique=True))
+        inc = g.incl(keep)
+        exc = g.excl(keep)
+        assert inc.size + exc.size == g.size
+        assert inc.intersection(exc).size == 0
+
+    @given(groups())
+    def test_translate_to_self_is_identity(self, g):
+        assert g.translate_ranks(range(g.size), g) == list(range(g.size))
+
+    @given(groups(), groups())
+    def test_translate_membership(self, a, b):
+        out = a.translate_ranks(range(a.size), b)
+        for i, t in enumerate(out):
+            if t == UNDEFINED:
+                assert not b.contains_world(a.world_rank(i))
+            else:
+                assert b.world_rank(t) == a.world_rank(i)

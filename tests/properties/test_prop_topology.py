@@ -1,0 +1,89 @@
+"""Property-based tests: topology math invariants."""
+
+from hypothesis import given, strategies as st
+
+from repro.runtime.consts import PROC_NULL
+from repro.runtime.topology import CartTopology, dims_create
+
+
+@st.composite
+def cart_grids(draw):
+    ndims = draw(st.integers(1, 3))
+    dims = draw(st.lists(st.integers(1, 5), min_size=ndims,
+                         max_size=ndims))
+    periods = draw(st.lists(st.booleans(), min_size=ndims,
+                            max_size=ndims))
+    return CartTopology(dims, periods)
+
+
+class TestCartProperties:
+    @given(cart_grids())
+    def test_rank_coords_bijection(self, topo):
+        seen = set()
+        for rank in range(topo.size):
+            coords = topo.coords_of(rank)
+            assert topo.rank_of(coords) == rank
+            seen.add(tuple(coords))
+        assert len(seen) == topo.size
+
+    @given(cart_grids(), st.data())
+    def test_shift_inverse(self, topo, data):
+        rank = data.draw(st.integers(0, topo.size - 1))
+        direction = data.draw(st.integers(0, topo.ndims - 1))
+        src, dst = topo.shift(rank, direction, 1)
+        if dst != PROC_NULL:
+            # shifting back from dst finds us
+            back_src, _ = topo.shift(dst, direction, 1)
+            assert back_src == rank
+
+    @given(cart_grids(), st.data())
+    def test_shift_zero_is_self(self, topo, data):
+        rank = data.draw(st.integers(0, topo.size - 1))
+        direction = data.draw(st.integers(0, topo.ndims - 1))
+        src, dst = topo.shift(rank, direction, 0)
+        assert src == rank and dst == rank
+
+    @given(cart_grids(), st.data())
+    def test_periodic_full_loop_returns_home(self, topo, data):
+        direction = data.draw(st.integers(0, topo.ndims - 1))
+        if not topo.periods[direction]:
+            return
+        rank = data.draw(st.integers(0, topo.size - 1))
+        cur = rank
+        for _ in range(topo.dims[direction]):
+            _, cur = topo.shift(cur, direction, 1)
+        assert cur == rank
+
+    @given(cart_grids(), st.data())
+    def test_sub_partitions(self, topo, data):
+        remain = data.draw(st.lists(st.booleans(), min_size=topo.ndims,
+                                    max_size=topo.ndims))
+        buckets = {}
+        for rank in range(topo.size):
+            color, key, dims, _ = topo.sub_keep(remain, rank)
+            buckets.setdefault(color, []).append(key)
+        kept = 1
+        for d, keep in zip(topo.dims, remain):
+            if keep:
+                kept *= d
+        for keys in buckets.values():
+            assert sorted(keys) == list(range(kept))
+
+
+class TestDimsCreateProperties:
+    @given(st.integers(1, 256), st.integers(1, 4))
+    def test_product_and_order(self, nnodes, ndims):
+        dims = dims_create(nnodes, [0] * ndims)
+        prod = 1
+        for d in dims:
+            prod *= d
+        assert prod == nnodes
+        assert dims == sorted(dims, reverse=True)
+
+    @given(st.integers(1, 64))
+    def test_two_dims_near_square(self, nnodes):
+        a, b = dims_create(nnodes, [0, 0])
+        # no more-balanced factorization exists
+        for x in range(b + 1, int(nnodes ** 0.5) + 1):
+            if nnodes % x == 0:
+                assert abs(a - b) <= abs(nnodes // x - x)

@@ -1,0 +1,96 @@
+"""Buffered-send pool accounting."""
+
+import pytest
+
+from repro.errors import MPIException
+from repro.runtime.bsend_pool import BsendPool
+from repro.runtime.consts import BSEND_OVERHEAD
+
+
+class FakeUniverse:
+    def check_abort(self):
+        pass
+
+
+@pytest.fixture
+def pool():
+    return BsendPool(FakeUniverse())
+
+
+class TestAttachDetach:
+    def test_reserve_without_attach_rejected(self, pool):
+        with pytest.raises(MPIException):
+            pool.reserve(10)
+
+    def test_attach_then_reserve(self, pool):
+        pool.attach(1000)
+        res = pool.reserve(100)
+        assert res == 100 + BSEND_OVERHEAD
+        assert pool.usage() == (res, 1000)
+        pool.release(res)
+        assert pool.usage() == (0, 1000)
+
+    def test_double_attach_rejected(self, pool):
+        pool.attach(10)
+        with pytest.raises(MPIException):
+            pool.attach(10)
+
+    def test_negative_attach_rejected(self, pool):
+        with pytest.raises(MPIException):
+            pool.attach(-1)
+
+    def test_detach_returns_size(self, pool):
+        pool.attach(512)
+        assert pool.detach() == 512
+        assert not pool.attached
+
+    def test_detach_without_attach_rejected(self, pool):
+        with pytest.raises(MPIException):
+            pool.detach()
+
+    def test_reattach_after_detach(self, pool):
+        pool.attach(10)
+        pool.detach()
+        pool.attach(20)
+        assert pool.usage() == (0, 20)
+
+
+class TestAccounting:
+    def test_overflow_rejected(self, pool):
+        pool.attach(100)
+        with pytest.raises(MPIException):
+            pool.reserve(100)  # + overhead exceeds capacity
+
+    def test_exact_fit(self, pool):
+        pool.attach(100 + BSEND_OVERHEAD)
+        pool.reserve(100)
+
+    def test_multiple_reservations(self, pool):
+        pool.attach(3 * (10 + BSEND_OVERHEAD))
+        r1 = pool.reserve(10)
+        r2 = pool.reserve(10)
+        r3 = pool.reserve(10)
+        with pytest.raises(MPIException):
+            pool.reserve(10)
+        pool.release(r2)
+        pool.reserve(10)
+        pool.release(r1)
+        pool.release(r3)
+
+    def test_detach_drains(self, pool):
+        import threading
+        import time
+        pool.attach(1000)
+        res = pool.reserve(10)
+        released = []
+
+        def later():
+            time.sleep(0.1)
+            pool.release(res)
+            released.append(True)
+
+        t = threading.Thread(target=later)
+        t.start()
+        size = pool.detach()  # must block until the release
+        t.join()
+        assert released and size == 1000

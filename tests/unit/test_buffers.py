@@ -1,0 +1,140 @@
+"""Buffer validation and endpoint landing."""
+
+import numpy as np
+import pytest
+
+from repro.datatypes import derived, primitives as P
+from repro.errors import (MPIException, SUCCESS, ERR_BUFFER, ERR_TRUNCATE,
+                          ERR_TYPE)
+from repro.runtime.buffers import (extract_send_payload, land_dense,
+                                   land_payload, validate_buffer,
+                                   _DenseEnv)
+
+
+class TestValidate:
+    def test_happy_path(self):
+        validate_buffer(np.zeros(4, dtype=np.int32), 0, 4, P.INT)
+
+    def test_list_rejected_for_primitive(self):
+        with pytest.raises(MPIException) as ei:
+            validate_buffer([1, 2, 3], 0, 3, P.INT)
+        assert ei.value.error_code == ERR_BUFFER
+
+    def test_2d_array_rejected(self):
+        # Java 'multidimensional arrays' are arrays of arrays — paper §2
+        with pytest.raises(MPIException) as ei:
+            validate_buffer(np.zeros((2, 2), dtype=np.int32), 0, 4, P.INT)
+        assert "one-dimensional" in str(ei.value)
+
+    def test_dtype_mismatch_rejected(self):
+        with pytest.raises(MPIException) as ei:
+            validate_buffer(np.zeros(4, dtype=np.float64), 0, 4, P.INT)
+        assert ei.value.error_code == ERR_TYPE
+
+    def test_negative_count_offset(self):
+        buf = np.zeros(4, dtype=np.int32)
+        with pytest.raises(MPIException):
+            validate_buffer(buf, 0, -1, P.INT)
+        with pytest.raises(MPIException):
+            validate_buffer(buf, -1, 1, P.INT)
+
+    def test_uncommitted_rejected(self):
+        t = derived.contiguous(2, P.INT)
+        with pytest.raises(MPIException):
+            validate_buffer(np.zeros(4, dtype=np.int32), 0, 1, t)
+
+    def test_object_buffer_accepts_list(self):
+        validate_buffer([1, "a"], 0, 2, P.OBJECT)
+
+    def test_object_buffer_length_checked(self):
+        with pytest.raises(MPIException):
+            validate_buffer([1], 0, 2, P.OBJECT)
+
+    def test_object_buffer_rejects_numeric_array(self):
+        with pytest.raises(MPIException):
+            validate_buffer(np.zeros(3, dtype=np.int32), 0, 3, P.OBJECT)
+
+
+class TestExtract:
+    def test_primitive_payload_is_copy(self):
+        buf = np.arange(4, dtype=np.int32)
+        payload, nelems, is_object = extract_send_payload(buf, 0, 4, P.INT)
+        assert nelems == 4 and not is_object
+        buf[0] = 99
+        assert payload[0] == 0
+
+    def test_object_payload_pickled(self):
+        payload, nelems, is_object = extract_send_payload(
+            ["a", {"b": 1}], 0, 2, P.OBJECT)
+        assert is_object and nelems == 2
+        assert isinstance(payload, bytes)
+
+
+class TestLand:
+    def test_land_shorter_ok(self):
+        buf = np.zeros(10, dtype=np.int32)
+        n, err, _ = land_payload(buf, 0, 10, P.INT,
+                                 _DenseEnv(np.arange(3, dtype=np.int32),
+                                           3, False))
+        assert (n, err) == (3, SUCCESS)
+        assert list(buf[:4]) == [0, 1, 2, 0]
+
+    def test_land_longer_truncates_with_error(self):
+        buf = np.zeros(2, dtype=np.int32)
+        n, err, msg = land_payload(buf, 0, 2, P.INT,
+                                   _DenseEnv(np.arange(5, dtype=np.int32),
+                                             5, False))
+        assert err == ERR_TRUNCATE and "truncated" in msg
+
+    def test_land_partial_trailing_instance(self):
+        # 5 elements into 3 instances of a 2-element type: 2.5 instances
+        t = derived.contiguous(2, P.INT)
+        t.commit()
+        buf = np.full(6, -1, dtype=np.int32)
+        n, err, _ = land_payload(buf, 0, 3, t,
+                                 _DenseEnv(np.arange(5, dtype=np.int32),
+                                           5, False))
+        assert (n, err) == (5, SUCCESS)
+        assert list(buf) == [0, 1, 2, 3, 4, -1]
+
+    def test_land_wrong_dtype_rejected(self):
+        buf = np.zeros(4, dtype=np.int32)
+        n, err, _ = land_payload(buf, 0, 4, P.INT,
+                                 _DenseEnv(np.zeros(2, dtype=np.float64),
+                                           2, False))
+        assert err == ERR_TYPE
+
+    def test_land_object_into_primitive_rejected(self):
+        buf = np.zeros(4, dtype=np.int32)
+        n, err, _ = land_payload(buf, 0, 4, P.INT,
+                                 _DenseEnv(b"blob", 1, True))
+        assert err == ERR_TYPE
+
+    def test_land_primitive_into_object_rejected(self):
+        buf = [None]
+        n, err, _ = land_payload(buf, 0, 1, P.OBJECT,
+                                 _DenseEnv(np.zeros(1, dtype=np.int32),
+                                           1, False))
+        assert err == ERR_TYPE
+
+    def test_land_objects(self):
+        from repro.datatypes.object_serial import serialize_objects
+        buf = [None, None, None]
+        blob = serialize_objects(["x", "y"])
+        n, err, _ = land_payload(buf, 1, 2, P.OBJECT,
+                                 _DenseEnv(blob, 2, True))
+        assert (n, err) == (2, SUCCESS)
+        assert buf == [None, "x", "y"]
+
+    def test_land_dense_raises_on_error(self):
+        buf = np.zeros(1, dtype=np.int32)
+        with pytest.raises(MPIException):
+            land_dense(buf, 0, 1, P.INT, np.arange(5, dtype=np.int32), 5,
+                       False)
+
+    def test_land_empty_payload(self):
+        buf = np.full(3, 7, dtype=np.int32)
+        n, err, _ = land_payload(buf, 0, 3, P.INT, _DenseEnv(None, 0,
+                                                             False))
+        assert (n, err) == (0, SUCCESS)
+        assert list(buf) == [7, 7, 7]

@@ -1,0 +1,65 @@
+"""Clock backends for MPI.Wtime."""
+
+import threading
+
+import pytest
+
+from repro.util.clock import VirtualClock, WallClock
+
+
+def test_wall_clock_monotone():
+    c = WallClock()
+    a = c.now()
+    b = c.now()
+    assert b >= a
+    assert c.tick() > 0
+
+
+def test_wall_clock_advance_is_noop():
+    c = WallClock()
+    before = c.now()
+    c.advance(1000.0)
+    assert c.now() - before < 10.0  # real time, unaffected
+
+
+def test_virtual_clock_starts_at_zero():
+    assert VirtualClock().now() == 0.0
+
+
+def test_virtual_clock_accumulates():
+    c = VirtualClock()
+    c.advance(1.5)
+    c.advance(0.25)
+    assert c.now() == pytest.approx(1.75)
+
+
+def test_virtual_clock_rejects_negative():
+    with pytest.raises(ValueError):
+        VirtualClock().advance(-1e-9)
+
+
+def test_virtual_clock_reset():
+    c = VirtualClock()
+    c.advance(3.0)
+    c.reset()
+    assert c.now() == 0.0
+
+
+def test_virtual_clock_resolution():
+    assert VirtualClock(resolution=1e-6).tick() == 1e-6
+
+
+def test_virtual_clock_thread_safety():
+    c = VirtualClock()
+    n, per = 8, 2000
+
+    def worker():
+        for _ in range(per):
+            c.advance(1.0)
+
+    threads = [threading.Thread(target=worker) for _ in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert c.now() == pytest.approx(n * per)

@@ -1,0 +1,128 @@
+"""Collective plumbing helpers (contribution handling)."""
+
+import numpy as np
+import pytest
+
+from repro.datatypes import derived, primitives as P
+from repro.errors import MPIException
+from repro.runtime import reduce_ops as O
+from repro.runtime.collective import common
+
+
+class TestContribHandling:
+    def test_extract_dense(self):
+        kind, data = common.extract_contrib(
+            np.arange(6, dtype=np.int32), 1, 4, P.INT)
+        assert kind == "dense"
+        assert list(data) == [1, 2, 3, 4]
+
+    def test_extract_object(self):
+        kind, data = common.extract_contrib(["a", "b", "c"], 1, 2,
+                                            P.OBJECT)
+        assert kind == "obj"
+        assert data == ["b", "c"]
+
+    def test_extract_strided(self):
+        t = derived.vector(2, 1, 3, P.INT)
+        t.commit()
+        kind, data = common.extract_contrib(
+            np.arange(8, dtype=np.int32), 0, 1, t)
+        assert list(data) == [0, 3]
+
+    def test_land_dense(self):
+        buf = np.zeros(5, dtype=np.int32)
+        n = common.land_contrib(buf, 1, 3, P.INT,
+                                ("dense", np.array([7, 8, 9],
+                                                   dtype=np.int32)))
+        assert n == 3
+        assert list(buf) == [0, 7, 8, 9, 0]
+
+    def test_land_object(self):
+        buf = [None, None]
+        common.land_contrib(buf, 0, 2, P.OBJECT, ("obj", [1, 2]))
+        assert buf == [1, 2]
+
+    def test_writable_always_copies(self):
+        arr = np.arange(3, dtype=np.int32)
+        kind, copy = common.writable(("dense", arr))
+        copy[0] = 99
+        assert arr[0] == 0
+        lst = [1, 2]
+        _, copy2 = common.writable(("obj", lst))
+        copy2.append(3)
+        assert lst == [1, 2]
+
+    def test_combine_is_pure(self):
+        a = np.array([1, 2], dtype=np.int64)
+        b = np.array([10, 20], dtype=np.int64)
+        kind, out = common.combine(O.SUM, ("dense", a), ("dense", b),
+                                   P.LONG)
+        assert list(out) == [11, 22]
+        assert list(a) == [1, 2] and list(b) == [10, 20]
+
+    def test_combine_objects(self):
+        kind, out = common.combine(O.MAX, ("obj", [1, 9]),
+                                   ("obj", [5, 5]), P.OBJECT)
+        assert out == [5, 9]
+
+    def test_combine_mixed_kinds_rejected(self):
+        with pytest.raises(MPIException):
+            common.combine(O.SUM, ("obj", [1]),
+                           ("dense", np.array([1])), P.INT)
+
+    def test_concat_dense(self):
+        kind, out = common.concat([
+            ("dense", np.array([1, 2], dtype=np.int32)),
+            ("dense", np.array([3], dtype=np.int32))])
+        assert kind == "dense" and list(out) == [1, 2, 3]
+
+    def test_concat_objects(self):
+        kind, out = common.concat([("obj", ["a"]), ("obj", ["b", "c"])])
+        assert out == ["a", "b", "c"]
+
+    def test_slice_contrib(self):
+        contrib = ("dense", np.arange(6))
+        kind, out = common.slice_contrib(contrib, 2, 5)
+        assert list(out) == [2, 3, 4]
+
+    def test_empty_token(self):
+        kind, data = common.empty_token()
+        assert kind == "dense" and len(data) == 0
+
+    def test_check_root_bounds(self):
+        class FakeComm:
+            size = 4
+            name = "fake"
+
+        common.check_root(FakeComm(), 3)
+        with pytest.raises(MPIException):
+            common.check_root(FakeComm(), 4)
+        with pytest.raises(MPIException):
+            common.check_root(FakeComm(), -1)
+
+
+class TestConfig:
+    def test_defaults(self):
+        assert common.CONFIG["bcast"] == "binomial"
+        assert common.CONFIG["allreduce"] == "recursive_doubling"
+        assert common.CONFIG["barrier"] == "dissemination"
+
+    def test_unknown_algorithm_rejected(self):
+        from repro import mpirun
+        from repro.runtime.collective import bcast
+
+        def body():
+            from repro.jni import capi, tables_for
+            from repro.runtime.engine import current_runtime
+            capi.mpi_init([])
+            comm = tables_for(current_runtime()).comms.lookup(1)
+            try:
+                bcast.bcast(comm, np.zeros(1, dtype=np.int32), 0, 1,
+                            P.INT, 0, algorithm="telepathy")
+                return "no error"
+            except ValueError:
+                return "rejected"
+            finally:
+                capi.mpi_finalize()
+
+        assert mpirun(2, body) == ["rejected", "rejected"]

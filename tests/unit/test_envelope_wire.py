@@ -1,0 +1,73 @@
+"""Envelope wire encoding (the socket frame format)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import envelope as ev
+
+
+def roundtrip(env):
+    header, body = ev.encode(env)
+    assert len(header) == ev.HEADER_SIZE
+    return ev.decode(header, body)
+
+
+class TestEncodeDecode:
+    def test_int_payload(self):
+        env = ev.Envelope(src=1, dst=2, context=5, tag=42, seq=9,
+                          payload=np.arange(4, dtype=np.int32), nelems=4)
+        out = roundtrip(env)
+        assert (out.src, out.dst, out.context, out.tag, out.seq) == \
+            (1, 2, 5, 42, 9)
+        assert out.nelems == 4
+        assert out.payload.dtype == np.int32
+        assert list(out.payload) == [0, 1, 2, 3]
+
+    @pytest.mark.parametrize("dtype", [np.int8, np.uint16, np.int16,
+                                       np.bool_, np.int32, np.int64,
+                                       np.float32, np.float64, np.uint8])
+    def test_all_dtypes(self, dtype):
+        data = np.ones(3, dtype=dtype)
+        env = ev.Envelope(payload=data, nelems=3)
+        out = roundtrip(env)
+        assert out.payload.dtype == np.dtype(dtype)
+        assert np.array_equal(out.payload, data)
+
+    def test_empty_payload(self):
+        out = roundtrip(ev.Envelope(payload=None, nelems=0))
+        assert out.payload is None
+        assert out.nelems == 0
+
+    def test_object_payload(self):
+        blob = b"pickled-bytes"
+        env = ev.Envelope(payload=blob, nelems=2, is_object=True)
+        out = roundtrip(env)
+        assert out.is_object
+        assert bytes(out.payload) == blob
+        assert out.nelems == 2
+
+    def test_modes_preserved(self):
+        for mode in (ev.MODE_STANDARD, ev.MODE_BUFFERED,
+                     ev.MODE_SYNCHRONOUS, ev.MODE_READY):
+            out = roundtrip(ev.Envelope(mode=mode))
+            assert out.mode == mode
+
+    def test_ack_kind(self):
+        out = roundtrip(ev.Envelope(kind=ev.KIND_ACK, seq=77))
+        assert out.kind == ev.KIND_ACK
+        assert out.seq == 77
+
+    def test_payload_nbytes(self):
+        assert ev.Envelope(payload=None).payload_nbytes() == 0
+        assert ev.Envelope(payload=b"abc",
+                           is_object=True).payload_nbytes() == 3
+        assert ev.Envelope(
+            payload=np.zeros(5, dtype=np.float64)).payload_nbytes() == 40
+
+    def test_notify_matched_hooks(self):
+        hits = []
+        env = ev.Envelope()
+        env.on_matched = lambda: hits.append("cb")
+        env.transport_notify = lambda e: hits.append("wire")
+        env.notify_matched()
+        assert hits == ["cb", "wire"]

@@ -1,0 +1,57 @@
+"""Error classes, strings and exceptions."""
+
+import pytest
+
+from repro import errors
+from repro.errors import AbortException, MPIException
+
+
+def test_success_is_zero():
+    assert errors.SUCCESS == 0
+
+
+def test_error_codes_are_distinct():
+    codes = [getattr(errors, n) for n in dir(errors)
+             if n.startswith("ERR_") and n != "ERR_LASTCODE"]
+    assert len(set(codes)) == len(codes)
+
+
+def test_error_class_identity_in_range():
+    for code in range(errors.ERR_LASTCODE + 1):
+        assert errors.error_class(code) == code
+
+
+def test_error_class_out_of_range_maps_to_unknown():
+    assert errors.error_class(9999) == errors.ERR_UNKNOWN
+    assert errors.error_class(-5) == errors.ERR_UNKNOWN
+
+
+def test_error_string_known():
+    assert "truncated" in errors.error_string(errors.ERR_TRUNCATE)
+    assert errors.error_string(errors.SUCCESS) == "no error"
+
+
+def test_error_string_unknown_code():
+    assert errors.error_string(12345) == \
+        errors.error_string(errors.ERR_UNKNOWN)
+
+
+def test_exception_carries_code_and_message():
+    exc = MPIException(errors.ERR_TAG, "tag -3")
+    assert exc.error_code == errors.ERR_TAG
+    assert exc.Get_error_class() == errors.ERR_TAG
+    assert "tag -3" in str(exc)
+    assert "invalid tag" in exc.Get_error_string()
+
+
+def test_exception_without_message():
+    exc = MPIException(errors.ERR_COMM)
+    assert "communicator" in str(exc)
+
+
+def test_abort_exception_fields():
+    exc = AbortException(7, origin_rank=2)
+    assert exc.abort_code == 7
+    assert exc.origin_rank == 2
+    assert isinstance(exc, MPIException)
+    assert "rank 2" in str(exc)

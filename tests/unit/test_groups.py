@@ -1,0 +1,103 @@
+"""Group algebra (runtime level)."""
+
+import pytest
+
+from repro.errors import MPIException
+from repro.runtime.consts import IDENT, SIMILAR, UNDEFINED, UNEQUAL
+from repro.runtime.groups import EMPTY_GROUP, GroupImpl
+
+
+@pytest.fixture
+def g6():
+    return GroupImpl(range(6))
+
+
+class TestBasics:
+    def test_size_and_lookup(self, g6):
+        assert g6.size == 6
+        assert g6.world_rank(3) == 3
+        assert g6.rank_of_world(5) == 5
+        assert g6.rank_of_world(99) == UNDEFINED
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(MPIException):
+            GroupImpl([1, 2, 1])
+
+    def test_out_of_range_world_rank(self, g6):
+        with pytest.raises(MPIException):
+            g6.world_rank(6)
+
+    def test_empty_group(self):
+        assert EMPTY_GROUP.size == 0
+
+
+class TestCompare:
+    def test_ident(self, g6):
+        assert g6.compare(GroupImpl(range(6))) == IDENT
+
+    def test_similar(self, g6):
+        assert g6.compare(GroupImpl([5, 4, 3, 2, 1, 0])) == SIMILAR
+
+    def test_unequal(self, g6):
+        assert g6.compare(GroupImpl([0, 1])) == UNEQUAL
+
+
+class TestSetOps:
+    def test_union_order(self):
+        a = GroupImpl([3, 1])
+        b = GroupImpl([1, 2, 4])
+        assert GroupImpl.union(a, b).ranks == (3, 1, 2, 4)
+
+    def test_intersection_order(self):
+        # keeps the first group's order
+        a = GroupImpl([4, 2, 0])
+        b = GroupImpl([0, 1, 2])
+        assert a.intersection(b).ranks == (2, 0)
+
+    def test_difference(self):
+        a = GroupImpl([0, 1, 2, 3])
+        b = GroupImpl([1, 3])
+        assert a.difference(b).ranks == (0, 2)
+
+    def test_union_with_empty(self, g6):
+        assert g6.union(EMPTY_GROUP).ranks == g6.ranks
+        assert EMPTY_GROUP.union(g6).ranks == g6.ranks
+
+    def test_intersection_disjoint(self):
+        assert GroupImpl([0, 1]).intersection(GroupImpl([2, 3])).size == 0
+
+
+class TestSubsetting:
+    def test_incl(self, g6):
+        assert g6.incl([4, 0, 2]).ranks == (4, 0, 2)
+
+    def test_excl(self, g6):
+        assert g6.excl([0, 5]).ranks == (1, 2, 3, 4)
+
+    def test_incl_out_of_range(self, g6):
+        with pytest.raises(MPIException):
+            g6.incl([6])
+
+    def test_range_incl(self, g6):
+        assert g6.range_incl([(0, 4, 2)]).ranks == (0, 2, 4)
+
+    def test_range_incl_negative_stride(self, g6):
+        assert g6.range_incl([(5, 1, -2)]).ranks == (5, 3, 1)
+
+    def test_range_excl(self, g6):
+        assert g6.range_excl([(1, 5, 2)]).ranks == (0, 2, 4)
+
+    def test_range_zero_stride_rejected(self, g6):
+        with pytest.raises(MPIException):
+            g6.range_incl([(0, 3, 0)])
+
+    def test_range_out_of_bounds_rejected(self, g6):
+        with pytest.raises(MPIException):
+            g6.range_incl([(0, 10, 1)])
+
+
+class TestTranslate:
+    def test_translate(self):
+        a = GroupImpl([2, 3, 4])
+        b = GroupImpl([4, 2])
+        assert a.translate_ranks([0, 1, 2], b) == [1, UNDEFINED, 0]

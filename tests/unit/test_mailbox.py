@@ -1,0 +1,171 @@
+"""Mailbox matching semantics (MPI 1.1 §3.5) tested in isolation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SUCCESS
+from repro.runtime.consts import ANY_SOURCE, ANY_TAG
+from repro.runtime.envelope import Envelope, KIND_ACK, MODE_SYNCHRONOUS
+from repro.runtime.mailbox import Mailbox
+from repro.runtime.requests import RequestImpl
+
+
+class FakeUniverse:
+    def check_abort(self):
+        pass
+
+    def note_abort_delivery(self):
+        pass
+
+
+@pytest.fixture
+def mb():
+    return Mailbox(0, FakeUniverse())
+
+
+def mkenv(src=1, tag=5, context=0, n=3, **kw):
+    return Envelope(src=src, dst=0, context=context, tag=tag,
+                    payload=np.arange(n, dtype=np.int32), nelems=n, **kw)
+
+
+def post(mb, source=1, tag=5, context=0, universe=None):
+    req = RequestImpl(universe or FakeUniverse(), RequestImpl.KIND_RECV)
+    captured = []
+
+    def land(env):
+        captured.append(env)
+        return env.nelems, SUCCESS, ""
+
+    mb.post_recv(req, source, tag, context, land)
+    return req, captured
+
+
+class TestMatching:
+    def test_exact_match_posted_first(self, mb):
+        req, got = post(mb)
+        assert not req.done
+        mb.deliver(mkenv())
+        assert req.done
+        assert req.status_source_world == 1
+        assert req.status_tag == 5
+        assert req.count_elements == 3
+        assert len(got) == 1
+
+    def test_unexpected_then_recv(self, mb):
+        mb.deliver(mkenv())
+        req, got = post(mb)
+        assert req.done and len(got) == 1
+
+    def test_tag_mismatch_not_matched(self, mb):
+        req, _ = post(mb, tag=7)
+        mb.deliver(mkenv(tag=5))
+        assert not req.done
+
+    def test_source_mismatch_not_matched(self, mb):
+        req, _ = post(mb, source=2)
+        mb.deliver(mkenv(src=1))
+        assert not req.done
+
+    def test_context_isolation(self, mb):
+        req, _ = post(mb, context=1)
+        mb.deliver(mkenv(context=2))
+        assert not req.done
+
+    def test_any_source_any_tag(self, mb):
+        req, _ = post(mb, source=ANY_SOURCE, tag=ANY_TAG)
+        mb.deliver(mkenv(src=3, tag=99))
+        assert req.done
+        assert req.status_source_world == 3
+        assert req.status_tag == 99
+
+    def test_fifo_arrival_order_for_wildcard(self, mb):
+        mb.deliver(mkenv(tag=1, n=1))
+        mb.deliver(mkenv(tag=2, n=2))
+        req, got = post(mb, tag=ANY_TAG)
+        assert got[0].tag == 1  # earliest arrival matches first
+
+    def test_posted_order_respected(self, mb):
+        r1, _ = post(mb)
+        r2, _ = post(mb)
+        mb.deliver(mkenv())
+        assert r1.done and not r2.done
+        mb.deliver(mkenv())
+        assert r2.done
+
+    def test_nonovertaking_same_pair(self, mb):
+        mb.deliver(mkenv(n=1))
+        mb.deliver(mkenv(n=2))
+        ra, ca = post(mb)
+        rb, cb = post(mb)
+        assert ca[0].nelems == 1
+        assert cb[0].nelems == 2
+
+
+class TestSyncNotify:
+    def test_sync_matched_on_posted(self, mb):
+        fired = []
+        req, _ = post(mb)
+        env = mkenv(mode=MODE_SYNCHRONOUS)
+        env.on_matched = lambda: fired.append(1)
+        mb.deliver(env)
+        assert fired == [1]
+
+    def test_sync_matched_from_unexpected(self, mb):
+        fired = []
+        env = mkenv(mode=MODE_SYNCHRONOUS)
+        env.on_matched = lambda: fired.append(1)
+        mb.deliver(env)
+        assert fired == []        # not yet matched
+        post(mb)
+        assert fired == [1]
+
+
+class TestAckRouting:
+    def test_ack_calls_registered(self, mb):
+        hits = []
+        mb.register_ack(42, lambda: hits.append(1))
+        mb.deliver(Envelope(kind=KIND_ACK, seq=42, dst=0))
+        assert hits == [1]
+        # second delivery of same seq is dropped
+        mb.deliver(Envelope(kind=KIND_ACK, seq=42, dst=0))
+        assert hits == [1]
+
+
+class TestProbeCancel:
+    def test_iprobe_does_not_consume(self, mb):
+        mb.deliver(mkenv())
+        assert mb.iprobe(1, 5, 0) is not None
+        assert mb.iprobe(1, 5, 0) is not None
+        req, _ = post(mb)
+        assert req.done
+
+    def test_iprobe_no_match(self, mb):
+        assert mb.iprobe(1, 5, 0) is None
+
+    def test_cancel_posted(self, mb):
+        req, _ = post(mb)
+        assert mb.cancel_recv(req)
+        assert req.cancelled and req.done
+        # envelope now goes to unexpected, not the cancelled recv
+        mb.deliver(mkenv())
+        unexpected, posted = mb.pending_counts()
+        assert unexpected == 1 and posted == 0
+
+    def test_cancel_after_match_fails(self, mb):
+        req, _ = post(mb)
+        mb.deliver(mkenv())
+        assert not mb.cancel_recv(req)
+        assert not req.cancelled
+
+
+class TestReadyMode:
+    def test_ready_without_posted_recorded(self, mb):
+        from repro.runtime.envelope import MODE_READY
+        mb.deliver(mkenv(mode=MODE_READY))
+        assert len(mb.ready_mode_errors) == 1
+
+    def test_has_posted_match(self, mb):
+        env = mkenv()
+        assert not mb.has_posted_match(env)
+        post(mb)
+        assert mb.has_posted_match(env)

@@ -1,0 +1,119 @@
+"""Reduction operation kernels."""
+
+import numpy as np
+import pytest
+
+from repro.datatypes import primitives as P
+from repro.errors import MPIException
+from repro.runtime import reduce_ops as O
+
+
+def apply_op(op, a, b, dt=P.INT):
+    """inout = a OP b with fresh storage."""
+    out = np.array(b)
+    op.fn(np.array(a), out, dt)
+    return out
+
+
+class TestArithmetic:
+    def test_sum(self):
+        assert list(apply_op(O.SUM, [1, 2], [10, 20])) == [11, 22]
+
+    def test_prod(self):
+        assert list(apply_op(O.PROD, [2, 3], [4, 5])) == [8, 15]
+
+    def test_max_min(self):
+        assert list(apply_op(O.MAX, [1, 9], [5, 5])) == [5, 9]
+        assert list(apply_op(O.MIN, [1, 9], [5, 5])) == [1, 5]
+
+    def test_float_sum(self):
+        out = apply_op(O.SUM, np.array([0.5]), np.array([0.25]), P.DOUBLE)
+        assert out[0] == 0.75
+
+    def test_sum_on_boolean_rejected(self):
+        with pytest.raises(MPIException):
+            apply_op(O.SUM, np.array([True]), np.array([False]), P.BOOLEAN)
+
+
+class TestLogical:
+    def test_land_on_bool(self):
+        a = np.array([True, True, False])
+        b = np.array([True, False, False])
+        assert list(apply_op(O.LAND, a, b, P.BOOLEAN)) == [True, False,
+                                                           False]
+
+    def test_lor_on_ints(self):
+        # logical ops on integers treat nonzero as true, result 0/1
+        assert list(apply_op(O.LOR, [2, 0], [0, 0])) == [1, 0]
+
+    def test_lxor(self):
+        assert list(apply_op(O.LXOR, [1, 1], [1, 0])) == [0, 1]
+
+
+class TestBitwise:
+    def test_band(self):
+        assert list(apply_op(O.BAND, [0b1100], [0b1010])) == [0b1000]
+
+    def test_bor(self):
+        assert list(apply_op(O.BOR, [0b1100], [0b1010])) == [0b1110]
+
+    def test_bxor(self):
+        assert list(apply_op(O.BXOR, [0b1100], [0b1010])) == [0b0110]
+
+    def test_bitwise_on_float_rejected(self):
+        with pytest.raises(MPIException):
+            apply_op(O.BAND, np.array([1.0]), np.array([2.0]), P.DOUBLE)
+
+
+class TestLoc:
+    def test_maxloc(self):
+        # pairs (value, index) interleaved
+        a = np.array([5, 0, 7, 1], dtype=np.int32)
+        b = np.array([6, 2, 3, 3], dtype=np.int32)
+        out = apply_op(O.MAXLOC, a, b, P.INT2)
+        assert list(out) == [6, 2, 7, 1]
+
+    def test_minloc(self):
+        a = np.array([5, 0], dtype=np.int32)
+        b = np.array([5, 2], dtype=np.int32)
+        # tie on value: smaller index wins
+        out = apply_op(O.MINLOC, a, b, P.INT2)
+        assert list(out) == [5, 0]
+
+    def test_loc_requires_pair_type(self):
+        with pytest.raises(MPIException):
+            O.MAXLOC.check_usable(P.INT)
+        O.MAXLOC.check_usable(P.INT2)  # fine
+
+
+class TestUserOps:
+    def test_user_op_applies(self):
+        def weird(invec, inoutvec, count, datatype):
+            inoutvec[:] = invec * 2 + inoutvec
+
+        op = O.make_user_op(weird, commute=False)
+        assert not op.commute
+        out = apply_op(op, np.array([1, 2]), np.array([10, 20]))
+        assert list(out) == [12, 24]
+
+    def test_user_op_free(self):
+        op = O.make_user_op(lambda i, o, c, d: None, commute=True)
+        op.free()
+        with pytest.raises(MPIException):
+            op.check_usable(P.INT)
+
+    def test_predefined_cannot_be_freed(self):
+        with pytest.raises(MPIException):
+            O.SUM.free()
+
+
+class TestObjectFallback:
+    def test_sum_on_objects(self):
+        assert O.SUM.reduce_objects([1, "a"], [2, "b"]) == [3, "ab"]
+
+    def test_max_on_objects(self):
+        assert O.MAX.reduce_objects([3], [7]) == [7]
+
+    def test_bitwise_undefined_for_objects(self):
+        with pytest.raises(MPIException):
+            O.BAND.reduce_objects([1], [2])

@@ -1,0 +1,165 @@
+"""Request state machine in isolation."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import MPIException, ERR_PENDING, ERR_REQUEST, \
+    ERR_TRUNCATE
+from repro.runtime.requests import RequestImpl, wait_all, wait_any, \
+    wait_some
+from repro.runtime.requests import test_all as req_test_all
+from repro.runtime.requests import test_some as req_test_some
+
+
+class FakeUniverse:
+    def __init__(self):
+        self.aborted = None
+
+    def check_abort(self):
+        if self.aborted:
+            raise self.aborted
+
+
+@pytest.fixture
+def uni():
+    return FakeUniverse()
+
+
+def req(uni, kind=RequestImpl.KIND_RECV):
+    return RequestImpl(uni, kind)
+
+
+class TestCompletion:
+    def test_complete_sets_status(self, uni):
+        r = req(uni)
+        r.complete(source_world=3, tag=7, count_elements=12)
+        assert r.done
+        assert (r.status_source_world, r.status_tag,
+                r.count_elements) == (3, 7, 12)
+
+    def test_complete_idempotent(self, uni):
+        r = req(uni)
+        r.complete(source_world=1)
+        r.complete(source_world=2)
+        assert r.status_source_world == 1
+
+    def test_wait_returns_after_complete(self, uni):
+        r = req(uni)
+        threading.Timer(0.02, r.complete).start()
+        r.wait()  # must not hang
+        assert r.done
+
+    def test_wait_raises_stored_error(self, uni):
+        r = req(uni)
+        r.complete(error=ERR_TRUNCATE, error_message="too big")
+        with pytest.raises(MPIException) as ei:
+            r.wait()
+        assert ei.value.error_code == ERR_TRUNCATE
+
+    def test_test_nonblocking(self, uni):
+        r = req(uni)
+        assert not r.test()
+        r.complete()
+        assert r.test()
+
+    def test_listener_fired_on_complete(self, uni):
+        r = req(uni)
+        hits = []
+        assert not r.add_listener(lambda: hits.append(1))
+        r.complete()
+        assert hits == [1]
+
+    def test_listener_fired_immediately_if_done(self, uni):
+        r = req(uni)
+        r.complete()
+        hits = []
+        assert r.add_listener(lambda: hits.append(1))
+        assert hits == [1]
+
+    def test_cancelled_completion(self, uni):
+        r = req(uni)
+        r.complete_cancelled()
+        assert r.done and r.cancelled
+
+
+class TestPersistent:
+    def test_start_requires_persistent(self, uni):
+        r = req(uni)
+        with pytest.raises(MPIException) as ei:
+            r.start()
+        assert ei.value.error_code == ERR_REQUEST
+
+    def test_start_restarts(self, uni):
+        starts = []
+        r = req(uni)
+        r.make_persistent(lambda: starts.append(1) and None or
+                          r.complete())
+        assert not r.active
+        r.start()
+        assert r.done
+        r.deactivate()
+        r.start()
+        assert len(starts) == 2
+
+    def test_double_start_rejected(self, uni):
+        r = req(uni)
+        r.make_persistent(lambda: None)  # never completes
+        r.start()
+        with pytest.raises(MPIException) as ei:
+            r.start()
+        assert ei.value.error_code == ERR_PENDING
+
+
+class TestArrayOps:
+    def test_wait_any_returns_first_done(self, uni):
+        rs = [req(uni) for _ in range(3)]
+        threading.Timer(0.02, rs[1].complete).start()
+        assert wait_any(rs, uni) == 1
+
+    def test_wait_any_all_null(self, uni):
+        assert wait_any([None, None], uni) == -1
+
+    def test_wait_any_skips_nulls(self, uni):
+        rs = [None, req(uni)]
+        rs[1].complete()
+        assert wait_any(rs, uni) == 1
+
+    def test_wait_all(self, uni):
+        rs = [req(uni) for _ in range(3)]
+        for r in rs:
+            threading.Timer(0.01, r.complete).start()
+        wait_all(rs, uni)
+        assert all(r.done for r in rs)
+
+    def test_test_all(self, uni):
+        rs = [req(uni), req(uni)]
+        rs[0].complete()
+        assert not req_test_all(rs, uni)
+        rs[1].complete()
+        assert req_test_all(rs, uni)
+
+    def test_wait_some_returns_all_done(self, uni):
+        rs = [req(uni) for _ in range(4)]
+        rs[0].complete()
+        rs[2].complete()
+        assert wait_some(rs, uni) == [0, 2]
+
+    def test_test_some_empty_when_none_done(self, uni):
+        rs = [req(uni)]
+        assert req_test_some(rs, uni) == []
+
+
+class TestAbortIntegration:
+    def test_wait_raises_on_abort(self, uni):
+        from repro.errors import AbortException
+        r = req(uni)
+
+        def poison():
+            time.sleep(0.05)
+            uni.aborted = AbortException(1, 0)
+
+        threading.Thread(target=poison).start()
+        with pytest.raises(AbortException):
+            r.wait()

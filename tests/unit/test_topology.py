@@ -1,0 +1,137 @@
+"""Topology math: dims_create, cartesian, graph."""
+
+import pytest
+
+from repro.errors import MPIException
+from repro.runtime.consts import PROC_NULL
+from repro.runtime.topology import (CartTopology, GraphTopology,
+                                    dims_create)
+
+
+class TestDimsCreate:
+    def test_perfect_square(self):
+        assert dims_create(16, [0, 0]) == [4, 4]
+
+    def test_rectangle(self):
+        assert dims_create(12, [0, 0]) == [4, 3]
+
+    def test_three_dims(self):
+        assert dims_create(24, [0, 0, 0]) == [4, 3, 2]
+
+    def test_one_dim(self):
+        assert dims_create(7, [0]) == [7]
+
+    def test_fixed_dimension_respected(self):
+        assert dims_create(12, [3, 0]) == [3, 4]
+        assert dims_create(12, [0, 2, 0]) == [3, 2, 2]
+
+    def test_prime(self):
+        assert dims_create(13, [0, 0]) == [13, 1]
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(MPIException):
+            dims_create(10, [3, 0])
+
+    def test_all_fixed_must_match(self):
+        assert dims_create(6, [2, 3]) == [2, 3]
+        with pytest.raises(MPIException):
+            dims_create(7, [2, 3])
+
+    def test_product_invariant(self):
+        for n in (2, 6, 8, 30, 36, 64, 100):
+            dims = dims_create(n, [0, 0])
+            assert dims[0] * dims[1] == n
+            assert dims[0] >= dims[1]
+
+
+class TestCart:
+    @pytest.fixture
+    def grid(self):
+        return CartTopology([3, 4], [True, False])
+
+    def test_size(self, grid):
+        assert grid.size == 12
+        assert grid.ndims == 2
+
+    def test_rank_coords_roundtrip(self, grid):
+        for rank in range(grid.size):
+            assert grid.rank_of(grid.coords_of(rank)) == rank
+
+    def test_row_major_order(self, grid):
+        assert grid.rank_of([0, 0]) == 0
+        assert grid.rank_of([0, 1]) == 1
+        assert grid.rank_of([1, 0]) == 4
+
+    def test_periodic_wrap(self, grid):
+        assert grid.rank_of([3, 0]) == grid.rank_of([0, 0])
+        assert grid.rank_of([-1, 0]) == grid.rank_of([2, 0])
+
+    def test_nonperiodic_out_of_range(self, grid):
+        with pytest.raises(MPIException):
+            grid.rank_of([0, 4])
+
+    def test_shift_periodic_dim(self, grid):
+        src, dst = grid.shift(rank=0, direction=0, disp=1)
+        assert dst == grid.rank_of([1, 0])
+        assert src == grid.rank_of([2, 0])  # wraps
+
+    def test_shift_nonperiodic_edge(self, grid):
+        src, dst = grid.shift(rank=grid.rank_of([0, 3]), direction=1,
+                              disp=1)
+        assert dst == PROC_NULL
+        assert src == grid.rank_of([0, 2])
+
+    def test_shift_bad_direction(self, grid):
+        with pytest.raises(MPIException):
+            grid.shift(0, 2, 1)
+
+    def test_sub_keep(self, grid):
+        # keep dim 1: rows become separate sub-communicators
+        color, key, dims, periods = grid.sub_keep([False, True],
+                                                  grid.rank_of([2, 1]))
+        assert color == 2
+        assert key == 1
+        assert dims == [4]
+        assert periods == [False]
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(MPIException):
+            CartTopology([0, 2], [False, False])
+        with pytest.raises(MPIException):
+            CartTopology([2], [False, False])
+
+
+class TestGraph:
+    @pytest.fixture
+    def ring4(self):
+        # 4-node ring: node i adjacent to i±1
+        return GraphTopology(index=[2, 4, 6, 8],
+                             edges=[1, 3, 0, 2, 1, 3, 0, 2])
+
+    def test_counts(self, ring4):
+        assert ring4.nnodes == 4
+        assert ring4.nedges == 8
+
+    def test_neighbours(self, ring4):
+        assert ring4.neighbours(0) == [1, 3]
+        assert ring4.neighbours(2) == [1, 3]
+        assert ring4.neighbours_count(1) == 2
+
+    def test_rank_out_of_range(self, ring4):
+        with pytest.raises(MPIException):
+            ring4.neighbours(4)
+
+    def test_inconsistent_index_rejected(self):
+        with pytest.raises(MPIException):
+            GraphTopology(index=[2, 1], edges=[0, 1])
+        with pytest.raises(MPIException):
+            GraphTopology(index=[1, 3], edges=[0, 1])  # index[-1] != len
+
+    def test_edge_out_of_range_rejected(self):
+        with pytest.raises(MPIException):
+            GraphTopology(index=[1], edges=[5])
+
+    def test_isolated_node(self):
+        g = GraphTopology(index=[0, 1], edges=[0])
+        assert g.neighbours(0) == []
+        assert g.neighbours(1) == [0]

@@ -1,0 +1,167 @@
+"""Transport-level behaviour tested without the full MPI stack."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.runtime.envelope import Envelope, KIND_DATA
+from repro.transport.chunked import ChunkedTransport
+from repro.transport.inproc import InprocTransport
+from repro.transport.modeled import ModeledTransport
+from repro.transport.netmodel import ENVIRONMENTS
+from repro.transport.socket_tcp import SocketTransport
+from repro.transport import make_transport
+from repro.util.clock import VirtualClock
+
+
+def collect(transport, rank):
+    got = []
+    transport.set_deliver(rank, got.append)
+    return got
+
+
+class TestInproc:
+    def test_direct_delivery(self):
+        tr = InprocTransport(2)
+        got = collect(tr, 1)
+        env = Envelope(src=0, dst=1, payload=np.arange(3, dtype=np.int64),
+                       nelems=3)
+        tr.send(env)
+        assert got and got[0] is env
+        assert tr.mode == "SM"
+
+    def test_missing_mailbox_raises(self):
+        tr = InprocTransport(2)
+        with pytest.raises(RuntimeError):
+            tr.send(Envelope(src=0, dst=1))
+
+    def test_broadcast_control(self):
+        tr = InprocTransport(3)
+        sinks = [collect(tr, r) for r in range(3)]
+        tr.broadcast_control(Envelope(kind=2, src=0))
+        assert all(len(s) == 1 for s in sinks)
+
+
+class TestChunked:
+    def test_payload_copied_not_aliased(self):
+        tr = ChunkedTransport(2, packet_bytes=8)
+        got = collect(tr, 1)
+        data = np.arange(10, dtype=np.int32)
+        tr.send(Envelope(src=0, dst=1, payload=data, nelems=10))
+        assert np.array_equal(got[0].payload, data)
+        assert got[0].payload is not data
+
+    def test_packet_accounting(self):
+        tr = ChunkedTransport(2, packet_bytes=8)  # 2 int32 per packet
+        collect(tr, 1)
+        tr.send(Envelope(src=0, dst=1,
+                         payload=np.arange(10, dtype=np.int32), nelems=10))
+        assert tr.packets_staged == 5
+
+    def test_object_payload_staged(self):
+        tr = ChunkedTransport(2, packet_bytes=4)
+        got = collect(tr, 1)
+        tr.send(Envelope(src=0, dst=1, payload=b"hello world", nelems=1,
+                         is_object=True))
+        assert bytes(got[0].payload) == b"hello world"
+
+    def test_bad_packet_size_rejected(self):
+        with pytest.raises(ValueError):
+            ChunkedTransport(2, packet_bytes=0)
+
+    def test_mode_follows_inner(self):
+        sm = ChunkedTransport(2)
+        assert sm.mode == "SM"
+
+
+class TestSocket:
+    def test_roundtrip_frames(self):
+        tr = SocketTransport(2)
+        got1 = collect(tr, 1)
+        collect(tr, 0)
+        tr.start()
+        try:
+            arrived = threading.Event()
+            tr.set_deliver(1, lambda e: (got1.append(e), arrived.set()))
+            data = np.arange(100, dtype=np.float64)
+            tr.send(Envelope(src=0, dst=1, context=3, tag=7, payload=data,
+                             nelems=100))
+            assert arrived.wait(timeout=5)
+            env = got1[-1]
+            assert env.tag == 7 and env.context == 3
+            assert np.array_equal(np.asarray(env.payload), data)
+        finally:
+            tr.close()
+
+    def test_self_send_loopback(self):
+        tr = SocketTransport(2)
+        got0 = collect(tr, 0)
+        collect(tr, 1)
+        tr.start()
+        try:
+            tr.send(Envelope(src=0, dst=0, payload=None, nelems=0))
+            assert len(got0) == 1  # delivered synchronously, no wire
+        finally:
+            tr.close()
+
+    def test_per_pair_fifo(self):
+        tr = SocketTransport(2)
+        collect(tr, 0)
+        seen = []
+        done = threading.Event()
+
+        def sink(env):
+            seen.append(env.tag)
+            if len(seen) == 50:
+                done.set()
+
+        tr.set_deliver(1, sink)
+        tr.start()
+        try:
+            for i in range(50):
+                tr.send(Envelope(src=0, dst=1, tag=i))
+            assert done.wait(timeout=5)
+            assert seen == list(range(50))
+        finally:
+            tr.close()
+
+    def test_close_idempotent(self):
+        tr = SocketTransport(2)
+        tr.start()
+        tr.close()
+        tr.close()
+
+
+class TestModeled:
+    def test_charges_clock(self):
+        clock = VirtualClock()
+        model = ENVIRONMENTS["WMPI_SM"]
+        tr = ModeledTransport(2, model, clock)
+        collect(tr, 1)
+        tr.send(Envelope(src=0, dst=1,
+                         payload=np.zeros(1000, dtype=np.int8),
+                         nelems=1000, kind=KIND_DATA))
+        assert clock.now() == pytest.approx(model.message_time(1000))
+        assert tr.messages == 1
+        assert tr.bytes_charged == 1000
+
+    def test_control_charged_software_overhead_only(self):
+        clock = VirtualClock()
+        model = ENVIRONMENTS["WMPI_SM"]
+        tr = ModeledTransport(2, model, clock)
+        collect(tr, 1)
+        from repro.runtime.envelope import KIND_ACK
+        tr.send(Envelope(kind=KIND_ACK, src=0, dst=1))
+        assert clock.now() == pytest.approx(model.t_sw)
+
+
+class TestFactory:
+    def test_known_names(self):
+        for name in ("inproc", "chunked", "socket"):
+            tr = make_transport(name, 2)
+            tr.close()
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_transport("carrier-pigeon", 2)
