@@ -3,6 +3,11 @@
 Binomial vs linear broadcast and recursive-doubling vs reduce+broadcast
 allreduce, compared on (a) per-rank message counts — the quantity that
 determines the critical path — and (b) live wall time.
+
+Algorithm selection uses the thread-local
+:func:`~repro.runtime.collective.common.algorithm_overrides` context
+manager *inside each rank body* (ranks are threads), so a benchmark's
+choice can never leak into concurrently running tests.
 """
 
 import numpy as np
@@ -10,7 +15,7 @@ import pytest
 
 from repro.executor.runner import MPIExecutor
 from repro.jni import capi, handles as H
-from repro.runtime.collective import CONFIG
+from repro.runtime.collective import algorithm_overrides
 from repro.runtime.engine import Universe
 from repro.runtime.envelope import KIND_DATA
 from repro.transport.inproc import InprocTransport
@@ -36,14 +41,14 @@ def _run_counted(algorithm_key, algorithm, op_body, nprocs=NP):
     """Run one collective; returns per-rank data-message send counts."""
     transport = CountingTransport(nprocs)
     universe = Universe(nprocs, transport=transport)
-    old = CONFIG[algorithm_key]
-    CONFIG[algorithm_key] = algorithm
-    try:
-        with MPIExecutor(nprocs, universe=universe) as ex:
-            ex.run(op_body)
-        return list(transport.sent_by)
-    finally:
-        CONFIG[algorithm_key] = old
+
+    def body():
+        with algorithm_overrides(**{algorithm_key: algorithm}):
+            op_body()
+
+    with MPIExecutor(nprocs, universe=universe) as ex:
+        ex.run(body)
+    return list(transport.sent_by)
 
 
 def _bcast_body():
@@ -94,13 +99,8 @@ class TestMeasured:
     @pytest.mark.parametrize("alg", ["binomial", "linear"])
     def test_measured_bcast(self, benchmark, alg):
         def job():
-            old = CONFIG["bcast"]
-            CONFIG["bcast"] = alg
-            try:
-                with MPIExecutor(NP) as ex:
-                    ex.run(_wrapped(_bcast_body))
-            finally:
-                CONFIG["bcast"] = old
+            with MPIExecutor(NP) as ex:
+                ex.run(_wrapped(_bcast_body, bcast=alg))
 
         benchmark(job)
 
@@ -111,22 +111,18 @@ class TestMeasured:
                 capi.mpi_barrier(H.COMM_WORLD)
 
         def job():
-            old = CONFIG["barrier"]
-            CONFIG["barrier"] = alg
-            try:
-                with MPIExecutor(NP) as ex:
-                    ex.run(_wrapped(body))
-            finally:
-                CONFIG["barrier"] = old
+            with MPIExecutor(NP) as ex:
+                ex.run(_wrapped(body, barrier=alg))
 
         benchmark(job)
 
 
-def _wrapped(fn):
+def _wrapped(fn, **overrides):
     def body():
         capi.mpi_init([])
         try:
-            fn()
+            with algorithm_overrides(**overrides):
+                fn()
         finally:
             capi.mpi_finalize()
     return body

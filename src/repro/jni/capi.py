@@ -571,6 +571,76 @@ def mpi_scan(comm, sendbuf, soffset, recvbuf, roffset, count, datatype,
                count, t.datatypes.lookup(datatype), t.ops.lookup(op))
 
 
+# -- nonblocking collectives (schedule-based, libNBC-style) --------------------
+
+def mpi_ibarrier(comm) -> int:
+    rt, t = _ctx()
+    return t.requests.register(_barrier.ibarrier(t.comms.lookup(comm)))
+
+
+def mpi_ibcast(comm, buf, offset, count, datatype, root) -> int:
+    rt, t = _ctx()
+    req = _bcast.ibcast(t.comms.lookup(comm), buf, offset, count,
+                        t.datatypes.lookup(datatype), root)
+    return t.requests.register(req)
+
+
+def mpi_igather(comm, sendbuf, soffset, scount, sdtype,
+                recvbuf, roffset, rcount, rdtype, root) -> int:
+    rt, t = _ctx()
+    req = _gather.igather(t.comms.lookup(comm), sendbuf, soffset, scount,
+                          t.datatypes.lookup(sdtype), recvbuf, roffset,
+                          rcount, t.datatypes.lookup(rdtype), root)
+    return t.requests.register(req)
+
+
+def mpi_iscatter(comm, sendbuf, soffset, scount, sdtype,
+                 recvbuf, roffset, rcount, rdtype, root) -> int:
+    rt, t = _ctx()
+    req = _scatter.iscatter(t.comms.lookup(comm), sendbuf, soffset, scount,
+                            t.datatypes.lookup(sdtype), recvbuf, roffset,
+                            rcount, t.datatypes.lookup(rdtype), root)
+    return t.requests.register(req)
+
+
+def mpi_iallgather(comm, sendbuf, soffset, scount, sdtype,
+                   recvbuf, roffset, rcount, rdtype) -> int:
+    rt, t = _ctx()
+    req = _allgather.iallgather(t.comms.lookup(comm), sendbuf, soffset,
+                                scount, t.datatypes.lookup(sdtype),
+                                recvbuf, roffset, rcount,
+                                t.datatypes.lookup(rdtype))
+    return t.requests.register(req)
+
+
+def mpi_ialltoall(comm, sendbuf, soffset, scount, sdtype,
+                  recvbuf, roffset, rcount, rdtype) -> int:
+    rt, t = _ctx()
+    req = _alltoall.ialltoall(t.comms.lookup(comm), sendbuf, soffset,
+                              scount, t.datatypes.lookup(sdtype), recvbuf,
+                              roffset, rcount, t.datatypes.lookup(rdtype))
+    return t.requests.register(req)
+
+
+def mpi_ireduce(comm, sendbuf, soffset, recvbuf, roffset, count, datatype,
+                op, root) -> int:
+    rt, t = _ctx()
+    req = _reduce.ireduce(t.comms.lookup(comm), sendbuf, soffset, recvbuf,
+                          roffset, count, t.datatypes.lookup(datatype),
+                          t.ops.lookup(op), root)
+    return t.requests.register(req)
+
+
+def mpi_iallreduce(comm, sendbuf, soffset, recvbuf, roffset, count,
+                   datatype, op) -> int:
+    rt, t = _ctx()
+    req = _allreduce.iallreduce(t.comms.lookup(comm), sendbuf, soffset,
+                                recvbuf, roffset, count,
+                                t.datatypes.lookup(datatype),
+                                t.ops.lookup(op))
+    return t.requests.register(req)
+
+
 def mpi_op_create(function, commute: bool) -> int:
     rt, t = _ctx()
     return t.ops.register(_reduce_ops.make_user_op(function, commute))

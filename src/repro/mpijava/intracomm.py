@@ -10,6 +10,7 @@ from repro.mpijava.comm import Comm
 from repro.mpijava.datatype import Datatype
 from repro.mpijava.group import Group
 from repro.mpijava.op import Op
+from repro.mpijava.request import Request
 
 
 class Intracomm(Comm):
@@ -111,6 +112,65 @@ class Intracomm(Comm):
         self._charge(count, datatype)
         self._guard(capi.mpi_scan, self._handle, sendbuf, soffset, recvbuf,
                     roffset, count, datatype._handle, op._handle)
+
+    # ------------------------------------------------------------------
+    # nonblocking collectives (schedule-based; complete via Request)
+    # ------------------------------------------------------------------
+    def Ibarrier(self) -> Request:
+        """Nonblocking barrier; complete via ``Wait``/``Test``."""
+        return Request(self._guard(capi.mpi_ibarrier, self._handle))
+
+    def Ibcast(self, buf, offset, count, datatype, root) -> Request:
+        """Nonblocking broadcast; ``buf`` is off-limits until complete."""
+        self._charge(count, datatype)
+        return Request(self._guard(capi.mpi_ibcast, self._handle, buf,
+                                   offset, count, datatype._handle, root))
+
+    def Igather(self, sendbuf, soffset, scount, sdtype,
+                recvbuf, roffset, rcount, rdtype, root) -> Request:
+        self._charge(scount, sdtype)
+        return Request(self._guard(capi.mpi_igather, self._handle, sendbuf,
+                                   soffset, scount, sdtype._handle,
+                                   recvbuf, roffset, rcount,
+                                   rdtype._handle, root))
+
+    def Iscatter(self, sendbuf, soffset, scount, sdtype,
+                 recvbuf, roffset, rcount, rdtype, root) -> Request:
+        self._charge(rcount, rdtype)
+        return Request(self._guard(capi.mpi_iscatter, self._handle,
+                                   sendbuf, soffset, scount, sdtype._handle,
+                                   recvbuf, roffset, rcount,
+                                   rdtype._handle, root))
+
+    def Iallgather(self, sendbuf, soffset, scount, sdtype,
+                   recvbuf, roffset, rcount, rdtype) -> Request:
+        self._charge(scount, sdtype)
+        return Request(self._guard(capi.mpi_iallgather, self._handle,
+                                   sendbuf, soffset, scount, sdtype._handle,
+                                   recvbuf, roffset, rcount,
+                                   rdtype._handle))
+
+    def Ialltoall(self, sendbuf, soffset, scount, sdtype,
+                  recvbuf, roffset, rcount, rdtype) -> Request:
+        self._charge(scount * self.Size(), sdtype)
+        return Request(self._guard(capi.mpi_ialltoall, self._handle,
+                                   sendbuf, soffset, scount, sdtype._handle,
+                                   recvbuf, roffset, rcount,
+                                   rdtype._handle))
+
+    def Ireduce(self, sendbuf, soffset, recvbuf, roffset, count, datatype,
+                op: Op, root) -> Request:
+        self._charge(count, datatype)
+        return Request(self._guard(capi.mpi_ireduce, self._handle, sendbuf,
+                                   soffset, recvbuf, roffset, count,
+                                   datatype._handle, op._handle, root))
+
+    def Iallreduce(self, sendbuf, soffset, recvbuf, roffset, count,
+                   datatype, op: Op) -> Request:
+        self._charge(count, datatype)
+        return Request(self._guard(capi.mpi_iallreduce, self._handle,
+                                   sendbuf, soffset, recvbuf, roffset,
+                                   count, datatype._handle, op._handle))
 
     # ------------------------------------------------------------------
     # communicator construction

@@ -1,20 +1,28 @@
-"""Collective operations (MPI 1.1 chapter 4).
+"""Collective operations (MPI 1.1 chapter 4, plus nonblocking variants).
 
-Every routine is built on the runtime's eager point-to-point layer using
-the communicator's *collective* context, so user point-to-point traffic can
-never interfere with collective traffic (the reason MPI allocates a second
-context per communicator).
+Every algorithm *emits a schedule* (rounds of send/recv/compute ops, see
+:mod:`repro.runtime.nbc`) executed over the runtime's eager point-to-point
+layer on the communicator's *collective* context, so user point-to-point
+traffic can never interfere with collective traffic (the reason MPI
+allocates a second context per communicator).  Blocking collectives build
+their schedule and run it to completion; the ``i``-prefixed variants
+return the in-flight :class:`~repro.runtime.nbc.CollRequestImpl`.
 
-Algorithm selection is configurable through :data:`CONFIG` — the ablation
-benchmark flips these to compare e.g. binomial vs linear broadcast, which
-DESIGN.md lists as a design-choice experiment.
+Algorithm selection is configurable through
+:func:`~repro.runtime.collective.common.algorithm_overrides` — the
+ablation benchmark flips these to compare e.g. binomial vs linear
+broadcast, which DESIGN.md lists as a design-choice experiment.
 """
 
 from repro.runtime.collective import (allgather, allreduce, alltoall,
                                       barrier, bcast, gather, reduce,
                                       reduce_scatter, scan, scatter)
-from repro.runtime.collective.common import CONFIG
+from repro.runtime.collective.common import (ALGORITHM_CHOICES,
+                                             DEFAULT_ALGORITHMS,
+                                             algorithm_for,
+                                             algorithm_overrides)
 
 __all__ = ["allgather", "allreduce", "alltoall", "barrier", "bcast",
            "gather", "reduce", "reduce_scatter", "scan", "scatter",
-           "CONFIG"]
+           "ALGORITHM_CHOICES", "DEFAULT_ALGORITHMS", "algorithm_for",
+           "algorithm_overrides"]

@@ -1,4 +1,4 @@
-"""``MPI_Allgather`` / ``MPI_Allgatherv``.
+"""``MPI_Allgather`` / ``MPI_Allgatherv`` / ``MPI_Iallgather``.
 
 Default: gather the concatenated block at rank 0, broadcast it, and land
 each segment locally.  The ring variant (``p - 1`` neighbour exchanges,
@@ -8,94 +8,136 @@ better for large payloads on real networks) exists for the ablation bench.
 from __future__ import annotations
 
 from repro.errors import MPIException, ERR_ARG
-from repro.runtime.collective.common import (CONFIG, TAG_ALLGATHER,
-                                             concat, extract_contrib,
-                                             land_contrib, recv_contrib,
-                                             send_contrib, slice_contrib)
+from repro.runtime.collective.common import (algorithm_for, concat,
+                                             extract_contrib, land_contrib,
+                                             slice_contrib)
+from repro.runtime.collective import bcast as _bcast
+from repro.runtime import nbc
+from repro.runtime.nbc import Box, Compute, Recv, Send
 
 
 def allgather(comm, sendbuf, soffset, scount, sdtype,
               recvbuf, roffset, rcount, rdtype,
               algorithm: str | None = None) -> None:
+    iallgather(comm, sendbuf, soffset, scount, sdtype,
+               recvbuf, roffset, rcount, rdtype, algorithm=algorithm).wait()
+
+
+def iallgather(comm, sendbuf, soffset, scount, sdtype,
+               recvbuf, roffset, rcount, rdtype,
+               algorithm: str | None = None):
     comm._check_alive()
     comm._require_intra("Allgather")
-    algorithm = algorithm or CONFIG["allgather"]
-    if algorithm == "ring":
-        _ring(comm, sendbuf, soffset, scount, sdtype,
-              recvbuf, roffset, rcount, rdtype)
-        return
-    if algorithm != "gather_bcast":
-        raise ValueError(f"unknown allgather algorithm {algorithm!r}")
-    mine = extract_contrib(sendbuf, soffset, scount, sdtype)
-    total = _gather_concat(comm, mine)
-    total = _bcast_contrib(comm, total)
-    _land_segments(comm, recvbuf, roffset, rcount, rdtype, total)
+    algorithm = algorithm or algorithm_for("allgather")
+
+    def build(sched):
+        if algorithm == "ring":
+            _ring(comm, sched, sendbuf, soffset, scount, sdtype,
+                  recvbuf, roffset, rcount, rdtype)
+            return
+        if algorithm != "gather_bcast":
+            raise ValueError(f"unknown allgather algorithm {algorithm!r}")
+        stride = rcount * rdtype.extent_elems
+        per = rcount if rdtype.base.is_object \
+            else rcount * rdtype.size_elems
+
+        def landing(r):
+            return roffset + r * stride, rcount, r * per, (r + 1) * per
+
+        _gather_bcast(comm, sched, sendbuf, soffset, scount, sdtype,
+                      recvbuf, rdtype, landing)
+
+    return nbc.launch(comm, "Allgather", build)
 
 
 def allgatherv(comm, sendbuf, soffset, scount, sdtype,
                recvbuf, roffset, rcounts, displs, rdtype) -> None:
+    iallgatherv(comm, sendbuf, soffset, scount, sdtype,
+                recvbuf, roffset, rcounts, displs, rdtype).wait()
+
+
+def iallgatherv(comm, sendbuf, soffset, scount, sdtype,
+                recvbuf, roffset, rcounts, displs, rdtype):
     comm._check_alive()
     comm._require_intra("Allgatherv")
     if len(rcounts) != comm.size or len(displs) != comm.size:
         raise MPIException(ERR_ARG,
                            f"Allgatherv needs {comm.size} counts/displs")
+
+    def build(sched):
+        ext = rdtype.extent_elems
+        per = rdtype.size_elems
+        is_obj = rdtype.base.is_object
+        starts = [0]
+        for r in range(comm.size):
+            n = int(rcounts[r])
+            starts.append(starts[-1] + (n if is_obj else n * per))
+
+        def landing(r):
+            return (roffset + int(displs[r]) * ext, int(rcounts[r]),
+                    starts[r], starts[r + 1])
+
+        _gather_bcast(comm, sched, sendbuf, soffset, scount, sdtype,
+                      recvbuf, rdtype, landing)
+
+    return nbc.launch(comm, "Allgatherv", build)
+
+
+def _gather_bcast(comm, sched, sendbuf, soffset, scount, sdtype,
+                  recvbuf, rdtype, landing) -> None:
+    """Gather-to-0 + tree broadcast of the concatenated block.
+
+    ``landing(r)`` gives (buffer offset, count, slice start, slice stop)
+    for rank r's segment of the concatenated contribution.
+    """
+    tag_gather = comm.next_coll_tag()
+    tag_bcast = comm.next_coll_tag()
     mine = extract_contrib(sendbuf, soffset, scount, sdtype)
-    total = _gather_concat(comm, mine)
-    total = _bcast_contrib(comm, total)
-    ext = rdtype.extent_elems
-    kind, data = total
-    per = rdtype.size_elems
-    pos = 0
-    for r in range(comm.size):
-        n = int(rcounts[r])
-        width = n if kind == "obj" else n * per
-        seg = slice_contrib(total, pos, pos + width)
-        land_contrib(recvbuf, roffset + int(displs[r]) * ext, n, rdtype, seg)
-        pos += width
-
-
-def _gather_concat(comm, mine):
-    """Rank 0 assembles all contributions in rank order."""
-    if comm.rank == 0:
-        parts = [mine]
-        for r in range(1, comm.size):
-            parts.append(recv_contrib(comm, r, TAG_ALLGATHER))
-        return concat(parts)
-    send_contrib(comm, mine, 0, TAG_ALLGATHER)
-    return None
-
-
-def _bcast_contrib(comm, total):
+    total = Box()
     if comm.size == 1:
-        return total
-    if comm.rank == 0:
-        for r in range(1, comm.size):
-            send_contrib(comm, total, r, TAG_ALLGATHER)
-        return total
-    return recv_contrib(comm, 0, TAG_ALLGATHER)
+        total.contrib = mine
+    elif comm.rank == 0:
+        boxes = [Box(mine)] + [Box() for _ in range(1, comm.size)]
+        sched.round(*[Recv(r, tag_gather, boxes[r])
+                      for r in range(1, comm.size)])
+
+        def assemble():
+            total.contrib = concat([b.contrib for b in boxes])
+
+        sched.compute(assemble)
+    else:
+        sched.round(Send(0, mine, tag_gather))
+    _bcast.build_tree(comm, sched, tag_bcast, total, root=0)
+
+    def land_segments():
+        for r in range(comm.size):
+            off, cnt, start, stop = landing(r)
+            land_contrib(recvbuf, off, cnt, rdtype,
+                         slice_contrib(total.contrib, start, stop))
+
+    sched.compute(land_segments)
 
 
-def _land_segments(comm, recvbuf, roffset, rcount, rdtype, total) -> None:
-    kind, data = total
-    per = rcount if kind == "obj" else rcount * rdtype.size_elems
-    stride = rcount * rdtype.extent_elems
-    for r in range(comm.size):
-        seg = slice_contrib(total, r * per, (r + 1) * per)
-        land_contrib(recvbuf, roffset + r * stride, rcount, rdtype, seg)
-
-
-def _ring(comm, sendbuf, soffset, scount, sdtype,
+def _ring(comm, sched, sendbuf, soffset, scount, sdtype,
           recvbuf, roffset, rcount, rdtype) -> None:
-    """Ring allgather: pass segments around, one hop per step."""
+    """Ring allgather: pass segments around, one hop per round."""
+    tag = comm.next_coll_tag()
     rank, size = comm.rank, comm.size
     stride = rcount * rdtype.extent_elems
-    current = extract_contrib(sendbuf, soffset, scount, sdtype)
-    land_contrib(recvbuf, roffset + rank * stride, rcount, rdtype, current)
+    boxes = [Box(extract_contrib(sendbuf, soffset, scount, sdtype))]
+    boxes += [Box() for _ in range(size - 1)]
+    sched.compute(lambda: land_contrib(recvbuf, roffset + rank * stride,
+                                       rcount, rdtype, boxes[0].contrib))
     right = (rank + 1) % size
     left = (rank - 1) % size
     for step in range(size - 1):
-        send_contrib(comm, current, right, TAG_ALLGATHER)
-        current = recv_contrib(comm, left, TAG_ALLGATHER)
         src = (rank - step - 1) % size
-        land_contrib(recvbuf, roffset + src * stride, rcount, rdtype,
-                     current)
+        incoming = boxes[step + 1]
+
+        def land(incoming=incoming, src=src):
+            land_contrib(recvbuf, roffset + src * stride, rcount, rdtype,
+                         incoming.contrib)
+
+        sched.round(Send(right, boxes[step], tag),
+                    Recv(left, tag, incoming),
+                    Compute(land))

@@ -1,54 +1,79 @@
-"""``MPI_Allreduce``.
+"""``MPI_Allreduce`` / ``MPI_Iallreduce``.
 
 Default algorithm is recursive doubling for commutative operations on
 power-of-two communicators (``log2 p`` exchange rounds); everything else
-falls back to reduce-to-0 + broadcast, which the ablation benchmark also
-exercises explicitly.
+falls back to reduce-to-0 + broadcast (two composed sub-schedules with
+their own tags), which the ablation benchmark also exercises explicitly.
 """
 
 from __future__ import annotations
 
 from repro.runtime.buffers import validate_buffer
-from repro.runtime.collective.common import (CONFIG, TAG_ALLREDUCE,
-                                             combine, extract_contrib,
-                                             land_contrib, recv_contrib,
-                                             send_contrib, writable)
+from repro.runtime.collective.common import (algorithm_for, combine,
+                                             extract_contrib, land_contrib,
+                                             writable)
 from repro.runtime.collective import bcast as _bcast
 from repro.runtime.collective import reduce as _reduce
+from repro.runtime import nbc
+from repro.runtime.nbc import Box, Compute, Recv, Send
 
 
 def allreduce(comm, sendbuf, soffset, recvbuf, roffset, count, datatype,
               op, algorithm: str | None = None) -> None:
+    iallreduce(comm, sendbuf, soffset, recvbuf, roffset, count, datatype,
+               op, algorithm=algorithm).wait()
+
+
+def iallreduce(comm, sendbuf, soffset, recvbuf, roffset, count, datatype,
+               op, algorithm: str | None = None):
     comm._check_alive()
     comm._require_intra("Allreduce")
     op.check_usable(datatype)
     validate_buffer(recvbuf, roffset, count, datatype)
-    algorithm = algorithm or CONFIG["allreduce"]
+    algorithm = algorithm or algorithm_for("allreduce")
     pow2 = comm.size & (comm.size - 1) == 0
-    if algorithm == "recursive_doubling" and op.commute and pow2:
-        result = _recursive_doubling(comm, sendbuf, soffset, count,
-                                     datatype, op)
-        land_contrib(recvbuf, roffset, count, datatype, result)
-        return
-    # reduce + bcast fallback (also the explicit ablation variant)
-    _reduce.reduce(comm, sendbuf, soffset, recvbuf, roffset, count,
-                   datatype, op, root=0)
-    _bcast.bcast(comm, recvbuf, roffset, count, datatype, root=0)
+
+    def build(sched):
+        mine = extract_contrib(sendbuf, soffset, count, datatype)
+        if algorithm == "recursive_doubling" and op.commute and pow2:
+            tag = comm.next_coll_tag()
+            result = _recursive_doubling(comm, sched, tag, mine, datatype,
+                                         op)
+        elif algorithm in ("recursive_doubling", "reduce_bcast"):
+            # reduce + bcast fallback (also the explicit ablation variant)
+            tag_reduce = comm.next_coll_tag()
+            tag_bcast = comm.next_coll_tag()
+            result = _reduce.build_to_root(comm, sched, tag_reduce, mine,
+                                           datatype, op, root=0)
+            _bcast.build_tree(comm, sched, tag_bcast, result, root=0)
+        else:
+            raise ValueError(f"unknown allreduce algorithm {algorithm!r}")
+        sched.compute(lambda: land_contrib(recvbuf, roffset, count,
+                                           datatype, result.contrib))
+
+    return nbc.launch(comm, "Allreduce", build)
 
 
-def _recursive_doubling(comm, sendbuf, soffset, count, datatype, op):
+def _recursive_doubling(comm, sched, tag, mine, datatype, op):
     rank, size = comm.rank, comm.size
-    accum = writable(extract_contrib(sendbuf, soffset, count, datatype))
+    accum = Box(writable(mine))
     mask = 1
     while mask < size:
         peer = rank ^ mask
-        send_contrib(comm, accum, peer, TAG_ALLREDUCE)
-        theirs = recv_contrib(comm, peer, TAG_ALLREDUCE)
-        # keep rank-order convention: lower rank's data is `invec`
-        if peer < rank:
-            accum = combine(op, theirs, accum, datatype)
-        else:
-            theirs = writable(theirs)
-            accum = combine(op, accum, theirs, datatype)
+        theirs = Box()
+
+        def fold(theirs=theirs, peer=peer):
+            # keep rank-order convention: lower rank's data is `invec`;
+            # combine always writes fresh storage, so the peer's
+            # contribution can be passed as `inout` directly
+            if peer < rank:
+                accum.contrib = combine(op, theirs.contrib, accum.contrib,
+                                        datatype)
+            else:
+                accum.contrib = combine(op, accum.contrib, theirs.contrib,
+                                        datatype)
+
+        sched.round(Send(peer, accum, tag), Recv(peer, tag, theirs),
+                    Compute(fold))
         mask <<= 1
     return accum

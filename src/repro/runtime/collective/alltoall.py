@@ -1,40 +1,48 @@
-"""``MPI_Alltoall`` / ``MPI_Alltoallv`` (pairwise exchange).
+"""``MPI_Alltoall`` / ``MPI_Alltoallv`` / ``MPI_Ialltoall`` (pairwise).
 
-Step ``i`` sends this rank's segment for ``(rank + i) % p`` and receives
-from ``(rank - i) % p``.  Eager sends make the blocking loop deadlock-free.
+Round ``i`` sends this rank's segment for ``(rank + i) % p`` and receives
+from ``(rank - i) % p``.  Eager sends make every round deadlock-free.
 """
 
 from __future__ import annotations
 
 from repro.errors import MPIException, ERR_ARG
-from repro.runtime.collective.common import (TAG_ALLTOALL, extract_contrib,
-                                             land_contrib, recv_contrib,
-                                             send_contrib)
+from repro.runtime.collective.common import (extract_contrib, land_contrib)
+from repro.runtime import nbc
+from repro.runtime.nbc import Box, Compute, Recv, Send
 
 
 def alltoall(comm, sendbuf, soffset, scount, sdtype,
              recvbuf, roffset, rcount, rdtype) -> None:
+    ialltoall(comm, sendbuf, soffset, scount, sdtype,
+              recvbuf, roffset, rcount, rdtype).wait()
+
+
+def ialltoall(comm, sendbuf, soffset, scount, sdtype,
+              recvbuf, roffset, rcount, rdtype):
     comm._check_alive()
     comm._require_intra("Alltoall")
-    rank, size = comm.rank, comm.size
     sstride = scount * sdtype.extent_elems
     rstride = rcount * rdtype.extent_elems
-    for step in range(size):
-        dst = (rank + step) % size
-        src = (rank - step) % size
-        seg = extract_contrib(sendbuf, soffset + dst * sstride, scount,
-                              sdtype)
-        if dst == rank:
-            land_contrib(recvbuf, roffset + rank * rstride, rcount, rdtype,
-                         seg)
-            continue
-        send_contrib(comm, seg, dst, TAG_ALLTOALL)
-        got = recv_contrib(comm, src, TAG_ALLTOALL)
-        land_contrib(recvbuf, roffset + src * rstride, rcount, rdtype, got)
+
+    def segment(dst):
+        return soffset + dst * sstride, scount
+
+    def landing(src):
+        return roffset + src * rstride, rcount
+
+    return _build_pairwise(comm, "Alltoall", sendbuf, sdtype, segment,
+                           recvbuf, rdtype, landing)
 
 
 def alltoallv(comm, sendbuf, soffset, scounts, sdispls, sdtype,
               recvbuf, roffset, rcounts, rdispls, rdtype) -> None:
+    ialltoallv(comm, sendbuf, soffset, scounts, sdispls, sdtype,
+               recvbuf, roffset, rcounts, rdispls, rdtype).wait()
+
+
+def ialltoallv(comm, sendbuf, soffset, scounts, sdispls, sdtype,
+               recvbuf, roffset, rcounts, rdispls, rdtype):
     comm._check_alive()
     comm._require_intra("Alltoallv")
     size = comm.size
@@ -44,19 +52,43 @@ def alltoallv(comm, sendbuf, soffset, scounts, sdispls, sdtype,
             raise MPIException(ERR_ARG,
                                f"Alltoallv {name} must have {size} entries, "
                                f"got {len(seq)}")
-    rank = comm.rank
     sext = sdtype.extent_elems
     rext = rdtype.extent_elems
-    for step in range(size):
-        dst = (rank + step) % size
-        src = (rank - step) % size
-        seg = extract_contrib(sendbuf, soffset + int(sdispls[dst]) * sext,
-                              int(scounts[dst]), sdtype)
-        if dst == rank:
-            land_contrib(recvbuf, roffset + int(rdispls[rank]) * rext,
-                         int(rcounts[rank]), rdtype, seg)
-            continue
-        send_contrib(comm, seg, dst, TAG_ALLTOALL)
-        got = recv_contrib(comm, src, TAG_ALLTOALL)
-        land_contrib(recvbuf, roffset + int(rdispls[src]) * rext,
-                     int(rcounts[src]), rdtype, got)
+
+    def segment(dst):
+        return soffset + int(sdispls[dst]) * sext, int(scounts[dst])
+
+    def landing(src):
+        return roffset + int(rdispls[src]) * rext, int(rcounts[src])
+
+    return _build_pairwise(comm, "Alltoallv", sendbuf, sdtype, segment,
+                           recvbuf, rdtype, landing)
+
+
+def _build_pairwise(comm, name, sendbuf, sdtype, segment,
+                    recvbuf, rdtype, landing):
+    """Pairwise exchange; ``segment``/``landing`` map peers to buffers."""
+
+    def build(sched):
+        tag = comm.next_coll_tag()
+        rank, size = comm.rank, comm.size
+        for step in range(size):
+            dst = (rank + step) % size
+            src = (rank - step) % size
+            soff, scnt = segment(dst)
+            seg = extract_contrib(sendbuf, soff, scnt, sdtype)
+            roff, rcnt = landing(src)
+            if dst == rank:
+                sched.compute(
+                    lambda seg=seg, roff=roff, rcnt=rcnt: land_contrib(
+                        recvbuf, roff, rcnt, rdtype, seg))
+                continue
+            box = Box()
+
+            def land(box=box, roff=roff, rcnt=rcnt):
+                land_contrib(recvbuf, roff, rcnt, rdtype, box.contrib)
+
+            sched.round(Send(dst, seg, tag), Recv(src, tag, box),
+                        Compute(land))
+
+    return nbc.launch(comm, name, build)

@@ -1,4 +1,4 @@
-"""``MPI_Barrier``.
+"""``MPI_Barrier`` / ``MPI_Ibarrier``.
 
 Default algorithm is dissemination (Hensgen/Finkel/Manber): ``ceil(log2 p)``
 rounds, in round ``k`` each rank sends a token to ``(rank + 2^k) % p`` and
@@ -8,41 +8,48 @@ to rank 0, rank 0 releases) exists for the ablation benchmark.
 
 from __future__ import annotations
 
-from repro.runtime.collective.common import (CONFIG, TAG_BARRIER,
-                                             empty_token, recv_contrib,
-                                             send_contrib)
+from repro.runtime.collective.common import (algorithm_for, empty_token)
+from repro.runtime import nbc
+from repro.runtime.nbc import Recv, Send
 
 
 def barrier(comm, algorithm: str | None = None) -> None:
+    ibarrier(comm, algorithm=algorithm).wait()
+
+
+def ibarrier(comm, algorithm: str | None = None):
     comm._check_alive()
     comm._require_intra("Barrier")
-    if comm.size == 1:
-        return
-    algorithm = algorithm or CONFIG["barrier"]
-    if algorithm == "dissemination":
-        _dissemination(comm)
-    elif algorithm == "linear":
-        _linear(comm)
-    else:
-        raise ValueError(f"unknown barrier algorithm {algorithm!r}")
+    algorithm = algorithm or algorithm_for("barrier")
+
+    def build(sched):
+        if comm.size == 1:
+            return
+        tag = comm.next_coll_tag()
+        if algorithm == "dissemination":
+            _dissemination(comm, sched, tag)
+        elif algorithm == "linear":
+            _linear(comm, sched, tag)
+        else:
+            raise ValueError(f"unknown barrier algorithm {algorithm!r}")
+
+    return nbc.launch(comm, "Barrier", build)
 
 
-def _dissemination(comm) -> None:
+def _dissemination(comm, sched, tag) -> None:
     rank, size = comm.rank, comm.size
     k = 1
     while k < size:
-        send_contrib(comm, empty_token(), (rank + k) % size, TAG_BARRIER)
-        recv_contrib(comm, (rank - k) % size, TAG_BARRIER)
+        sched.round(Send((rank + k) % size, empty_token(), tag),
+                    Recv((rank - k) % size, tag))
         k *= 2
 
 
-def _linear(comm) -> None:
+def _linear(comm, sched, tag) -> None:
     rank, size = comm.rank, comm.size
     if rank == 0:
-        for r in range(1, size):
-            recv_contrib(comm, r, TAG_BARRIER)
-        for r in range(1, size):
-            send_contrib(comm, empty_token(), r, TAG_BARRIER)
+        sched.round(*[Recv(r, tag) for r in range(1, size)])
+        sched.round(*[Send(r, empty_token(), tag) for r in range(1, size)])
     else:
-        send_contrib(comm, empty_token(), 0, TAG_BARRIER)
-        recv_contrib(comm, 0, TAG_BARRIER)
+        sched.round(Send(0, empty_token(), tag))
+        sched.round(Recv(0, tag))

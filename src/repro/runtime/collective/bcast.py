@@ -1,72 +1,96 @@
-"""``MPI_Bcast``.
+"""``MPI_Bcast`` / ``MPI_Ibcast``.
 
-Binomial tree by default (``ceil(log2 p)`` communication steps on the
+Binomial tree by default (``ceil(log2 p)`` communication rounds on the
 critical path); the linear variant (root sends ``p - 1`` messages) exists
 for the ablation benchmark.  The message is gathered into dense form once
 at the root and forwarded dense, so derived-datatype packing costs are paid
 exactly once per endpoint.
+
+``build_tree`` moves a :class:`~repro.runtime.nbc.Box` from ``root`` to
+every rank; composed collectives (reduce+bcast allreduce) reuse it with
+their own tag and boxes.
 """
 
 from __future__ import annotations
 
 from repro.runtime.buffers import validate_buffer
-from repro.runtime.collective.common import (CONFIG, TAG_BCAST, check_root,
-                                             extract_contrib, land_contrib,
-                                             recv_contrib, send_contrib)
+from repro.runtime.collective.common import (algorithm_for, check_root,
+                                             extract_contrib, land_contrib)
+from repro.runtime import nbc
+from repro.runtime.nbc import Box, Compute, Recv, Send
 
 
 def bcast(comm, buf, offset, count, datatype, root,
           algorithm: str | None = None) -> None:
+    ibcast(comm, buf, offset, count, datatype, root,
+           algorithm=algorithm).wait()
+
+
+def ibcast(comm, buf, offset, count, datatype, root,
+           algorithm: str | None = None):
     comm._check_alive()
     comm._require_intra("Bcast")
     check_root(comm, root)
     validate_buffer(buf, offset, count, datatype)
+    algorithm = algorithm or algorithm_for("bcast")
+
+    def build(sched):
+        if comm.size == 1:
+            return
+        tag = comm.next_coll_tag()
+        at_root = comm.rank == root
+        box = Box(extract_contrib(buf, offset, count, datatype)) \
+            if at_root else Box()
+        build_tree(comm, sched, tag, box, root, algorithm)
+        if not at_root:
+            sched.compute(
+                lambda: land_contrib(buf, offset, count, datatype,
+                                     box.contrib))
+
+    return nbc.launch(comm, "Bcast", build)
+
+
+def build_tree(comm, sched, tag, box, root, algorithm=None) -> None:
+    """Append rounds that move ``box`` from ``root`` to every rank."""
+    algorithm = algorithm or algorithm_for("bcast")
     if comm.size == 1:
         return
-    algorithm = algorithm or CONFIG["bcast"]
     if algorithm == "binomial":
-        _binomial(comm, buf, offset, count, datatype, root)
+        _binomial(comm, sched, tag, box, root)
     elif algorithm == "linear":
-        _linear(comm, buf, offset, count, datatype, root)
+        _linear(comm, sched, tag, box, root)
     else:
         raise ValueError(f"unknown bcast algorithm {algorithm!r}")
 
 
-def _binomial(comm, buf, offset, count, datatype, root) -> None:
+def _binomial(comm, sched, tag, box, root) -> None:
     rank, size = comm.rank, comm.size
     vrank = (rank - root) % size
 
+    mask = 1
     if vrank == 0:
-        contrib = extract_contrib(buf, offset, count, datatype)
-        mask = 1
         while mask < size:
             mask <<= 1
     else:
-        mask = 1
-        while mask < size:
-            if vrank & mask:
-                src = (vrank - mask + root) % size
-                contrib = recv_contrib(comm, src, TAG_BCAST)
-                land_contrib(buf, offset, count, datatype, contrib)
-                break
+        while not (vrank & mask):
             mask <<= 1
-    # here mask is below vrank's lowest set bit (or above size for the
-    # root), so vrank + mask addresses exactly this node's subtree children
+        src = (vrank - mask + root) % size
+        sched.round(Recv(src, tag, box))
+    # here mask is vrank's lowest set bit (or above size for the root), so
+    # vrank + mask>>1 ... vrank + 1 address exactly this node's subtree
+    # children; forwarding sends resolve `box` once the receive landed
     mask >>= 1
+    sends = []
     while mask > 0:
         if vrank + mask < size:
-            dst = (vrank + mask + root) % size
-            send_contrib(comm, contrib, dst, TAG_BCAST)
+            sends.append(Send((vrank + mask + root) % size, box, tag))
         mask >>= 1
+    sched.round(*sends)
 
 
-def _linear(comm, buf, offset, count, datatype, root) -> None:
-    rank = comm.rank
+def _linear(comm, sched, tag, box, root) -> None:
+    rank, size = comm.rank, comm.size
     if rank == root:
-        contrib = extract_contrib(buf, offset, count, datatype)
-        for r in range(comm.size):
-            if r != root:
-                send_contrib(comm, contrib, r, TAG_BCAST)
+        sched.round(*[Send(r, box, tag) for r in range(size) if r != root])
     else:
-        contrib = recv_contrib(comm, root, TAG_BCAST)
-        land_contrib(buf, offset, count, datatype, contrib)
+        sched.round(Recv(root, tag, box))

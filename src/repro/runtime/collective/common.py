@@ -4,38 +4,79 @@ A *contribution* is one rank's dense message: ``("dense", ndarray)`` for
 primitive data or ``("obj", list)`` for ``MPI.OBJECT`` data.  The helpers
 here move contributions between ranks over the collective context and land
 them into user buffers.
+
+Algorithm selection: every collective has a default algorithm (see
+:data:`DEFAULT_ALGORITHMS`) that ablation benchmarks override through the
+:func:`algorithm_overrides` context manager.  Overrides are thread-local —
+ranks are threads here, so one rank's ablation run can never bleed
+algorithm selection into a concurrently running test.
 """
 
 from __future__ import annotations
 
+import contextlib
+import threading
+
 import numpy as np
 
-from repro.errors import MPIException, ERR_ROOT
+from repro.errors import MPIException, ERR_ARG, ERR_ROOT
 from repro.datatypes.object_serial import (deserialize_objects,
                                            serialize_objects)
 from repro.runtime.buffers import extract_send_payload, land_dense
 
-# internal tags on the collective context, one per operation
-TAG_BARRIER = 10
-TAG_BCAST = 11
-TAG_GATHER = 12
-TAG_SCATTER = 13
-TAG_ALLGATHER = 14
-TAG_ALLTOALL = 15
-TAG_REDUCE = 16
-TAG_ALLREDUCE = 17
-TAG_SCAN = 18
-TAG_REDUCE_SCATTER = 19
+# --- algorithm selection ------------------------------------------------------
 
-#: algorithm selection, mutable for ablation benchmarks
-CONFIG = {
-    "bcast": "binomial",          # binomial | linear
-    "reduce": "binomial",         # binomial | linear
-    "allreduce": "recursive_doubling",  # recursive_doubling | reduce_bcast
-    "barrier": "dissemination",   # dissemination | linear
-    "allgather": "gather_bcast",  # gather_bcast | ring
+#: per-collective algorithm choices; first entry is the default
+ALGORITHM_CHOICES = {
+    "bcast": ("binomial", "linear"),
+    "reduce": ("binomial", "linear"),
+    "allreduce": ("recursive_doubling", "reduce_bcast"),
+    "barrier": ("dissemination", "linear"),
+    "allgather": ("gather_bcast", "ring"),
 }
 
+DEFAULT_ALGORITHMS = {k: v[0] for k, v in ALGORITHM_CHOICES.items()}
+
+_overrides = threading.local()
+
+
+def algorithm_for(collective: str) -> str:
+    """The algorithm the calling thread (rank) should run."""
+    active = getattr(_overrides, "active", None)
+    if active:
+        got = active.get(collective)
+        if got is not None:
+            return got
+    return DEFAULT_ALGORITHMS[collective]
+
+
+@contextlib.contextmanager
+def algorithm_overrides(**choices: str):
+    """Scoped, thread-local algorithm selection for ablation runs.
+
+    >>> with algorithm_overrides(bcast="linear"):
+    ...     ...  # Bcast calls on this thread use the linear algorithm
+
+    Unknown collectives raise immediately; unknown algorithm names are
+    rejected by each collective's dispatcher (so an override of a variant
+    that doesn't exist fails loudly at the call site, same as passing
+    ``algorithm=`` explicitly).  Restores the previous overrides on exit —
+    nesting composes.
+    """
+    for key in choices:
+        if key not in ALGORITHM_CHOICES:
+            raise MPIException(
+                ERR_ARG, f"no collective {key!r} to override "
+                         f"(have {sorted(ALGORITHM_CHOICES)})")
+    prev = getattr(_overrides, "active", None)
+    _overrides.active = {**(prev or {}), **choices}
+    try:
+        yield
+    finally:
+        _overrides.active = prev
+
+
+# --- contribution plumbing ----------------------------------------------------
 
 def check_root(comm, root: int) -> None:
     if not 0 <= root < comm.size:
@@ -69,8 +110,8 @@ def send_contrib(comm, contrib, dest: int, tag: int) -> None:
         comm.coll_send(data, int(data.shape[0]), False, dest, tag)
 
 
-def recv_contrib(comm, src: int, tag: int):
-    env = comm.coll_recv(src, tag)
+def contrib_from_env(env):
+    """Decode an arrived collective-context envelope into a contribution."""
     if env.is_object:
         return ("obj", deserialize_objects(bytes(env.payload)))
     payload = env.payload

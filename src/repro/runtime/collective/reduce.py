@@ -1,4 +1,4 @@
-"""``MPI_Reduce``.
+"""``MPI_Reduce`` / ``MPI_Ireduce``.
 
 Two algorithms:
 
@@ -9,69 +9,104 @@ Two algorithms:
   correct evaluation for non-commutative user operations.
 
 The dispatcher falls back to ``linear`` automatically for non-commutative
-operations.
+operations.  ``build_to_root`` reduces a contribution into a result box at
+the root; composed collectives (allreduce, reduce_scatter) reuse it.
 """
 
 from __future__ import annotations
 
 from repro.runtime.buffers import validate_buffer
-from repro.runtime.collective.common import (CONFIG, TAG_REDUCE, check_root,
+from repro.runtime.collective.common import (algorithm_for, check_root,
                                              combine, extract_contrib,
-                                             land_contrib, recv_contrib,
-                                             send_contrib, writable)
+                                             land_contrib, writable)
+from repro.runtime import nbc
+from repro.runtime.nbc import Box, Compute, Recv, Send
 
 
 def reduce(comm, sendbuf, soffset, recvbuf, roffset, count, datatype, op,
            root, algorithm: str | None = None) -> None:
+    ireduce(comm, sendbuf, soffset, recvbuf, roffset, count, datatype, op,
+            root, algorithm=algorithm).wait()
+
+
+def ireduce(comm, sendbuf, soffset, recvbuf, roffset, count, datatype, op,
+            root, algorithm: str | None = None):
     comm._check_alive()
     comm._require_intra("Reduce")
     check_root(comm, root)
     op.check_usable(datatype)
     if comm.rank == root:
         validate_buffer(recvbuf, roffset, count, datatype)
-    algorithm = algorithm or CONFIG["reduce"]
+
+    def build(sched):
+        tag = comm.next_coll_tag()
+        mine = extract_contrib(sendbuf, soffset, count, datatype)
+        result = build_to_root(comm, sched, tag, mine, datatype, op, root,
+                               algorithm)
+        if comm.rank == root:
+            sched.compute(lambda: land_contrib(recvbuf, roffset, count,
+                                               datatype, result.contrib))
+
+    return nbc.launch(comm, "Reduce", build)
+
+
+def build_to_root(comm, sched, tag, mine, datatype, op, root,
+                  algorithm=None):
+    """Append rounds reducing every rank's contribution to ``root``.
+
+    Returns the result :class:`Box` (meaningful at the root only; filled
+    once the appended rounds have run).
+    """
+    algorithm = algorithm or algorithm_for("reduce")
     if not op.commute:
         algorithm = "linear"
     if algorithm == "binomial":
-        result = _binomial(comm, sendbuf, soffset, count, datatype, op, root)
-    elif algorithm == "linear":
-        result = _linear(comm, sendbuf, soffset, count, datatype, op, root)
-    else:
-        raise ValueError(f"unknown reduce algorithm {algorithm!r}")
-    if comm.rank == root:
-        land_contrib(recvbuf, roffset, count, datatype, result)
+        return _binomial(comm, sched, tag, mine, datatype, op, root)
+    if algorithm == "linear":
+        return _linear(comm, sched, tag, mine, datatype, op, root)
+    raise ValueError(f"unknown reduce algorithm {algorithm!r}")
 
 
-def _linear(comm, sendbuf, soffset, count, datatype, op, root):
-    mine = extract_contrib(sendbuf, soffset, count, datatype)
+def _linear(comm, sched, tag, mine, datatype, op, root):
     if comm.rank != root:
-        send_contrib(comm, mine, root, TAG_REDUCE)
-        return None
-    contribs = [None] * comm.size
-    contribs[root] = mine
-    for r in range(comm.size):
-        if r != root:
-            contribs[r] = recv_contrib(comm, r, TAG_REDUCE)
-    # left-associated fold in rank order: accumulate from the top down
-    accum = writable(contribs[-1])
-    for r in range(comm.size - 2, -1, -1):
-        accum = combine(op, contribs[r], accum, datatype)
-    return accum
+        sched.round(Send(root, mine, tag))
+        return Box()
+    boxes = {r: Box(mine) if r == root else Box()
+             for r in range(comm.size)}
+    sched.round(*[Recv(r, tag, boxes[r])
+                  for r in range(comm.size) if r != root])
+    result = Box()
+
+    def fold():
+        # left-associated fold in rank order: accumulate from the top down
+        accum = writable(boxes[comm.size - 1].contrib)
+        for r in range(comm.size - 2, -1, -1):
+            accum = combine(op, boxes[r].contrib, accum, datatype)
+        result.contrib = accum
+
+    sched.compute(fold)
+    return result
 
 
-def _binomial(comm, sendbuf, soffset, count, datatype, op, root):
+def _binomial(comm, sched, tag, mine, datatype, op, root):
     rank, size = comm.rank, comm.size
     vrank = (rank - root) % size
-    accum = writable(extract_contrib(sendbuf, soffset, count, datatype))
+    accum = Box(writable(mine))
     mask = 1
     while mask < size:
         if vrank & mask:
             dst = (vrank - mask + root) % size
-            send_contrib(comm, accum, dst, TAG_REDUCE)
-            return None
+            sched.round(Send(dst, accum, tag))
+            return accum
         src_v = vrank | mask
         if src_v < size:
-            child = recv_contrib(comm, (src_v + root) % size, TAG_REDUCE)
-            accum = combine(op, child, accum, datatype)
+            child = Box()
+
+            def fold(child=child):
+                accum.contrib = combine(op, child.contrib, accum.contrib,
+                                        datatype)
+
+            sched.round(Recv((src_v + root) % size, tag, child),
+                        Compute(fold))
         mask <<= 1
     return accum

@@ -7,23 +7,40 @@ rank, which is correct for non-commutative operations too.
 from __future__ import annotations
 
 from repro.runtime.buffers import validate_buffer
-from repro.runtime.collective.common import (TAG_SCAN, combine,
-                                             extract_contrib, land_contrib,
-                                             recv_contrib, send_contrib,
-                                             writable)
+from repro.runtime.collective.common import (combine, extract_contrib,
+                                             land_contrib, writable)
+from repro.runtime import nbc
+from repro.runtime.nbc import Box, Compute, Recv, Send
 
 
 def scan(comm, sendbuf, soffset, recvbuf, roffset, count, datatype,
          op) -> None:
+    iscan(comm, sendbuf, soffset, recvbuf, roffset, count, datatype,
+          op).wait()
+
+
+def iscan(comm, sendbuf, soffset, recvbuf, roffset, count, datatype, op):
     comm._check_alive()
     comm._require_intra("Scan")
     op.check_usable(datatype)
     validate_buffer(recvbuf, roffset, count, datatype)
-    rank, size = comm.rank, comm.size
-    accum = writable(extract_contrib(sendbuf, soffset, count, datatype))
-    if rank > 0:
-        prefix = recv_contrib(comm, rank - 1, TAG_SCAN)
-        accum = combine(op, prefix, accum, datatype)
-    if rank + 1 < size:
-        send_contrib(comm, accum, rank + 1, TAG_SCAN)
-    land_contrib(recvbuf, roffset, count, datatype, accum)
+
+    def build(sched):
+        tag = comm.next_coll_tag()
+        rank, size = comm.rank, comm.size
+        accum = Box(writable(extract_contrib(sendbuf, soffset, count,
+                                             datatype)))
+        if rank > 0:
+            prefix = Box()
+
+            def fold():
+                accum.contrib = combine(op, prefix.contrib, accum.contrib,
+                                        datatype)
+
+            sched.round(Recv(rank - 1, tag, prefix), Compute(fold))
+        if rank + 1 < size:
+            sched.round(Send(rank + 1, accum, tag))
+        sched.compute(lambda: land_contrib(recvbuf, roffset, count,
+                                           datatype, accum.contrib))
+
+    return nbc.launch(comm, "Scan", build)

@@ -36,6 +36,12 @@ TAG_CTX_AGREE = 1
 TAG_OBJ_COLL = 2
 TAG_INTERCOMM_HANDSHAKE = 3
 
+#: collective-schedule tags live above the management tags; each collective
+#: call on a communicator draws a fresh tag from this window, so traffic of
+#: concurrently outstanding collectives can never match across operations
+NBC_TAG_BASE = 1 << 10
+NBC_TAG_WINDOW = 1 << 22
+
 # --- attribute keyvals ------------------------------------------------------------
 
 
@@ -107,6 +113,11 @@ class CommImpl:
         }
         self.freed = False
         self.permanent = False   # COMM_WORLD / COMM_SELF cannot be freed
+        # per-rank collective-call counter; MPI's "collectives are called
+        # in the same order by all members" rule keeps it in agreement
+        # across the communicator, so it doubles as a distributed tag
+        # allocator without any extra traffic
+        self._coll_seq = 0
 
     # -- basic inquiry ------------------------------------------------------
     @property
@@ -396,27 +407,41 @@ class CommImpl:
     # ======================================================================
     # internal dense/object messaging for collectives and management
     # ======================================================================
+    def next_coll_tag(self) -> int:
+        """Fresh tag for one collective operation instance.
+
+        Purely local: every member calls collectives on a communicator in
+        the same order (an MPI requirement), so the per-rank counters agree
+        and the tags match up without negotiation.
+        """
+        self._coll_seq += 1
+        return NBC_TAG_BASE + self._coll_seq % NBC_TAG_WINDOW
+
     def coll_send(self, payload, nelems, is_object, dest_comm_rank: int,
                   tag: int) -> None:
-        """Internal eager send on the collective context (intra-comm)."""
+        """Internal eager send on the collective context (intra-comm).
+
+        Standard-mode eager sends complete locally before returning, so
+        this never blocks — which is what makes schedule execution
+        deadlock-free.
+        """
         dest_world = self.group.world_rank(dest_comm_rank)
         self._isend_raw(payload, nelems, is_object, dest_world, tag,
-                        self.ctx_coll).wait()
+                        self.ctx_coll)
 
-    def coll_recv(self, src_comm_rank: int, tag: int) -> Envelope:
-        """Internal capture-receive on the collective context."""
-        box: dict[str, Envelope] = {}
+    def coll_post_recv(self, src_comm_rank: int, tag: int,
+                       land) -> RequestImpl:
+        """Post a nonblocking receive on the collective context.
+
+        ``land(env)`` consumes the matched envelope (mailbox contract);
+        completion fires the returned request's listeners, which is what
+        the schedule progress engine advances on.
+        """
         req = RequestImpl(self.universe, RequestImpl.KIND_RECV)
-
-        def land(env):
-            box["env"] = env
-            return env.nelems, SUCCESS, ""
-
         src_world = (ANY_SOURCE if src_comm_rank == ANY_SOURCE
                      else self.group.world_rank(src_comm_rank))
         self.rt.mailbox.post_recv(req, src_world, tag, self.ctx_coll, land)
-        req.wait()
-        return box["env"]
+        return req
 
     def obj_send(self, obj, dest_comm_rank: int, tag: int,
                  world_dest: int | None = None, ctx: int | None = None) \

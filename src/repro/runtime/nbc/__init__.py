@@ -1,0 +1,23 @@
+"""Schedule-based (non)blocking collectives engine.
+
+The subsystem splits a collective operation into two halves:
+
+* :mod:`repro.runtime.nbc.schedule` — the *plan*: rounds of send / recv /
+  compute ops, built per rank by the algorithm modules in
+  :mod:`repro.runtime.collective`;
+* :mod:`repro.runtime.nbc.progress` — the *engine*: executes a schedule
+  off the eager point-to-point layer, advancing event-driven through
+  mailbox completion listeners.
+
+Blocking collectives are "build schedule, run to completion"; nonblocking
+collectives return the in-flight :class:`CollRequestImpl`, which plugs
+straight into the Wait/Test/Waitall machinery alongside point-to-point
+requests.
+"""
+
+from repro.runtime.nbc.schedule import (Box, Compute, Recv, Schedule,
+                                        Send)
+from repro.runtime.nbc.progress import CollRequestImpl, launch
+
+__all__ = ["Box", "Compute", "Recv", "Schedule", "Send",
+           "CollRequestImpl", "launch"]

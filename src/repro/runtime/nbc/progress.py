@@ -1,0 +1,206 @@
+"""Progress engine: advance a :class:`Schedule` to completion.
+
+A :class:`CollRequestImpl` is the request behind a (non)blocking collective.
+It subclasses :class:`~repro.runtime.requests.RequestImpl`, so the whole
+Wait/Test/Waitall/Waitany machinery — and the OO layer's ``Request`` class —
+work on collectives and point-to-point requests interchangeably.
+
+The engine is event-driven, not polled: every runtime receive completes via
+mailbox listeners (fired from whichever thread delivered the envelope), so
+a schedule advances as a cascade —
+
+* :meth:`launch` runs rounds until one blocks on outstanding receives;
+* the last receive of that round to land fires its listener, which runs the
+  round's computes and keeps advancing, possibly in a peer's thread;
+* when the final round finishes the request completes, waking any waiter.
+
+Sends on the collective context are eager (they never block), so schedule
+execution cannot deadlock: each rank only ever waits for data, and every
+send is issued as soon as its round is reached.
+
+Tag discipline: each collective operation instance gets a fresh tag from
+:meth:`CommImpl.next_coll_tag`.  MPI requires all members to call
+collectives on a communicator in the same order, so the per-communicator
+counters agree across ranks and concurrent outstanding collectives on one
+communicator can never match each other's traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from repro.errors import MPIException, SUCCESS, ERR_INTERN
+from repro.runtime.collective.common import contrib_from_env, send_contrib
+from repro.runtime.requests import RequestImpl
+from repro.runtime.nbc.schedule import Compute, Recv, Schedule, Send
+
+_cascade = threading.local()
+
+
+def _trampoline(fn) -> None:
+    """Run a schedule continuation without cross-rank stack nesting.
+
+    The in-process transport delivers synchronously, so one rank's send
+    can complete a peer's receive, whose listener advances the peer's
+    schedule, whose send completes the next peer's receive — a chain that
+    would otherwise nest one Python stack level per hop and overflow on
+    chain-shaped collectives (Scan, ring) past ~70 ranks.  Instead, a
+    continuation arriving while this thread is already advancing a
+    schedule is queued and run when the active one unwinds, so stack
+    depth stays constant however long the chain is.
+    """
+    queue = getattr(_cascade, "queue", None)
+    if queue is not None:
+        queue.append(fn)
+        return
+    queue = deque([fn])
+    _cascade.queue = queue
+    try:
+        while queue:
+            queue.popleft()()
+    finally:
+        _cascade.queue = None
+
+
+class CollRequestImpl(RequestImpl):
+    """One in-flight collective operation (a schedule being executed)."""
+
+    KIND_COLL = "coll"
+
+    def __init__(self, comm, schedule: Schedule, name: str = "coll"):
+        super().__init__(comm.universe, self.KIND_COLL)
+        self.comm = comm
+        self.schedule = schedule
+        self.name = name
+        self._round = -1
+        self._plock = threading.Lock()
+        self._pending = 0
+        self._exc: Exception | None = None
+
+    # -- launch ----------------------------------------------------------------
+    def launch(self) -> "CollRequestImpl":
+        """Start executing; returns self (possibly already complete)."""
+        _trampoline(self._step)
+        return self
+
+    # -- engine ----------------------------------------------------------------
+    def _step(self) -> None:
+        """Advance rounds until one blocks on receives or the end is hit."""
+        rounds = self.schedule.rounds
+        while True:
+            self._round += 1
+            if self._round >= len(rounds):
+                self.complete()
+                return
+            rnd = rounds[self._round]
+            recvs = [op for op in rnd if isinstance(op, Recv)]
+            with self._plock:
+                # +1 guard token held by this thread while issuing, so
+                # receives matched synchronously can't finish the round
+                # out from under us
+                self._pending = len(recvs) + 1
+            try:
+                for op in recvs:
+                    self._post_recv(op)
+                for op in rnd:
+                    if isinstance(op, Send):
+                        self._issue_send(op)
+            except Exception as exc:  # noqa: BLE001 - rounds >= 1 run in
+                # delivery threads; anything escaping would hang the waiter
+                self._fail(exc)
+                return
+            if not self._dec():
+                return          # a recv listener will resume the cascade
+            if not self._finish_round(rnd):
+                return          # completed with error
+            # fall through: round done synchronously, continue the loop
+
+    def _dec(self) -> bool:
+        with self._plock:
+            self._pending -= 1
+            return self._pending == 0
+
+    def _on_recv_done(self) -> None:
+        if not self._dec():
+            return
+        _trampoline(self._resume)
+
+    def _resume(self) -> None:
+        if self._finish_round(self.schedule.rounds[self._round]):
+            self._step()
+
+    def _finish_round(self, rnd) -> bool:
+        """Decode the round's receives, run its computes.
+
+        Both run here — in the thread advancing *this* schedule — never in
+        the delivery thread, so a decoding error (e.g. an object payload
+        whose unpickling raises) fails this rank's request instead of
+        escaping into the sender's stack.  Returns False if the request
+        errored out.
+        """
+        try:
+            for op in rnd:
+                if isinstance(op, Recv):
+                    op.box.contrib = contrib_from_env(op.box.contrib)
+            for op in rnd:
+                if isinstance(op, Compute):
+                    op.fn()
+        except Exception as exc:  # noqa: BLE001 - surfaced via the request
+            self._fail(exc)
+            return False
+        return True
+
+    def _fail(self, exc: Exception) -> None:
+        """Complete with an error, keeping the original exception.
+
+        The waiter re-raises the exception object itself (see
+        :meth:`raise_if_error`), so a user reduction op that raises, say,
+        ``ZeroDivisionError`` surfaces it unchanged — the same contract
+        the inline blocking collectives had.
+        """
+        self._exc = exc
+        code = exc.error_code if isinstance(exc, MPIException) \
+            else ERR_INTERN
+        self.complete(error=code,
+                      error_message=f"{self.name} schedule failed: {exc}")
+
+    def raise_if_error(self) -> None:
+        if self._exc is not None:
+            raise self._exc
+        super().raise_if_error()
+
+    # -- primitive ops ---------------------------------------------------------
+    def _post_recv(self, op: Recv) -> None:
+        box = op.box
+
+        def land(env):
+            # stash the raw envelope only — decoding can raise, and this
+            # runs in the delivery thread under Mailbox._consume; the
+            # round tail decodes it in this schedule's own cascade
+            box.contrib = env
+            return env.nelems, SUCCESS, ""
+
+        req = self.comm.coll_post_recv(op.peer, op.tag, land)
+        req.add_listener(self._on_recv_done)
+
+    def _issue_send(self, op: Send) -> None:
+        send_contrib(self.comm, op.resolve(), op.peer, op.tag)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "done" if self.done else f"round {self._round}"
+        return f"CollRequestImpl({self.name}, {state})"
+
+
+def launch(comm, name: str, build) -> CollRequestImpl:
+    """Build a schedule for one collective call and start executing it.
+
+    ``build(schedule)`` appends the rank's rounds; it runs exactly once,
+    allocates its operation tags via :meth:`CommImpl.next_coll_tag`, and
+    must itself perform no communication.  Every collective entry point
+    funnels through here so tag allocation stays in call order on all
+    ranks.
+    """
+    sched = Schedule()
+    build(sched)
+    return CollRequestImpl(comm, sched, name=name).launch()

@@ -125,19 +125,16 @@ class TestGatherScatter:
 class TestAllVariants:
     @pytest.mark.parametrize("algorithm", ["gather_bcast", "ring"])
     def test_allgather_algorithms(self, mode_transport, algorithm):
-        from repro.runtime.collective import CONFIG
+        from repro.runtime.collective import algorithm_overrides
 
         def body(alg):
-            CONFIG["allgather"] = alg
-            try:
+            with algorithm_overrides(allgather=alg):
                 w = MPI.COMM_WORLD
                 me, size = w.Rank(), w.Size()
                 sb = np.full(2, me * 10, dtype=np.int32)
                 rb = np.zeros(2 * size, dtype=np.int32)
                 w.Allgather(sb, 0, 2, MPI.INT, rb, 0, 2, MPI.INT)
                 return list(rb)
-            finally:
-                CONFIG["allgather"] = "gather_bcast"
 
         out = run(4, body, transport=mode_transport, args=(algorithm,))
         expected = [0, 0, 10, 10, 20, 20, 30, 30]
@@ -245,18 +242,15 @@ class TestReductions:
     @pytest.mark.parametrize("algorithm",
                              ["recursive_doubling", "reduce_bcast"])
     def test_allreduce_algorithms_agree(self, mode_transport, algorithm):
-        from repro.runtime.collective import CONFIG
+        from repro.runtime.collective import algorithm_overrides
 
         def body(alg):
-            CONFIG["allreduce"] = alg
-            try:
+            with algorithm_overrides(allreduce=alg):
                 w = MPI.COMM_WORLD
                 sb = np.array([w.Rank() + 1.0, w.Rank() * 2.0])
                 rb = np.zeros(2)
                 w.Allreduce(sb, 0, rb, 0, 2, MPI.DOUBLE, MPI.SUM)
                 return list(rb)
-            finally:
-                CONFIG["allreduce"] = "recursive_doubling"
 
         out = run(4, body, transport=mode_transport, args=(algorithm,))
         assert all(row == [10.0, 12.0] for row in out)

@@ -52,6 +52,18 @@ def test_laplace_residual_decreases_with_iterations():
     assert long < short
 
 
+def test_laplace_overlap_matches_blocking():
+    import laplace2d
+    import laplace2d_overlap
+    from repro import mpirun
+    blocking = mpirun(4, laplace2d.solve, args=(24, 40))
+    overlap = mpirun(4, laplace2d_overlap.solve_overlap, args=(24, 40))
+    for (rb, pb), (ro, po) in zip(blocking, overlap):
+        assert np.allclose(pb, po), \
+            "overlapped halo exchange must not change the numerics"
+        assert np.isclose(rb, ro)
+
+
 def test_object_taskfarm_all_tasks_done():
     import object_taskfarm
     from repro import mpirun

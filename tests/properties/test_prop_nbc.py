@@ -1,0 +1,296 @@
+"""Property tests for the schedule-based nonblocking collectives.
+
+The governing property: every ``I``-collective must be result-equivalent
+to its blocking counterpart — for every datatype (including ``MPI.OBJECT``),
+non-power-of-two communicator sizes, and non-zero roots.  Each test runs
+both variants in one job on distinct buffers and compares.
+
+Plus the integration stress: outstanding ``CollRequest``s and plain
+point-to-point requests completed together through one ``Waitall``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpijava import MPI
+from repro.mpijava.request import Request
+
+from tests.conftest import run
+
+#: non-power-of-two and power-of-two sizes; roots exercise rotation
+SIZES = (3, 4)
+DTYPES = ("int", "double", "object")
+
+
+def _sendvals(dtype, rank, count):
+    """This rank's contribution: count elements, deterministic per rank."""
+    if dtype == "int":
+        return (np.arange(count, dtype=np.int32) + 100 * rank + 1,
+                MPI.INT)
+    if dtype == "double":
+        return (np.arange(count, dtype=np.float64) * 0.5 + rank + 0.25,
+                MPI.DOUBLE)
+    return ([(rank, i) for i in range(count)], MPI.OBJECT)
+
+
+def _empty(dtype, count):
+    if dtype == "int":
+        return np.zeros(count, dtype=np.int32)
+    if dtype == "double":
+        return np.zeros(count, dtype=np.float64)
+    return [None] * count
+
+
+def _norm(buf):
+    return list(buf) if not isinstance(buf, np.ndarray) else buf.tolist()
+
+
+@pytest.mark.parametrize("dtype", DTYPES)
+@pytest.mark.parametrize("nprocs", SIZES)
+class TestBlockingEquivalence:
+    """Each I-collective produces exactly what the blocking one does."""
+
+    def test_ibcast(self, nprocs, dtype):
+        def body(dt):
+            w = MPI.COMM_WORLD
+            me, size = w.Rank(), w.Size()
+            root = size - 1
+            count = 5
+            vals, mpidt = _sendvals(dt, root, count)
+            blocking = vals if me == root else _empty(dt, count)
+            nonblocking = vals if me == root else _empty(dt, count)
+            w.Bcast(blocking, 0, count, mpidt, root)
+            w.Ibcast(nonblocking, 0, count, mpidt, root).Wait()
+            return _norm(blocking) == _norm(nonblocking)
+
+        assert all(run(nprocs, body, args=(dtype,)))
+
+    def test_igather(self, nprocs, dtype):
+        def body(dt):
+            w = MPI.COMM_WORLD
+            me, size = w.Rank(), w.Size()
+            root = size - 1
+            count = 3
+            vals, mpidt = _sendvals(dt, me, count)
+            b = _empty(dt, count * size)
+            nb = _empty(dt, count * size)
+            w.Gather(vals, 0, count, mpidt, b, 0, count, mpidt, root)
+            w.Igather(vals, 0, count, mpidt, nb, 0, count, mpidt,
+                      root).Wait()
+            return _norm(b) == _norm(nb)
+
+        assert all(run(nprocs, body, args=(dtype,)))
+
+    def test_iscatter(self, nprocs, dtype):
+        def body(dt):
+            w = MPI.COMM_WORLD
+            me, size = w.Rank(), w.Size()
+            root = size - 1
+            count = 3
+            vals, mpidt = _sendvals(dt, me, count * size)
+            b = _empty(dt, count)
+            nb = _empty(dt, count)
+            w.Scatter(vals, 0, count, mpidt, b, 0, count, mpidt, root)
+            w.Iscatter(vals, 0, count, mpidt, nb, 0, count, mpidt,
+                       root).Wait()
+            return _norm(b) == _norm(nb)
+
+        assert all(run(nprocs, body, args=(dtype,)))
+
+    def test_iallgather(self, nprocs, dtype):
+        def body(dt):
+            w = MPI.COMM_WORLD
+            me, size = w.Rank(), w.Size()
+            count = 4
+            vals, mpidt = _sendvals(dt, me, count)
+            b = _empty(dt, count * size)
+            nb = _empty(dt, count * size)
+            w.Allgather(vals, 0, count, mpidt, b, 0, count, mpidt)
+            w.Iallgather(vals, 0, count, mpidt, nb, 0, count,
+                         mpidt).Wait()
+            return _norm(b) == _norm(nb)
+
+        assert all(run(nprocs, body, args=(dtype,)))
+
+    def test_ialltoall(self, nprocs, dtype):
+        def body(dt):
+            w = MPI.COMM_WORLD
+            me, size = w.Rank(), w.Size()
+            count = 2
+            vals, mpidt = _sendvals(dt, me, count * size)
+            b = _empty(dt, count * size)
+            nb = _empty(dt, count * size)
+            w.Alltoall(vals, 0, count, mpidt, b, 0, count, mpidt)
+            w.Ialltoall(vals, 0, count, mpidt, nb, 0, count, mpidt).Wait()
+            return _norm(b) == _norm(nb)
+
+        assert all(run(nprocs, body, args=(dtype,)))
+
+    def test_ireduce(self, nprocs, dtype):
+        def body(dt):
+            w = MPI.COMM_WORLD
+            me, size = w.Rank(), w.Size()
+            root = size - 1
+            count = 5
+            if dt == "object":
+                vals, mpidt = ([(me + 1) * (i + 1) for i in range(count)],
+                               MPI.OBJECT)
+            else:
+                vals, mpidt = _sendvals(dt, me, count)
+            b = _empty(dt, count)
+            nb = _empty(dt, count)
+            w.Reduce(vals, 0, b, 0, count, mpidt, MPI.SUM, root)
+            w.Ireduce(vals, 0, nb, 0, count, mpidt, MPI.SUM, root).Wait()
+            return _norm(b) == _norm(nb)
+
+        assert all(run(nprocs, body, args=(dtype,)))
+
+    def test_iallreduce(self, nprocs, dtype):
+        def body(dt):
+            w = MPI.COMM_WORLD
+            me, size = w.Rank(), w.Size()
+            count = 5
+            if dt == "object":
+                vals, mpidt = ([(me + 1) * (i + 1) for i in range(count)],
+                               MPI.OBJECT)
+            else:
+                vals, mpidt = _sendvals(dt, me, count)
+            b = _empty(dt, count)
+            nb = _empty(dt, count)
+            w.Allreduce(vals, 0, b, 0, count, mpidt, MPI.SUM)
+            w.Iallreduce(vals, 0, nb, 0, count, mpidt, MPI.SUM).Wait()
+            return _norm(b) == _norm(nb)
+
+        assert all(run(nprocs, body, args=(dtype,)))
+
+
+@pytest.mark.parametrize("nprocs", SIZES)
+def test_ibarrier_completes_everywhere(nprocs):
+    def body():
+        w = MPI.COMM_WORLD
+        req = w.Ibarrier()
+        status = req.Wait()
+        return req.Is_null() and status is not None
+
+    assert all(run(nprocs, body))
+
+
+def test_ibarrier_is_a_barrier():
+    """No rank's Ibarrier may complete before every rank has entered."""
+    def body():
+        import time
+        w = MPI.COMM_WORLD
+        me = w.Rank()
+        if me == 0:
+            time.sleep(0.2)
+            t_enter = time.monotonic()
+            w.Ibarrier().Wait()
+            return t_enter
+        req = w.Ibarrier()
+        req.Wait()
+        return time.monotonic()
+
+    out = run(3, body)
+    # ranks 1, 2 exited no earlier than rank 0 entered
+    assert out[1] >= out[0] and out[2] >= out[0]
+
+
+def test_chain_cascade_scales_past_the_stack_limit():
+    """Chain-shaped schedules must not nest the cascade across ranks.
+
+    With the in-process transport, a staggered Scan whose chain head
+    enters last cascades end-to-end in one thread; without the progress
+    engine's trampoline this overflowed the Python stack around ~70
+    ranks and hung every rank (regression test).
+    """
+    import time
+
+    def body():
+        w = MPI.COMM_WORLD
+        me, size = w.Rank(), w.Size()
+        if me == 0:
+            time.sleep(0.3)     # everyone downstream pre-posts first
+        sb = np.array([float(me + 1)])
+        rb = np.zeros(1)
+        w.Scan(sb, 0, rb, 0, 1, MPI.DOUBLE, MPI.SUM)
+        return float(rb[0])
+
+    nprocs = 150
+    out = run(nprocs, body, timeout=60.0)
+    assert out == [float(sum(range(1, r + 2))) for r in range(nprocs)]
+
+
+class TestMixedWaitall:
+    """CollRequests and pt2pt requests complete through one Waitall."""
+
+    def test_stress_mixed_outstanding_requests(self):
+        def body():
+            w = MPI.COMM_WORLD
+            me, size = w.Rank(), w.Size()
+            nb_rounds = 10
+            peer = (me + 1) % size
+            prev = (me - 1) % size
+            ok = True
+            for it in range(nb_rounds):
+                count = 3 + (it % 4)          # vary message sizes
+                reqs = []
+                # pt2pt ring traffic
+                sbuf = np.full(count, me * 1000 + it, dtype=np.int32)
+                rbuf = np.zeros(count, dtype=np.int32)
+                reqs.append(w.Irecv(rbuf, 0, count, MPI.INT, prev, it))
+                reqs.append(w.Isend(sbuf, 0, count, MPI.INT, peer, it))
+                # three outstanding collectives at once
+                bc = np.full(count, 7 * it if me == it % size else 0,
+                             dtype=np.int32)
+                reqs.append(w.Ibcast(bc, 0, count, MPI.INT, it % size))
+                sv = np.full(count, me + it, dtype=np.float64)
+                rv = np.zeros(count, dtype=np.float64)
+                reqs.append(w.Iallreduce(sv, 0, rv, 0, count, MPI.DOUBLE,
+                                         MPI.SUM))
+                reqs.append(w.Ibarrier())
+                statuses = Request.Waitall(reqs)
+                ok &= len(statuses) == len(reqs)
+                ok &= all(r.Is_null() for r in reqs)
+                ok &= list(rbuf) == [prev * 1000 + it] * count
+                ok &= list(bc) == [7 * it] * count
+                expected = sum(r + it for r in range(size))
+                ok &= np.allclose(rv, expected)
+            return ok
+
+        assert all(run(4, body))
+
+    def test_waitany_picks_off_collectives(self):
+        def body():
+            w = MPI.COMM_WORLD
+            me, size = w.Rank(), w.Size()
+            sv = np.array([me + 1.0])
+            rv = np.zeros(1)
+            reqs = [w.Iallreduce(sv, 0, rv, 0, 1, MPI.DOUBLE, MPI.PROD),
+                    w.Ibarrier()]
+            done = 0
+            while done < 2:
+                status = Request.Waitany(reqs)
+                if status.index == MPI.UNDEFINED:
+                    break
+                done += 1
+            expected = 1.0
+            for r in range(size):
+                expected *= r + 1
+            return done == 2 and float(rv[0]) == expected
+
+        assert all(run(3, body))
+
+    def test_test_polls_to_completion(self):
+        def body():
+            w = MPI.COMM_WORLD
+            me = w.Rank()
+            sv = np.array([me], dtype=np.int32)
+            rv = np.zeros(1, dtype=np.int32)
+            req = w.Iallreduce(sv, 0, rv, 0, 1, MPI.INT, MPI.MAX)
+            while req.Test() is None:
+                pass
+            return int(rv[0]) == w.Size() - 1
+
+        assert all(run(4, body))

@@ -103,9 +103,36 @@ class TestContribHandling:
 
 class TestConfig:
     def test_defaults(self):
-        assert common.CONFIG["bcast"] == "binomial"
-        assert common.CONFIG["allreduce"] == "recursive_doubling"
-        assert common.CONFIG["barrier"] == "dissemination"
+        assert common.algorithm_for("bcast") == "binomial"
+        assert common.algorithm_for("allreduce") == "recursive_doubling"
+        assert common.algorithm_for("barrier") == "dissemination"
+
+    def test_overrides_scoped_and_nested(self):
+        with common.algorithm_overrides(bcast="linear"):
+            assert common.algorithm_for("bcast") == "linear"
+            with common.algorithm_overrides(barrier="linear"):
+                assert common.algorithm_for("bcast") == "linear"
+                assert common.algorithm_for("barrier") == "linear"
+            assert common.algorithm_for("barrier") == "dissemination"
+        assert common.algorithm_for("bcast") == "binomial"
+
+    def test_overrides_are_thread_local(self):
+        import threading
+        seen = {}
+
+        def peek():
+            seen["other"] = common.algorithm_for("bcast")
+
+        with common.algorithm_overrides(bcast="linear"):
+            t = threading.Thread(target=peek)
+            t.start()
+            t.join()
+        assert seen["other"] == "binomial"
+
+    def test_unknown_collective_rejected(self):
+        with pytest.raises(MPIException):
+            with common.algorithm_overrides(telepathy="linear"):
+                pass
 
     def test_unknown_algorithm_rejected(self):
         from repro import mpirun
