@@ -95,10 +95,21 @@ class MPIException(Exception):
 
 
 class AbortException(MPIException):
-    """Raised in every rank of a job when ``MPI_Abort`` is called."""
+    """Raised in every rank of a job when the job is poisoned.
 
-    def __init__(self, errorcode: int = 1, origin_rank: int = -1):
+    ``origin_rank`` is the world rank that poisoned the job (-1 when the
+    origin is not a rank, e.g. the executor's hung-job timeout).  When the
+    poison was triggered by an exception — a rank thread dying, a fatal
+    error under ``ERRORS_ARE_FATAL`` — that root cause is preserved as
+    ``__cause__``, which the executor uses to fold abort-victims' failures
+    back to the originating rank.
+    """
+
+    def __init__(self, errorcode: int = 1, origin_rank: int = -1,
+                 cause: BaseException | None = None):
         super().__init__(ERR_OTHER, f"job aborted by rank {origin_rank} "
                                     f"with code {errorcode}")
         self.abort_code = errorcode
         self.origin_rank = origin_rank
+        if cause is not None:
+            self.__cause__ = cause

@@ -20,6 +20,7 @@ calling thread's rank through that binding, which is what lets the paper's
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable, Sequence
 
 from repro.errors import AbortException
@@ -28,7 +29,14 @@ from repro.runtime.engine import (RankRuntime, Universe, bind_thread,
 
 
 class RankFailure(Exception):
-    """Raised by :func:`mpirun` when any rank raised; carries all failures."""
+    """Raised by :func:`mpirun` when any rank raised; carries all failures.
+
+    ``failures`` maps world rank -> the exception that rank failed with.
+    Job aborts are folded back to the *originating* rank: victims that
+    unwound with :class:`~repro.errors.AbortException` do not appear, and
+    the origin's entry is the root-cause exception that poisoned the job
+    (e.g. the ``ValueError`` a user reduction op raised).
+    """
 
     def __init__(self, failures: dict[int, BaseException]):
         self.failures = failures
@@ -73,18 +81,27 @@ class MPIExecutor:
                 call_args = args[rank] if per_rank_args else args
                 results[rank] = main(*call_args)
             except AbortException as exc:
+                # This rank unwound because the job was poisoned.  Fold
+                # the failure back to the originating rank — even when
+                # that rank's thread already exited (or returned
+                # normally after catching the abort), so it is never
+                # silently dropped.  setdefault: if the origin recorded
+                # (or goes on to record) its own exception, that wins.
+                origin = exc.origin_rank
+                root = exc.__cause__ if exc.__cause__ is not None else exc
                 with lock:
-                    if exc.origin_rank == rank or exc.origin_rank < 0:
-                        failures[rank] = exc
+                    if 0 <= origin < self.nprocs:
+                        failures.setdefault(origin, root)
+                    else:
+                        failures.setdefault(rank, root)
             except BaseException as exc:  # noqa: BLE001 - reported to caller
                 with lock:
                     failures[rank] = exc
-                # poison the job so peers blocked on this rank wake up
-                if self.universe._abort is None:
-                    try:
-                        self.universe.abort(rank, 1)
-                    except AbortException:
-                        pass
+                # Uniformly poison the job on rank-thread death so peers
+                # blocked on this rank wake up; ``poison`` is idempotent
+                # and locked, so two simultaneously-failing ranks cannot
+                # race the flag.
+                self.universe.poison(rank, 1, cause=exc)
             finally:
                 unbind_thread()
 
@@ -93,14 +110,19 @@ class MPIExecutor:
                    for rank in range(self.nprocs)]
         for t in threads:
             t.start()
-        for t in threads:
-            t.join(timeout=timeout)
+        # One shared deadline for the whole job: a wedged job reports
+        # after ``timeout``, not after ``nprocs * timeout``.
+        if timeout is None:
+            for t in threads:
+                t.join()
+        else:
+            deadline = time.monotonic() + timeout
+            for t in threads:
+                t.join(timeout=max(0.0, deadline - time.monotonic()))
         hung = [t for t in threads if t.is_alive()]
         if hung:
-            try:
-                self.universe.abort(-1, 1)
-            except AbortException:
-                pass
+            # abort-aware waits unwind the hung ranks in milliseconds
+            self.universe.poison(-1, 1)
             for t in hung:
                 t.join(timeout=5.0)
             raise TimeoutError(

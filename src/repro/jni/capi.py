@@ -69,6 +69,10 @@ class CStatus:
 
 def _ctx():
     rt = current_runtime()
+    # fail fast on a poisoned job: every stub entry point observes a job
+    # abort at its next MPI call, even ranks that never block (e.g. a
+    # compute loop issuing only eager sends)
+    rt.universe.check_abort()
     return rt, tables_for(rt)
 
 
@@ -752,9 +756,31 @@ def mpi_errhandler_set(comm, errhandler) -> None:
 
 
 def mpi_errhandler_get(comm) -> int:
-    t = _ctx()[1]
-    return getattr(t.comms.lookup(comm), "errhandler_handle",
+    # no _ctx(): the OO layer's _guard consults this while an exception is
+    # already unwinding, so it must not raise on a poisoned job — a local
+    # error under ERRORS_RETURN still surfaces as itself, not as the abort
+    rt = current_runtime()
+    return getattr(tables_for(rt).comms.lookup(comm), "errhandler_handle",
                    H.ERRORS_ARE_FATAL)
+
+
+def mpi_request_errhandler(request: int) -> int:
+    """Error handler of the communicator a request belongs to.
+
+    The OO layer routes Wait/Test failures through this, mirroring MPI's
+    rule that a request inherits its communicator's error handler.  Never
+    raises and skips the poisoned-job check: it runs while an exception is
+    already unwinding.
+    """
+    rt = try_current_runtime()
+    if rt is None or request == H.REQUEST_NULL:
+        return H.ERRORS_ARE_FATAL
+    try:
+        req = tables_for(rt).requests.lookup(request)
+    except MPIException:
+        return H.ERRORS_ARE_FATAL
+    comm = getattr(req, "comm", None) or getattr(req, "source_comm", None)
+    return getattr(comm, "errhandler_handle", H.ERRORS_ARE_FATAL)
 
 
 # -- groups -------------------------------------------------------------------

@@ -22,12 +22,10 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro import errors
-from repro.errors import AbortException, MPIException
 from repro.jni import capi, handles as H
 from repro.mpijava.datatype import Datatype
 from repro.mpijava.errhandler import (ERRORS_ARE_FATAL, ERRORS_RETURN,
-                                      Errhandler)
+                                      Errhandler, guarded_call)
 from repro.mpijava.group import Group
 from repro.mpijava.prequest import Prequest
 from repro.mpijava.request import Request
@@ -47,17 +45,20 @@ class Comm:
     # binding plumbing: error handlers + wrapper cost accounting
     # ------------------------------------------------------------------
     def _guard(self, fn, *args):
-        """Run a stub call under this communicator's error handler."""
-        try:
-            return fn(*args)
-        except AbortException:
-            raise
-        except MPIException as exc:
-            if capi.mpi_errhandler_get(self._handle) == H.ERRORS_RETURN:
-                raise
-            # ERRORS_ARE_FATAL: poison the whole job, like a C MPI fatal
-            rt = current_runtime()
-            rt.universe.abort(rt.world_rank, exc.error_code)
+        """Run a stub call under this communicator's error handler.
+
+        *Any* exception escaping the stub layer is routed through the
+        communicator's error handler — not just :class:`MPIException`.  A
+        non-MPI exception (a user reduction op raising ``ValueError``, a
+        payload whose unpickling fails, …) is wrapped as
+        ``MPIException(ERR_OTHER)`` with the original preserved as
+        ``__cause__`` under ``ERRORS_RETURN``, and poisons the whole job
+        under ``ERRORS_ARE_FATAL`` — so one rank's failure can never leave
+        its peers blocked.  :class:`AbortException` always propagates: the
+        job is already dead.
+        """
+        return guarded_call(
+            lambda: capi.mpi_errhandler_get(self._handle), fn, *args)
 
     @staticmethod
     def _charge(count: int, datatype: Datatype) -> None:

@@ -2,16 +2,63 @@
 
 Python has exceptions, so the two predefined handlers map to:
 
-* ``MPI.ERRORS_ARE_FATAL`` (the default, per the standard) — any MPI error
-  aborts the whole job, like a fatal error in a C MPI program;
+* ``MPI.ERRORS_ARE_FATAL`` (the default, per the standard) — any error,
+  MPI or not, poisons the whole job, like a fatal error in a C MPI
+  program: every peer rank blocked in any MPI call unwinds with
+  :class:`~repro.errors.AbortException`;
 * ``MPI.ERRORS_RETURN`` — the error surfaces to the caller as an
   :class:`~repro.errors.MPIException` (the analogue of checking return
-  codes).
+  codes); a non-MPI exception escaping user code inside an MPI call is
+  wrapped as ``MPIException(ERR_OTHER)`` with the original preserved as
+  ``__cause__``.
+
+Error handlers govern how an error *surfaces on the rank that hit it*;
+either way, a rank whose thread dies poisons the job (see
+:mod:`repro.executor.runner`), so peers never hang on a dead rank.
 """
 
 from __future__ import annotations
 
+from typing import Callable
+
+from repro.errors import AbortException, ERR_OTHER, MPIException
 from repro.jni import handles as H
+from repro.runtime.engine import current_runtime
+
+
+def guarded_call(errhandler_of: Callable[[], int], fn, *args):
+    """Run ``fn(*args)`` routing any escaping exception through an
+    error handler.
+
+    ``errhandler_of()`` yields the active handler's handle, evaluated only
+    if an error actually escapes (a request's communicator can change
+    handlers between post and wait).  Routing:
+
+    * :class:`AbortException` propagates — the job is already dead;
+    * under ``ERRORS_RETURN``, an :class:`MPIException` propagates
+      unchanged and any other exception (user reduce op, decode failure…)
+      is wrapped as ``MPIException(ERR_OTHER)`` with the original
+      preserved as ``__cause__``;
+    * under ``ERRORS_ARE_FATAL``, the job is poisoned with the failure as
+      the abort's root cause and the abort is raised here.
+    """
+    try:
+        return fn(*args)
+    except AbortException:
+        raise
+    except MPIException as exc:
+        if errhandler_of() == H.ERRORS_RETURN:
+            raise
+        rt = current_runtime()
+        raise rt.universe.poison(rt.world_rank, exc.error_code, cause=exc)
+    except Exception as exc:
+        if errhandler_of() == H.ERRORS_RETURN:
+            raise MPIException(
+                ERR_OTHER,
+                f"{type(exc).__name__} raised in user code during "
+                f"{getattr(fn, '__name__', 'an MPI call')}: {exc}") from exc
+        rt = current_runtime()
+        raise rt.universe.poison(rt.world_rank, 1, cause=exc)
 
 
 class Errhandler:

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.jni import capi, handles as H
+from repro.mpijava.errhandler import guarded_call
 from repro.mpijava.status import Status
 from repro.runtime.consts import UNDEFINED
 
@@ -23,6 +24,14 @@ class Request:
     def __init__(self, handle: int):
         self._handle = handle
 
+    def _guard(self, fn, *args):
+        """Run a stub call under the request's communicator's error
+        handler — the completion of a nonblocking operation reports its
+        failure (e.g. a user reduce op raising inside an i-collective)
+        with the same semantics the blocking call would have."""
+        return guarded_call(
+            lambda: capi.mpi_request_errhandler(self._handle), fn, *args)
+
     # -- single-request completion ---------------------------------------
     def Wait(self) -> Status:
         """Block until complete; returns the Status (sends included).
@@ -30,14 +39,14 @@ class Request:
         Completing a persistent request deactivates it but keeps the
         handle valid for the next ``Start``.
         """
-        status = Status(capi.mpi_wait(self._handle))
+        status = Status(self._guard(capi.mpi_wait, self._handle))
         if not self._persistent:
             self._handle = H.REQUEST_NULL
         return status
 
     def Test(self) -> Optional[Status]:
         """Non-blocking completion check; Status if done, else None."""
-        done, cstatus = capi.mpi_test(self._handle)
+        done, cstatus = self._guard(capi.mpi_test, self._handle)
         if not done:
             return None
         if not self._persistent:
@@ -62,6 +71,18 @@ class Request:
         return [r._handle for r in requests]
 
     @staticmethod
+    def _array_guard(handles: list[int], fn, *args):
+        """Array-op error routing: lenient across mixed handlers — if any
+        involved communicator set ``ERRORS_RETURN`` the error surfaces to
+        the caller, otherwise it is fatal (poisons the job)."""
+        def errhandler_of():
+            for h in handles:
+                if capi.mpi_request_errhandler(h) == H.ERRORS_RETURN:
+                    return H.ERRORS_RETURN
+            return H.ERRORS_ARE_FATAL
+        return guarded_call(errhandler_of, fn, *args)
+
+    @staticmethod
     def _mark_done(requests: list["Request"], index: int) -> None:
         req = requests[index]
         if not getattr(req, "_persistent", False):
@@ -70,7 +91,8 @@ class Request:
     @staticmethod
     def Waitany(requests: list["Request"]) -> Status:
         """Wait for any request; ``status.index`` identifies which."""
-        index, cstatus = capi.mpi_waitany(Request._handles(requests))
+        hs = Request._handles(requests)
+        index, cstatus = Request._array_guard(hs, capi.mpi_waitany, hs)
         if index == UNDEFINED:
             return Status(capi.CStatus(index=UNDEFINED))
         Request._mark_done(requests, index)
@@ -78,7 +100,8 @@ class Request:
 
     @staticmethod
     def Testany(requests: list["Request"]) -> Optional[Status]:
-        done, index, cstatus = capi.mpi_testany(Request._handles(requests))
+        hs = Request._handles(requests)
+        done, index, cstatus = Request._array_guard(hs, capi.mpi_testany, hs)
         if not done:
             return None
         Request._mark_done(requests, index)
@@ -86,7 +109,8 @@ class Request:
 
     @staticmethod
     def Waitall(requests: list["Request"]) -> list[Status]:
-        statuses = capi.mpi_waitall(Request._handles(requests))
+        hs = Request._handles(requests)
+        statuses = Request._array_guard(hs, capi.mpi_waitall, hs)
         out = []
         for i, c in enumerate(statuses):
             if c is not None:
@@ -98,7 +122,8 @@ class Request:
 
     @staticmethod
     def Testall(requests: list["Request"]) -> Optional[list[Status]]:
-        done, statuses = capi.mpi_testall(Request._handles(requests))
+        hs = Request._handles(requests)
+        done, statuses = Request._array_guard(hs, capi.mpi_testall, hs)
         if not done:
             return None
         out = []
@@ -115,14 +140,16 @@ class Request:
         """Wait for at least one; returns Statuses with ``index`` set.
         (The array result replaces C's output count, per paper §2.1 —
         the count is just ``len(result)``.)"""
-        statuses = capi.mpi_waitsome(Request._handles(requests))
+        hs = Request._handles(requests)
+        statuses = Request._array_guard(hs, capi.mpi_waitsome, hs)
         for c in statuses:
             Request._mark_done(requests, c.index)
         return [Status(c) for c in statuses]
 
     @staticmethod
     def Testsome(requests: list["Request"]) -> list[Status]:
-        statuses = capi.mpi_testsome(Request._handles(requests))
+        hs = Request._handles(requests)
+        statuses = Request._array_guard(hs, capi.mpi_testsome, hs)
         for c in statuses:
             Request._mark_done(requests, c.index)
         return [Status(c) for c in statuses]

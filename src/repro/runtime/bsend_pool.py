@@ -38,18 +38,31 @@ class BsendPool:
             self._capacity = int(nbytes)
             self._in_use = 0
 
-    def detach(self, abort_poll: float = 0.05) -> int:
-        """Block until drained; returns the detached capacity."""
+    def detach(self) -> int:
+        """Block until drained; returns the detached capacity.
+
+        A job abort wakes the wait through the universe's abort-listener
+        registry (registered only for the duration of the drain), so a
+        poisoned job unwinds immediately instead of after a poll tick.
+        """
+        self.universe.add_abort_listener(self._poke)
+        try:
+            with self._drained:
+                if not self._attached:
+                    raise MPIException(ERR_BUFFER, "no buffer attached")
+                while self._in_use:
+                    self.universe.check_abort()
+                    self._drained.wait()
+                size = self._capacity
+                self._attached = False
+                self._capacity = 0
+                return size
+        finally:
+            self.universe.remove_abort_listener(self._poke)
+
+    def _poke(self) -> None:
         with self._drained:
-            if not self._attached:
-                raise MPIException(ERR_BUFFER, "no buffer attached")
-            while self._in_use:
-                self.universe.check_abort()
-                self._drained.wait(timeout=abort_poll)
-            size = self._capacity
-            self._attached = False
-            self._capacity = 0
-            return size
+            self._drained.notify_all()
 
     def reserve(self, payload_bytes: int) -> int:
         """Claim space for one buffered message; returns the reservation."""

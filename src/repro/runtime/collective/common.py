@@ -10,6 +10,12 @@ Algorithm selection: every collective has a default algorithm (see
 :func:`algorithm_overrides` context manager.  Overrides are thread-local —
 ranks are threads here, so one rank's ablation run can never bleed
 algorithm selection into a concurrently running test.
+
+Fault containment: everything here runs inside a schedule (see
+:mod:`repro.runtime.nbc.progress`), blocking collectives included — a
+user reduction op (or decode) that raises fails *that rank's* request
+with the original exception preserved, and a job abort fails every
+in-flight schedule, so no collective can strand a peer in a wait.
 """
 
 from __future__ import annotations

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 import threading
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.errors import AbortException, MPIException, ERR_INTERN, ERR_OTHER
 from repro.runtime.bsend_pool import BsendPool
@@ -79,7 +79,12 @@ class Universe:
         transport.start()
         self._ctx_lock = threading.Lock()
         self._next_ctx = itertools.count(_FIRST_DYNAMIC_CTX)
+        self._abort_lock = threading.Lock()
         self._abort: AbortException | None = None
+        #: callbacks fired exactly once when the job is poisoned; every
+        #: blocked wait registers one, which is what makes abort delivery
+        #: event-driven (no poll ticks anywhere on the wait paths)
+        self._abort_listeners: list[Callable[[], None]] = []
         self._closed = False
 
     # -- context ids --------------------------------------------------------
@@ -93,20 +98,66 @@ class Universe:
             return next(self._next_ctx), next(self._next_ctx)
 
     # -- abort ---------------------------------------------------------------
+    def poison(self, origin_rank: int, errorcode: int = 1,
+               cause: BaseException | None = None) -> AbortException:
+        """Poison the job and wake every blocked waiter; never raises.
+
+        Idempotent and locked: the first caller wins (two simultaneously
+        failing ranks cannot race the flag), later calls return the
+        established abort.  ``cause`` — typically the exception that killed
+        the originating rank — is preserved as the abort's ``__cause__`` so
+        the executor can fold victims' failures back to the origin.
+        """
+        with self._abort_lock:
+            first = self._abort is None
+            if first:
+                self._abort = AbortException(errorcode, origin_rank,
+                                             cause=cause)
+                listeners = self._abort_listeners
+                self._abort_listeners = []
+        if first:
+            try:
+                self.transport.broadcast_control(
+                    Envelope(kind=KIND_ABORT, src=origin_rank))
+            except Exception:
+                pass  # teardown is best-effort once the job is poisoned
+            for mb in self.mailboxes:
+                mb.on_abort()
+            for fn in listeners:
+                try:
+                    fn()
+                except Exception:  # pragma: no cover - listeners don't raise
+                    pass
+        return self._abort
+
     def abort(self, origin_rank: int, errorcode: int = 1) -> None:
-        """``MPI_Abort``: poison the job and wake every blocked rank."""
-        if self._abort is None:
-            self._abort = AbortException(errorcode, origin_rank)
-        try:
-            self.transport.broadcast_control(
-                Envelope(kind=KIND_ABORT, src=origin_rank))
-        except Exception:
-            pass  # teardown is best-effort once the job is poisoned
-        raise self._abort
+        """``MPI_Abort``: poison the job and raise in the calling rank."""
+        raise self.poison(origin_rank, errorcode)
 
     def check_abort(self) -> None:
         if self._abort is not None:
             raise self._abort
+
+    def add_abort_listener(self, fn: Callable[[], None]) -> bool:
+        """Register an abort wakeup; fired immediately if already poisoned.
+
+        Returns True if the job was already aborted (and ``fn`` ran).
+        Listeners must not block and must tolerate running in whichever
+        thread poisons the job.
+        """
+        with self._abort_lock:
+            if self._abort is None:
+                self._abort_listeners.append(fn)
+                return False
+        fn()
+        return True
+
+    def remove_abort_listener(self, fn: Callable[[], None]) -> None:
+        with self._abort_lock:
+            try:
+                self._abort_listeners.remove(fn)
+            except ValueError:
+                pass  # already fired (abort) or never registered
 
     def note_abort_delivery(self) -> None:
         """Mailbox hook; the abort flag is already visible (shared memory)."""
@@ -114,6 +165,10 @@ class Universe:
     @property
     def aborted(self) -> bool:
         return self._abort is not None
+
+    @property
+    def abort_exception(self) -> AbortException | None:
+        return self._abort
 
     # -- cost-model hooks (modeled benchmark mode) -----------------------------
     def charge_wrapper(self, nbytes: int) -> None:

@@ -20,7 +20,6 @@ import threading
 from collections import deque
 from typing import Callable, Optional
 
-from repro.errors import AbortException
 from repro.runtime.consts import ANY_SOURCE, ANY_TAG
 from repro.runtime.envelope import (Envelope, KIND_ABORT, KIND_ACK,
                                     KIND_DATA, MODE_READY)
@@ -75,8 +74,7 @@ class Mailbox:
             return
         if env.kind == KIND_ABORT:
             self.universe.note_abort_delivery()
-            with self._arrival:
-                self._arrival.notify_all()
+            self.on_abort()
             return
         assert env.kind == KIND_DATA
         with self._lock:
@@ -158,9 +156,13 @@ class Mailbox:
                     return env
         return None
 
-    def probe(self, source_world: int, tag: int, context: int,
-              abort_poll: float = 0.05) -> Envelope:
-        """Blocking probe: wait for a matching arrival, do not consume it."""
+    def probe(self, source_world: int, tag: int, context: int) -> Envelope:
+        """Blocking probe: wait for a matching arrival, do not consume it.
+
+        Event-driven: :meth:`on_abort` notifies the arrival condition under
+        the same lock, so a job abort wakes the probe immediately (no poll
+        tick, no lost wakeup).
+        """
         probe = PostedRecv(None, source_world, tag, context, None)
         with self._arrival:
             while True:
@@ -168,7 +170,12 @@ class Mailbox:
                 for env in self._unexpected:
                     if probe.matches(env):
                         return env
-                self._arrival.wait(timeout=abort_poll)
+                self._arrival.wait()
+
+    def on_abort(self) -> None:
+        """Wake every thread blocked on this mailbox (job poisoned)."""
+        with self._arrival:
+            self._arrival.notify_all()
 
     # -- introspection -------------------------------------------------------------
     def has_posted_match(self, env: Envelope) -> bool:

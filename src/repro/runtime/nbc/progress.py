@@ -80,8 +80,19 @@ class CollRequestImpl(RequestImpl):
 
     # -- launch ----------------------------------------------------------------
     def launch(self) -> "CollRequestImpl":
-        """Start executing; returns self (possibly already complete)."""
-        _trampoline(self._step)
+        """Start executing; returns self (possibly already complete).
+
+        The request registers as an abort listener for its lifetime: a job
+        abort fails every in-flight schedule immediately (waking waiters
+        event-driven), while a schedule that already failed on its own
+        keeps its original exception.  On a job already poisoned the
+        schedule is failed without running at all.
+        """
+        self.universe.add_abort_listener(self._abort_fail)
+        self.add_listener(
+            lambda: self.universe.remove_abort_listener(self._abort_fail))
+        if not self.done:
+            _trampoline(self._step)
         return self
 
     # -- engine ----------------------------------------------------------------
@@ -89,6 +100,8 @@ class CollRequestImpl(RequestImpl):
         """Advance rounds until one blocks on receives or the end is hit."""
         rounds = self.schedule.rounds
         while True:
+            if self.done:
+                return   # failed (schedule error or job abort); stop issuing
             self._round += 1
             if self._round >= len(rounds):
                 self.complete()
@@ -127,6 +140,8 @@ class CollRequestImpl(RequestImpl):
         _trampoline(self._resume)
 
     def _resume(self) -> None:
+        if self.done:
+            return   # failed (schedule error or job abort) while blocked
         if self._finish_round(self.schedule.rounds[self._round]):
             self._step()
 
@@ -164,6 +179,22 @@ class CollRequestImpl(RequestImpl):
             else ERR_INTERN
         self.complete(error=code,
                       error_message=f"{self.name} schedule failed: {exc}")
+
+    def _abort_fail(self) -> None:
+        """Abort listener: fail this in-flight schedule with the job abort.
+
+        If the schedule already failed on its own, that exception wins —
+        the abort only wakes the waiter, it does not rewrite history.
+        """
+        if self.done:
+            return
+        abort = self.universe.abort_exception
+        if abort is None:  # pragma: no cover - listener implies poisoned
+            return
+        with self._plock:
+            if self._exc is None:
+                self._exc = abort
+        self.complete(error=abort.error_code, error_message=str(abort))
 
     def raise_if_error(self) -> None:
         if self._exc is not None:

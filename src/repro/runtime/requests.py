@@ -13,11 +13,7 @@ from __future__ import annotations
 import threading
 from typing import Callable, Optional
 
-from repro.errors import (AbortException, MPIException, ERR_PENDING,
-                          ERR_REQUEST, SUCCESS)
-
-#: how often blocked waits re-check for job abort, seconds
-_ABORT_POLL = 0.05
+from repro.errors import (MPIException, ERR_PENDING, ERR_REQUEST, SUCCESS)
 
 
 class RequestImpl:
@@ -88,17 +84,30 @@ class RequestImpl:
 
     # -- waiting --------------------------------------------------------------
     def wait(self) -> None:
-        """Block until complete; raise on communication error or job abort."""
-        while not self._event.wait(timeout=_ABORT_POLL):
+        """Block until complete; raise on communication error or job abort.
+
+        Event-driven: a job abort fires the registered listener and wakes
+        the wait immediately — there is no poll tick.  A request that
+        already completed reports its own outcome (success or its original
+        error) even if the job aborted afterwards.
+        """
+        if not self._event.is_set():
+            poke = self._event.set
+            self.universe.add_abort_listener(poke)
+            try:
+                self._event.wait()
+            finally:
+                self.universe.remove_abort_listener(poke)
+        if not self.done:
+            # woken by the abort listener, not by completion
             self.universe.check_abort()
-        self.universe.check_abort()
         self.raise_if_error()
 
     def test(self) -> bool:
-        self.universe.check_abort()
-        if self._event.is_set():
+        if self._event.is_set() and self.done:
             self.raise_if_error()
             return True
+        self.universe.check_abort()
         return False
 
     def raise_if_error(self) -> None:
@@ -148,12 +157,16 @@ def wait_any(requests: list[Optional[RequestImpl]], universe) -> int:
     trigger = threading.Event()
     for _, r in live:
         r.add_listener(trigger.set)
-    while not trigger.wait(timeout=_ABORT_POLL):
-        universe.check_abort()
-    universe.check_abort()
+    universe.add_abort_listener(trigger.set)
+    try:
+        trigger.wait()
+    finally:
+        universe.remove_abort_listener(trigger.set)
     for i, r in live:
         if r.done:
             return i
+    # woken by the abort listener with nothing complete
+    universe.check_abort()
     raise AssertionError("waitany woke without a completed request")
 
 
@@ -164,8 +177,12 @@ def wait_all(requests: list[Optional[RequestImpl]], universe) -> None:
 
 
 def test_all(requests: list[Optional[RequestImpl]], universe) -> bool:
+    # completion first: like wait(), fully-completed request sets report
+    # their own outcome even if the job aborted afterwards
+    if all(r is None or r.done for r in requests):
+        return True
     universe.check_abort()
-    return all(r is None or r.done for r in requests)
+    return False
 
 
 def wait_some(requests: list[Optional[RequestImpl]], universe) -> list[int]:
@@ -177,5 +194,7 @@ def wait_some(requests: list[Optional[RequestImpl]], universe) -> list[int]:
 
 
 def test_some(requests: list[Optional[RequestImpl]], universe) -> list[int]:
-    universe.check_abort()
-    return [i for i, r in enumerate(requests) if r is not None and r.done]
+    done = [i for i, r in enumerate(requests) if r is not None and r.done]
+    if not done:
+        universe.check_abort()
+    return done

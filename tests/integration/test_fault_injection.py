@@ -1,0 +1,234 @@
+"""Job-wide fault containment under injected rank failures.
+
+One rank raising a *non-MPI* exception — inside a user reduction op,
+between collectives, or under an i-collective wait — must unblock every
+peer promptly:
+
+* under ``ERRORS_ARE_FATAL`` the failure poisons the job directly;
+* under ``ERRORS_RETURN`` it surfaces to the raising rank as an
+  ``MPIException`` with the original preserved as ``__cause__``; the
+  rank's thread then dies and the executor poisons the job.
+
+Either way peers unwind with ``AbortException`` in milliseconds — the
+wall-clock bounds here are far below both the old 50 ms abort-poll tick
+granularity and the executor timeout, proving the wakeups are
+event-driven.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import mpirun
+from repro.errors import AbortException, MPIException
+from repro.executor.runner import RankFailure
+from repro.mpijava import MPI
+from repro.mpijava.op import Op
+
+#: generous CI bound; every peer must unwind well inside this (the old
+#: behaviour was the 120 s executor timeout)
+PROMPT = 1.0
+
+#: executor timeout for all jobs here — failing tests report fast, and a
+#: pass proves no dependence on it
+TIMEOUT = 30.0
+
+
+def failing_op():
+    """A user reduction op that always raises a non-MPI exception."""
+
+    def ufn(invec, inoutvec, count, datatype):
+        raise ValueError("injected user-op failure")
+
+    return Op.Create(ufn, commute=True)
+
+
+def run_expect_failure(nprocs, body, args=()):
+    """Run the job, asserting it fails promptly; returns (failures, dt)."""
+    t0 = time.monotonic()
+    with pytest.raises(RankFailure) as ei:
+        mpirun(nprocs, body, args=args, timeout=TIMEOUT)
+    dt = time.monotonic() - t0
+    assert dt < PROMPT, (f"peers took {dt:.2f}s to unwind; fault "
+                         f"containment is not event-driven")
+    return ei.value.failures, dt
+
+
+class TestUserOpFailureInBlockingCollective:
+    def test_errors_are_fatal_poisons_job(self):
+        def body():
+            MPI.Init([])
+            w = MPI.COMM_WORLD
+            op = failing_op()
+            sb = np.array([float(w.Rank())])
+            rb = np.zeros(1)
+            # default handler is ERRORS_ARE_FATAL
+            w.Allreduce(sb, 0, rb, 0, 1, MPI.DOUBLE, op)
+            return "unreachable"
+
+        failures, _ = run_expect_failure(4, body)
+        # every failure folds back to the rank(s) whose op raised, and the
+        # root cause is the injected ValueError
+        assert failures
+        assert any(isinstance(f, ValueError)
+                   or isinstance(f.__cause__, ValueError)
+                   for f in failures.values())
+
+    def test_errors_return_preserves_cause_on_raising_rank(self):
+        def body():
+            MPI.Init([])
+            w = MPI.COMM_WORLD
+            w.Errhandler_set(MPI.ERRORS_RETURN)
+            op = failing_op()
+            sb = np.array([float(w.Rank())])
+            rb = np.zeros(1)
+            w.Allreduce(sb, 0, rb, 0, 1, MPI.DOUBLE, op)
+            return "unreachable"
+
+        failures, _ = run_expect_failure(4, body)
+        wrapped = [f for f in failures.values()
+                   if isinstance(f, MPIException)
+                   and not isinstance(f, AbortException)]
+        assert wrapped, f"no wrapped MPIException in {failures!r}"
+        for exc in wrapped:
+            assert exc.error_code == MPI.ERR_OTHER
+            assert isinstance(exc.__cause__, ValueError)
+
+    def test_errors_return_reduce_to_root(self):
+        def body():
+            MPI.Init([])
+            w = MPI.COMM_WORLD
+            w.Errhandler_set(MPI.ERRORS_RETURN)
+            op = failing_op()
+            sb = np.array([float(w.Rank())])
+            rb = np.zeros(1)
+            w.Reduce(sb, 0, rb, 0, 1, MPI.DOUBLE, op, 0)
+            return "unreachable"
+
+        failures, _ = run_expect_failure(4, body)
+        assert any(isinstance(f, MPIException)
+                   and isinstance(f.__cause__, ValueError)
+                   for f in failures.values())
+
+
+class TestFailureBetweenCollectives:
+    @pytest.mark.parametrize("handler", ["fatal", "return"])
+    def test_rank_death_in_main_unblocks_collective_peers(self, handler):
+        def body(which):
+            MPI.Init([])
+            w = MPI.COMM_WORLD
+            if which == "return":
+                w.Errhandler_set(MPI.ERRORS_RETURN)
+            sb = np.array([1.0])
+            rb = np.zeros(1)
+            w.Allreduce(sb, 0, rb, 0, 1, MPI.DOUBLE, MPI.SUM)
+            if w.Rank() == 1:
+                # dies between collectives: no MPI call sees this, only
+                # the executor's rank-thread-death poisoning can save
+                # the peers blocked in the barrier below
+                raise ValueError("injected failure between collectives")
+            w.Barrier()
+            return "unreachable"
+
+        failures, _ = run_expect_failure(4, body, args=(handler,))
+        # folded back to the origin: only rank 1, with the original error
+        assert set(failures) == {1}
+        assert isinstance(failures[1], ValueError)
+
+    def test_victims_fold_to_origin_even_if_origin_thread_exited(self):
+        def body():
+            MPI.Init([])
+            w = MPI.COMM_WORLD
+            if w.Rank() == 0:
+                # poison the job but swallow the abort and exit cleanly:
+                # the victims' reports must still name rank 0
+                try:
+                    w.Abort(23)
+                except AbortException:
+                    pass
+                return "origin exited"
+            w.Barrier()
+            return "unreachable"
+
+        t0 = time.monotonic()
+        with pytest.raises(RankFailure) as ei:
+            mpirun(3, body, timeout=TIMEOUT)
+        assert time.monotonic() - t0 < PROMPT
+        failures = ei.value.failures
+        assert set(failures) == {0}
+        assert isinstance(failures[0], AbortException)
+        assert failures[0].abort_code == 23
+
+
+class TestFailureUnderICollectiveWait:
+    @pytest.mark.parametrize("handler", ["fatal", "return"])
+    def test_user_op_failure_in_iallreduce_wait(self, handler):
+        def body(which):
+            MPI.Init([])
+            w = MPI.COMM_WORLD
+            if which == "return":
+                w.Errhandler_set(MPI.ERRORS_RETURN)
+            op = failing_op()
+            sb = np.array([float(w.Rank())])
+            rb = np.zeros(1)
+            req = w.Iallreduce(sb, 0, rb, 0, 1, MPI.DOUBLE, op)
+            req.Wait()
+            return "unreachable"
+
+        failures, _ = run_expect_failure(4, body, args=(handler,))
+        assert failures
+        roots = [f.__cause__ if isinstance(f, MPIException) else f
+                 for f in failures.values()]
+        assert any(isinstance(r, ValueError) for r in roots)
+        if handler == "return":
+            wrapped = [f for f in failures.values()
+                       if isinstance(f, MPIException)
+                       and not isinstance(f, AbortException)]
+            assert wrapped
+            for exc in wrapped:
+                assert isinstance(exc.__cause__, ValueError)
+
+    def test_peer_blocked_in_wait_unwinds_on_rank_death(self):
+        def body():
+            MPI.Init([])
+            w = MPI.COMM_WORLD
+            sb = np.array([float(w.Rank())])
+            rb = np.zeros(1)
+            if w.Rank() == 2:
+                raise ValueError("dies before joining the collective")
+            req = w.Iallreduce(sb, 0, rb, 0, 1, MPI.DOUBLE, MPI.SUM)
+            req.Wait()
+            return "unreachable"
+
+        failures, _ = run_expect_failure(4, body)
+        assert set(failures) == {2}
+        assert isinstance(failures[2], ValueError)
+
+
+class TestPointToPointAndProbeUnblock:
+    def test_blocked_recv_unwinds_promptly(self):
+        def body():
+            MPI.Init([])
+            w = MPI.COMM_WORLD
+            if w.Rank() == 0:
+                raise ValueError("sender died")
+            buf = np.zeros(1, dtype=np.int32)
+            w.Recv(buf, 0, 1, MPI.INT, 0, 0)
+            return "unreachable"
+
+        failures, _ = run_expect_failure(2, body)
+        assert set(failures) == {0}
+
+    def test_blocked_probe_unwinds_promptly(self):
+        def body():
+            MPI.Init([])
+            w = MPI.COMM_WORLD
+            if w.Rank() == 0:
+                raise ValueError("peer died before sending")
+            w.Probe(0, 7)
+            return "unreachable"
+
+        failures, _ = run_expect_failure(2, body)
+        assert set(failures) == {0}
+        assert isinstance(failures[0], ValueError)

@@ -11,6 +11,12 @@ class FakeUniverse:
     def check_abort(self):
         pass
 
+    def add_abort_listener(self, fn):
+        return False
+
+    def remove_abort_listener(self, fn):
+        pass
+
 
 @pytest.fixture
 def pool():

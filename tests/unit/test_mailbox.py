@@ -17,6 +17,12 @@ class FakeUniverse:
     def note_abort_delivery(self):
         pass
 
+    def add_abort_listener(self, fn):
+        return False
+
+    def remove_abort_listener(self, fn):
+        pass
+
 
 @pytest.fixture
 def mb():

@@ -14,12 +14,32 @@ from repro.runtime.requests import test_some as req_test_some
 
 
 class FakeUniverse:
+    """Minimal stand-in implementing the abort-listener contract."""
+
     def __init__(self):
         self.aborted = None
+        self.listeners = []
 
     def check_abort(self):
         if self.aborted:
             raise self.aborted
+
+    def add_abort_listener(self, fn):
+        if self.aborted:
+            fn()
+            return True
+        self.listeners.append(fn)
+        return False
+
+    def remove_abort_listener(self, fn):
+        if fn in self.listeners:
+            self.listeners.remove(fn)
+
+    def poison_with(self, exc):
+        self.aborted = exc
+        fns, self.listeners = self.listeners, []
+        for fn in fns:
+            fn()
 
 
 @pytest.fixture
@@ -158,8 +178,35 @@ class TestAbortIntegration:
 
         def poison():
             time.sleep(0.05)
-            uni.aborted = AbortException(1, 0)
+            uni.poison_with(AbortException(1, 0))
 
         threading.Thread(target=poison).start()
         with pytest.raises(AbortException):
             r.wait()
+
+    def test_wait_releases_abort_listener(self, uni):
+        r = req(uni)
+        threading.Timer(0.02, r.complete).start()
+        r.wait()
+        assert uni.listeners == []
+
+    def test_wait_any_woken_by_abort(self, uni):
+        from repro.errors import AbortException
+        rs = [req(uni) for _ in range(2)]
+
+        def poison():
+            time.sleep(0.05)
+            uni.poison_with(AbortException(1, 0))
+
+        threading.Thread(target=poison).start()
+        with pytest.raises(AbortException):
+            wait_any(rs, uni)
+
+    def test_completed_request_preserves_own_error_over_abort(self, uni):
+        from repro.errors import AbortException
+        r = req(uni)
+        r.complete(error=ERR_TRUNCATE, error_message="too big")
+        uni.poison_with(AbortException(1, 0))
+        with pytest.raises(MPIException) as ei:
+            r.wait()
+        assert ei.value.error_code == ERR_TRUNCATE
