@@ -31,5 +31,7 @@ Entry points:
 
 from repro.version import __version__
 from repro.executor.runner import mpirun, MPIExecutor
+from repro.executor.procrunner import procrun, ProcExecutor
 
-__all__ = ["__version__", "mpirun", "MPIExecutor"]
+__all__ = ["__version__", "mpirun", "MPIExecutor", "procrun",
+           "ProcExecutor"]

@@ -87,6 +87,13 @@ class MPIException(Exception):
         super().__init__(text)
         self.message = message
 
+    def __reduce__(self):
+        # default exception pickling replays ``args`` (the formatted
+        # text) into __init__, which expects an error code — so an
+        # MPIException would not survive the process backend's wire
+        # without this
+        return (type(self), (self.error_code, self.message))
+
     def Get_error_class(self) -> int:
         return error_class(self.error_code)
 
@@ -113,3 +120,8 @@ class AbortException(MPIException):
         self.origin_rank = origin_rank
         if cause is not None:
             self.__cause__ = cause
+
+    def __reduce__(self):
+        # the cause is serialized separately by the abort wire protocol
+        # (pickle drops __cause__); errorcode/origin must round-trip
+        return (type(self), (self.abort_code, self.origin_rank))

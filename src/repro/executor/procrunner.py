@@ -1,0 +1,460 @@
+"""Process-per-rank job launcher: the paper's real ``mpirun`` model.
+
+The thread executor (:mod:`repro.executor.runner`) keeps every rank inside
+one Python process, so no workload ever escapes the GIL.  This launcher
+spawns ``nprocs`` OS processes — each hosting a *single-rank view* of the
+:class:`~repro.runtime.engine.Universe` — and wires them into a full TCP
+mesh (:class:`~repro.transport.socket_tcp.TCPMeshTransport`), which is how
+the paper's distributed-memory experiments actually ran (``mpirun``/WMPI
+daemons, one process per rank).
+
+Bootstrap rendezvous and control plane (all over loopback TCP):
+
+1. the launcher listens; every spawned child dials back and registers its
+   rank (the *control connection*, kept for the job's lifetime);
+2. the launcher ships each child the job blob (target + args); children
+   open their mesh listeners and report the port;
+3. once all ranks registered, the launcher gossips the address book and
+   the children form the mesh (rank *j* dials *i < j*, accepts *k > j*);
+4. children run the target and marshal the result — or the pickled
+   exception with its traceback text — back over the control connection;
+5. the launcher's final ``exit`` message is the wire-level finalize
+   barrier: no child tears its mesh down until every rank has reported.
+
+Faults: a rank failure poisons the job *through the mesh* (KIND_ABORT
+frames carrying errorcode + origin + pickled cause — shared memory is not
+available, so the envelope is the only carrier); a child that dies without
+reporting is detected by control-connection EOF and the launcher aborts
+the survivors; a launcher timeout aborts the job with ``origin_rank=-1``
+and reports hung ranks *and* pre-deadline failures via
+:class:`~repro.executor.runner.JobTimeoutError`.
+
+The control plane pickles between coordinating processes of one user on
+one machine (same trust domain as ``multiprocessing``); it is not a
+network-facing protocol.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import selectors
+import socket
+import struct
+import subprocess
+import sys
+import time
+import traceback
+from typing import Any, Callable, Sequence
+
+from repro.executor.runner import JobTimeoutError, RankFailure
+from repro.runtime.envelope import (dump_exception_chain,
+                                    load_exception_chain)
+from repro.transport.socket_tcp import BOOTSTRAP_TIMEOUT, _recv_exact
+
+_LEN = struct.Struct("!I")
+
+#: grace between "the job is over" (abort/exit sent) and SIGKILL
+KILL_GRACE = 5.0
+
+
+# -- control-plane framing (length-prefixed pickles) -------------------------
+
+def send_msg(sock: socket.socket, obj: Any) -> None:
+    blob = pickle.dumps(obj, protocol=4)
+    sock.sendall(_LEN.pack(len(blob)) + blob)
+
+
+def recv_msg(sock: socket.socket) -> Any:
+    (n,) = _LEN.unpack(_recv_exact(sock, _LEN.size))
+    return pickle.loads(_recv_exact(sock, n))
+
+
+# -- exception marshalling ---------------------------------------------------
+
+def dump_exception(exc: BaseException) -> dict:
+    """Serialize an exception (with its cause chain) for the wire.
+
+    The traceback object itself cannot cross processes, so its formatted
+    text rides alongside; unpicklable or constructor-mismatched
+    exceptions degrade to summaries rather than losing the failure (see
+    :func:`repro.runtime.envelope.dump_exception_chain`).
+    """
+    tb = "".join(traceback.format_exception(type(exc), exc,
+                                            exc.__traceback__))
+    return {"exc": dump_exception_chain(exc), "traceback": tb}
+
+
+def load_exception(report: dict) -> BaseException:
+    exc = load_exception_chain(report["exc"])
+    if exc is None:
+        exc = RuntimeError(f"rank failed but its exception did not "
+                           f"deserialize; remote traceback follows:\n"
+                           f"{report.get('traceback', '')}")
+    try:
+        exc.remote_traceback = report.get("traceback", "")
+    except Exception:
+        pass  # exceptions with __slots__ just lose the cosmetic text
+    return exc
+
+
+# -- target resolution -------------------------------------------------------
+
+def target_spec(target) -> dict:
+    """What the child needs to re-resolve the SPMD entry point.
+
+    Strings name an importable ``module:func`` or a ``path.py:func``;
+    callables are pickled by reference (they must be module-level
+    functions importable in the child — the same restriction
+    ``multiprocessing`` spawn mode imposes).
+    """
+    if isinstance(target, str):
+        mod, sep, func = target.partition(":")
+        if mod.endswith(".py"):
+            return {"file": os.path.abspath(mod), "func": func or "main"}
+        if not sep:
+            raise ValueError(f"target {target!r} must be 'module:func' "
+                             f"or 'path/to/file.py:func'")
+        return {"module": mod, "func": func}
+    if callable(target):
+        # a function defined in the launching script pickles as
+        # ``__main__.f`` — meaningless in the child, whose __main__ is
+        # the worker.  Resolve the script's real identity instead.
+        qualname = getattr(target, "__qualname__",
+                           getattr(target, "__name__", ""))
+        if getattr(target, "__module__", None) == "__main__" \
+                and qualname.isidentifier():
+            main_mod = sys.modules.get("__main__")
+            spec = getattr(main_mod, "__spec__", None)
+            if spec is not None and spec.name:        # python -m pkg.mod
+                return {"module": spec.name, "func": qualname}
+            path = getattr(main_mod, "__file__", None)
+            if path:                                   # python script.py
+                return {"file": os.path.abspath(path), "func": qualname}
+        try:
+            blob = pickle.dumps(target, protocol=4)
+        except Exception as exc:
+            raise TypeError(
+                f"process backend target {target!r} must be a module-level "
+                f"function (picklable by reference); lambdas and local "
+                f"closures cannot cross a process boundary") from exc
+        return {"pickle": blob}
+    raise TypeError(f"target must be callable or 'module:func', "
+                    f"got {type(target).__name__}")
+
+
+def resolve_target(spec: dict) -> Callable:
+    """Child-side inverse of :func:`target_spec`."""
+    if "pickle" in spec:
+        return pickle.loads(spec["pickle"])
+    func = spec["func"]
+    if "file" in spec:
+        import importlib.util
+        name = f"_repro_target_{os.path.splitext(os.path.basename(spec['file']))[0]}"
+        mspec = importlib.util.spec_from_file_location(name, spec["file"])
+        mod = importlib.util.module_from_spec(mspec)
+        sys.modules.setdefault(name, mod)
+        mspec.loader.exec_module(mod)
+    else:
+        import importlib
+        mod = importlib.import_module(spec["module"])
+    return getattr(mod, func)
+
+
+def _child_env() -> dict:
+    """Child environment: the parent's live ``sys.path`` as PYTHONPATH.
+
+    pytest and friends extend ``sys.path`` at runtime (test directories,
+    ``src`` layouts); the child must resolve the same modules to unpickle
+    the target by reference.
+    """
+    env = dict(os.environ)
+    paths = [os.path.abspath(p) if p else os.getcwd() for p in sys.path]
+    env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(paths))
+    return env
+
+
+class ProcExecutor:
+    """Run an SPMD job as ``nprocs`` OS processes on this machine.
+
+    Mirrors :class:`~repro.executor.runner.MPIExecutor`'s interface
+    (``run`` returns per-rank results, raises
+    :class:`~repro.executor.runner.RankFailure` /
+    :class:`~repro.executor.runner.JobTimeoutError`), but each rank is a
+    real process: compute-bound ranks scale across cores instead of
+    serializing on one GIL, and nothing — abort delivery included —
+    depends on shared memory.
+    """
+
+    def __init__(self, nprocs: int, python: str | None = None,
+                 host: str = "127.0.0.1"):
+        if nprocs < 1:
+            raise ValueError(f"nprocs must be >= 1, got {nprocs}")
+        self.nprocs = int(nprocs)
+        self.python = python or sys.executable
+        self.host = host
+
+    # -- public API --------------------------------------------------------
+    def run(self, target, args: Sequence = (), per_rank_args: bool = False,
+            timeout: float | None = 120.0) -> list:
+        """Run ``target`` on every rank; returns per-rank return values.
+
+        ``target`` is a module-level callable, ``"module:func"`` or
+        ``"path/to/file.py:func"``.  ``timeout`` covers the whole job,
+        bootstrap included.
+        """
+        spec = target_spec(target)
+        deadline = (None if timeout is None
+                    else time.monotonic() + float(timeout))
+        listener = socket.create_server((self.host, 0),
+                                        backlog=self.nprocs)
+        port = listener.getsockname()[1]
+        procs: list[subprocess.Popen] = []
+        conns: dict[int, socket.socket] = {}
+        try:
+            env = _child_env()
+            for rank in range(self.nprocs):
+                procs.append(subprocess.Popen(
+                    [self.python, "-m", "repro.executor.procworker",
+                     "--connect", f"{self.host}:{port}",
+                     "--rank", str(rank), "--nprocs", str(self.nprocs)],
+                    env=env))
+            conns = self._rendezvous(listener, procs, deadline, timeout)
+            for rank, conn in conns.items():
+                rank_args = tuple(args[rank]) if per_rank_args \
+                    else tuple(args)
+                send_msg(conn, {"cmd": "job", "nprocs": self.nprocs,
+                                "target": spec,
+                                "args": pickle.dumps(rank_args,
+                                                     protocol=4)})
+            # a rank that cannot even resolve the target reports *now*,
+            # instead of a mesh port — cancel the job before meshing up
+            # (its peers would otherwise wait on it in build_mesh)
+            book = {}
+            early_failures: dict[int, BaseException] = {}
+            for rank, conn in conns.items():
+                # the job deadline covers this phase too: a child wedged
+                # inside a blocking target import must not hang run()
+                conn.settimeout(self._step_timeout(deadline))
+                try:
+                    msg = recv_msg(conn)
+                except socket.timeout:
+                    hung = [r for r in conns if r not in book]
+                    self._cancel_bootstrap(conns, skip=hung)
+                    self._reap(procs)
+                    raise JobTimeoutError(
+                        timeout if timeout is not None
+                        else BOOTSTRAP_TIMEOUT, hung,
+                        early_failures)
+                except (ConnectionError, OSError, EOFError,
+                        pickle.PickleError):
+                    msg = {"status": "error", "exc": dump_exception_chain(
+                        RuntimeError(f"rank {rank} died during bootstrap "
+                                     f"(exit code {procs[rank].poll()})"))}
+                if "mesh_port" in msg:
+                    book[rank] = (self.host, msg["mesh_port"])
+                else:
+                    early_failures[rank] = load_exception(msg)
+            if early_failures:
+                self._cancel_bootstrap(conns, skip=early_failures)
+                raise RankFailure(early_failures)
+            for conn in conns.values():
+                send_msg(conn, {"cmd": "book", "book": book})
+                conn.settimeout(None)
+            reports, failures = self._collect(conns, procs, deadline,
+                                              timeout)
+            for conn in conns.values():
+                try:
+                    send_msg(conn, {"cmd": "exit"})
+                except OSError:
+                    pass
+            return self._fold(reports, failures)
+        finally:
+            listener.close()
+            for conn in conns.values():
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            self._reap(procs)
+
+    def close(self) -> None:
+        """Stateless between runs; provided for executor-API symmetry."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    # -- bootstrap ---------------------------------------------------------
+    def _rendezvous(self, listener, procs, deadline, timeout):
+        """Accept one control connection per rank (bounded wait)."""
+        conns: dict[int, socket.socket] = {}
+        for _ in range(self.nprocs):
+            listener.settimeout(self._step_timeout(deadline))
+            try:
+                conn, _addr = listener.accept()
+            except socket.timeout:
+                missing = [r for r in range(self.nprocs) if r not in conns]
+                raise JobTimeoutError(
+                    timeout if timeout is not None else BOOTSTRAP_TIMEOUT,
+                    missing,
+                    {r: RuntimeError(
+                        f"rank {r} process exited during bootstrap "
+                        f"(code {procs[r].poll()})")
+                     for r in missing if procs[r].poll() is not None})
+            conn.settimeout(BOOTSTRAP_TIMEOUT)
+            hello = recv_msg(conn)
+            conns[hello["rank"]] = conn
+        for conn in conns.values():
+            conn.settimeout(None)
+        return conns
+
+    @staticmethod
+    def _step_timeout(deadline) -> float:
+        if deadline is None:
+            return BOOTSTRAP_TIMEOUT
+        return max(0.05, min(BOOTSTRAP_TIMEOUT,
+                             deadline - time.monotonic()))
+
+    @staticmethod
+    def _cancel_bootstrap(conns, skip=()) -> None:
+        """Tell ranks still in the bootstrap handshake to exit cleanly
+        (``skip``: ranks that are dead or wedged and cannot read it)."""
+        for rank, conn in conns.items():
+            if rank in skip:
+                continue
+            try:
+                send_msg(conn, {"cmd": "cancel"})
+            except OSError:
+                pass
+
+    # -- result collection -------------------------------------------------
+    def _collect(self, conns, procs, deadline, timeout):
+        """Read every rank's report; abort survivors on a dead child."""
+        sel = selectors.DefaultSelector()
+        for rank, conn in conns.items():
+            sel.register(conn, selectors.EVENT_READ, rank)
+        pending = set(conns)
+        reports: dict[int, dict] = {}
+        failures: dict[int, BaseException] = {}
+        try:
+            while pending:
+                if deadline is not None:
+                    left = deadline - time.monotonic()
+                    if left <= 0:
+                        self._timeout(conns, procs, pending, reports,
+                                      failures, timeout)
+                    wait = max(0.0, min(0.5, left))
+                else:
+                    wait = 0.5
+                for key, _ in sel.select(timeout=wait):
+                    rank = key.data
+                    try:
+                        msg = recv_msg(key.fileobj)
+                    except (ConnectionError, OSError, pickle.PickleError,
+                            EOFError):
+                        msg = None
+                    sel.unregister(key.fileobj)
+                    pending.discard(rank)
+                    if msg is None:
+                        rc = procs[rank].poll()
+                        failures[rank] = RuntimeError(
+                            f"rank {rank} process died before reporting "
+                            f"(exit code {rc})")
+                        # survivors blocked on the dead rank must unwind
+                        self._broadcast_abort(conns, origin=rank,
+                                              skip={rank})
+                    else:
+                        reports[rank] = msg
+        finally:
+            sel.close()
+        return reports, failures
+
+    def _timeout(self, conns, procs, pending, reports, failures, timeout):
+        """Deadline hit with ranks outstanding: abort, reap, report.
+
+        Failures *already reported* before the deadline must ride on the
+        JobTimeoutError instead of being masked by it — that is the whole
+        point of the class.
+        """
+        hung = sorted(pending)
+        pre_deadline_failures = self._merge_failures(reports, failures)
+        self._broadcast_abort(conns, origin=-1)
+        t_grace = time.monotonic() + KILL_GRACE
+        for rank in hung:
+            budget = max(0.0, t_grace - time.monotonic())
+            try:
+                procs[rank].wait(timeout=budget)
+            except subprocess.TimeoutExpired:
+                pass
+        self._reap(procs)
+        raise JobTimeoutError(timeout, hung, pre_deadline_failures)
+
+    def _broadcast_abort(self, conns, origin: int,
+                         errorcode: int = 1, skip=()) -> None:
+        for rank, conn in conns.items():
+            if rank in skip:
+                continue
+            try:
+                send_msg(conn, {"cmd": "abort", "origin": origin,
+                                "errorcode": errorcode})
+            except OSError:
+                pass  # that child is already gone
+
+    def _fold(self, reports, failures):
+        """Launcher-side mirror of the thread executor's failure folding."""
+        results: list = [None] * self.nprocs
+        failures = self._merge_failures(reports, failures, results)
+        if failures:
+            raise RankFailure(failures)
+        return results
+
+    def _merge_failures(self, reports, failures, results=None):
+        """Fold rank reports into a failures dict (results land in
+        ``results`` when given; on the timeout path they are moot)."""
+        failures = dict(failures)
+        for rank, msg in reports.items():
+            if msg["status"] == "ok":
+                if results is None:
+                    continue
+                try:
+                    results[rank] = pickle.loads(msg["result"])
+                except Exception as exc:
+                    failures[rank] = RuntimeError(
+                        f"rank {rank} result did not unpickle: {exc}")
+            elif msg["status"] == "error":
+                failures[rank] = load_exception(msg)
+        for rank, msg in reports.items():
+            if msg["status"] == "abort":
+                # a rank that unwound with AbortException: fold the root
+                # cause back to the originating rank (its own report, if
+                # any, wins via setdefault — same rule as thread mode)
+                origin = msg.get("origin", -1)
+                exc = load_exception(msg)
+                if 0 <= origin < self.nprocs:
+                    failures.setdefault(origin, exc)
+                else:
+                    failures.setdefault(rank, exc)
+        return failures
+
+    def _reap(self, procs) -> None:
+        """No leaked children, ever: SIGKILL anything still alive."""
+        for p in procs:
+            if p.poll() is None:
+                p.kill()
+        for p in procs:
+            try:
+                p.wait(timeout=KILL_GRACE)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                pass
+
+
+def procrun(nprocs: int, target, args: Sequence = (),
+            per_rank_args: bool = False,
+            timeout: float | None = 120.0) -> list:
+    """Run ``target`` as ``nprocs`` OS processes; see :class:`ProcExecutor`."""
+    with ProcExecutor(nprocs) as ex:
+        return ex.run(target, args=args, per_rank_args=per_rank_args,
+                      timeout=timeout)

@@ -1,0 +1,144 @@
+"""One rank of a process-backend job: ``python -m repro.executor.procworker``.
+
+Spawned by :class:`~repro.executor.procrunner.ProcExecutor`, never run by
+hand.  The worker dials the launcher back, receives the job blob, joins
+the TCP mesh, hosts a single-rank view of the
+:class:`~repro.runtime.engine.Universe`, runs the target, and marshals the
+result (or exception) home over the control connection.
+
+A dedicated control thread listens for launcher commands for the whole
+job lifetime: ``abort`` poisons the local universe (and, through the mesh
+broadcast, every peer), ``exit`` is the wire finalize barrier, and EOF —
+the launcher itself dying — tears the job down rather than orphaning the
+rank.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import socket
+import sys
+import threading
+
+from repro.errors import AbortException
+from repro.executor.procrunner import (dump_exception, recv_msg,
+                                       resolve_target, send_msg)
+from repro.runtime.engine import RankRuntime, Universe, bind_thread, \
+    unbind_thread
+from repro.transport.socket_tcp import (BOOTSTRAP_TIMEOUT, TCPMeshTransport,
+                                        build_mesh, mesh_listener)
+
+
+def _control_loop(ctl: socket.socket, universe: Universe,
+                  exit_evt: threading.Event) -> None:
+    """Serve launcher commands until ``exit`` or launcher death.
+
+    Every way this loop can end sets ``exit_evt`` — the finished rank's
+    barrier wait below relies on that, and a silently-dead control
+    thread would otherwise strand the process.
+    """
+    while True:
+        try:
+            msg = recv_msg(ctl)
+            cmd = msg.get("cmd")
+        except Exception:  # noqa: BLE001 - EOF, reset, corrupt frame, ...
+            universe.poison(-1, 1, cause=ConnectionError(
+                "launcher connection lost"))
+            exit_evt.set()
+            return
+        if cmd == "abort":
+            universe.poison(msg.get("origin", -1),
+                            msg.get("errorcode", 1))
+        elif cmd == "exit":
+            exit_evt.set()
+            return
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(prog="repro.executor.procworker")
+    ap.add_argument("--connect", required=True, metavar="HOST:PORT")
+    ap.add_argument("--rank", type=int, required=True)
+    ap.add_argument("--nprocs", type=int, required=True)
+    opts = ap.parse_args(argv)
+    host, _, port = opts.connect.rpartition(":")
+
+    ctl = socket.create_connection((host, int(port)),
+                                   timeout=BOOTSTRAP_TIMEOUT)
+    send_msg(ctl, {"rank": opts.rank})
+    job = recv_msg(ctl)
+    assert job["cmd"] == "job" and job["nprocs"] == opts.nprocs
+
+    # resolve the target *before* meshing up: an unimportable target
+    # reports as this rank's failure, not as a wedged bootstrap
+    try:
+        target = resolve_target(job["target"])
+        args = pickle.loads(job["args"])
+    except BaseException as exc:  # noqa: BLE001 - marshalled to launcher
+        send_msg(ctl, {"status": "error", **dump_exception(exc)})
+        ctl.close()
+        return 1
+
+    listener = mesh_listener(host=host or "127.0.0.1")
+    send_msg(ctl, {"mesh_port": listener.getsockname()[1]})
+    msg = recv_msg(ctl)
+    if msg.get("cmd") != "book":
+        # launcher cancelled the job (a peer failed before meshing up)
+        listener.close()
+        ctl.close()
+        return 1
+    peers = build_mesh(opts.rank, opts.nprocs, listener, msg["book"])
+
+    transport = TCPMeshTransport(opts.nprocs, opts.rank, peers)
+    universe = Universe(opts.nprocs, transport=transport,
+                        local_ranks=(opts.rank,))
+    ctl.settimeout(None)
+    exit_evt = threading.Event()
+    threading.Thread(target=_control_loop, args=(ctl, universe, exit_evt),
+                     name="repro-proc-control", daemon=True).start()
+
+    rt = RankRuntime(universe, opts.rank)
+    bind_thread(rt)
+    try:
+        result = target(*args)
+        try:
+            report = {"status": "ok",
+                      "result": pickle.dumps(result, protocol=4)}
+        except Exception as exc:
+            report = {"status": "error", **dump_exception(TypeError(
+                f"rank {opts.rank} returned an unpicklable result "
+                f"({type(result).__name__}): {exc}"))}
+    except AbortException as exc:
+        # job poisoned elsewhere: report the root cause and its origin so
+        # the launcher folds the failure back to the originating rank
+        root = exc.__cause__ if exc.__cause__ is not None else exc
+        report = {"status": "abort", "origin": exc.origin_rank,
+                  **dump_exception(root)}
+    except BaseException as exc:  # noqa: BLE001 - marshalled to launcher
+        # this rank is the origin: poison the job over the mesh so peers
+        # blocked on it unwind (no shared memory to lean on)
+        universe.poison(opts.rank, 1, cause=exc)
+        report = {"status": "error", **dump_exception(exc)}
+    finally:
+        unbind_thread()
+    try:
+        send_msg(ctl, report)
+    except OSError:
+        pass  # launcher died; the control loop poisons and exits
+    # Wire finalize barrier: keep the mesh open until every rank has
+    # reported — tearing down early would hit slower ranks' pumps as a
+    # peer loss and fail a healthy job.  Unbounded on purpose: the
+    # control loop sets the event on the launcher's ``exit``, on its
+    # death (EOF), and on any control-plane error, and the launcher's
+    # deadline path SIGKILLs stragglers.
+    exit_evt.wait()
+    universe.close()
+    try:
+        ctl.close()
+    except OSError:
+        pass
+    return 0 if report["status"] == "ok" else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

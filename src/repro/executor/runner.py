@@ -46,6 +46,29 @@ class RankFailure(Exception):
                          f"{type(first).__name__}: {first}")
 
 
+class JobTimeoutError(TimeoutError):
+    """Raised when rank(s) are still running at the job deadline.
+
+    Unlike a bare ``TimeoutError``, failures already collected from
+    ranks that *did* fail before the deadline are preserved in
+    ``failures`` (world rank -> exception) and the wedged ranks are
+    listed in ``hung_ranks`` — a job where one rank died and another
+    hung reports both facts instead of masking the root cause.
+    """
+
+    def __init__(self, timeout: float, hung_ranks, failures):
+        self.timeout = timeout
+        self.hung_ranks = sorted(hung_ranks)
+        self.failures = dict(failures)
+        msg = (f"{len(self.hung_ranks)} rank(s) did not finish within "
+               f"{timeout}s: {self.hung_ranks}")
+        if self.failures:
+            first = self.failures[min(self.failures)]
+            msg += (f"; rank(s) {sorted(self.failures)} failed before the "
+                    f"deadline (first: {type(first).__name__}: {first})")
+        super().__init__(msg)
+
+
 class MPIExecutor:
     """Reusable job launcher bound to one :class:`Universe`.
 
@@ -119,15 +142,19 @@ class MPIExecutor:
             deadline = time.monotonic() + timeout
             for t in threads:
                 t.join(timeout=max(0.0, deadline - time.monotonic()))
-        hung = [t for t in threads if t.is_alive()]
+        hung = [r for r, t in enumerate(threads) if t.is_alive()]
         if hung:
+            # Snapshot failures *before* poisoning: the hung ranks are
+            # about to unwind with AbortException(origin=-1), and those
+            # timeout victims must not pollute the report of ranks that
+            # genuinely failed before the deadline.
+            with lock:
+                pre_deadline_failures = dict(failures)
             # abort-aware waits unwind the hung ranks in milliseconds
             self.universe.poison(-1, 1)
-            for t in hung:
-                t.join(timeout=5.0)
-            raise TimeoutError(
-                f"{len(hung)} rank thread(s) did not finish within "
-                f"{timeout}s: {[t.name for t in hung]}")
+            for r in hung:
+                threads[r].join(timeout=5.0)
+            raise JobTimeoutError(timeout, hung, pre_deadline_failures)
         if failures:
             raise RankFailure(failures)
         return results

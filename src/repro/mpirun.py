@@ -1,0 +1,95 @@
+"""``python -m repro.mpirun``: launch an SPMD job from the command line.
+
+The paper's programs start as ``mpirun -np N Program``; this is the same
+front door::
+
+    python -m repro.mpirun -n 4 examples/pi_reduce.py:compute_pi
+    python -m repro.mpirun -n 4 some.module:main 100000
+    python -m repro.mpirun -n 4 --backend thread some.module:main
+
+The default backend runs every rank as its own OS process wired into a
+full TCP mesh (:mod:`repro.executor.procrunner`) — the paper's actual
+process-per-rank model, and the only one where compute-bound ranks escape
+the GIL.  ``--backend thread`` keeps ranks as threads of this process
+(``--transport`` picks the carrier), which is faster to start and easier
+to debug.
+
+Positional arguments after the target are parsed as Python literals where
+possible (``100000`` -> int) and passed to every rank.
+
+Note: ``from repro import mpirun`` resolves to the thread-mode *function*
+(set in ``repro/__init__``); this module exists for ``-m`` execution and
+should not be imported.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+
+
+def _parse_cli_arg(token: str):
+    try:
+        return ast.literal_eval(token)
+    except (ValueError, SyntaxError):
+        return token
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.mpirun",
+        description="Run an SPMD job: module:func or path/to/file.py:func "
+                    "on every rank.")
+    ap.add_argument("-n", "--np", dest="nprocs", type=int, required=True,
+                    metavar="N", help="number of ranks")
+    ap.add_argument("--backend", choices=("proc", "thread"),
+                    default="proc",
+                    help="proc: one OS process per rank over a TCP mesh "
+                         "(default); thread: rank-threads in this process")
+    ap.add_argument("--transport", default="inproc",
+                    choices=("inproc", "chunked", "socket"),
+                    help="thread-backend carrier (ignored for proc)")
+    ap.add_argument("--timeout", type=float, default=120.0,
+                    help="job deadline in seconds (default 120)")
+    ap.add_argument("target", help="module:func or path/to/file.py:func")
+    ap.add_argument("args", nargs="*",
+                    help="arguments passed to every rank (Python literals "
+                         "where possible)")
+    opts = ap.parse_args(argv)
+    call_args = tuple(_parse_cli_arg(a) for a in opts.args)
+
+    from repro.executor.runner import JobTimeoutError, RankFailure
+    try:
+        if opts.backend == "proc":
+            from repro.executor.procrunner import procrun
+            results = procrun(opts.nprocs, opts.target, args=call_args,
+                              timeout=opts.timeout)
+        else:
+            from repro.executor.procrunner import resolve_target, \
+                target_spec
+            from repro.executor.runner import mpirun as thread_mpirun
+            target = resolve_target(target_spec(opts.target))
+            results = thread_mpirun(opts.nprocs, target, args=call_args,
+                                    transport=opts.transport,
+                                    timeout=opts.timeout)
+    except RankFailure as exc:
+        print(f"mpirun: job failed: {exc}", file=sys.stderr)
+        for rank in sorted(exc.failures):
+            failure = exc.failures[rank]
+            print(f"--- rank {rank}: {type(failure).__name__}: {failure}",
+                  file=sys.stderr)
+            tb = getattr(failure, "remote_traceback", "")
+            if tb:
+                print(tb.rstrip(), file=sys.stderr)
+        return 1
+    except JobTimeoutError as exc:
+        print(f"mpirun: {exc}", file=sys.stderr)
+        return 2
+    for rank, value in enumerate(results):
+        print(f"rank {rank}: {value!r}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

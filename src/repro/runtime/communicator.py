@@ -113,6 +113,10 @@ class CommImpl:
         }
         self.freed = False
         self.permanent = False   # COMM_WORLD / COMM_SELF cannot be freed
+        # every member records the agreed contexts: with per-process
+        # universes (process backend) this keeps later allocations from
+        # *any* member's counter above every context it already uses
+        self.universe.note_context_ids(self.ctx_pt2pt, self.ctx_coll)
         # per-rank collective-call counter; MPI's "collectives are called
         # in the same order by all members" rule keeps it in agreement
         # across the communicator, so it doubles as a distributed tag
@@ -514,14 +518,26 @@ class CommImpl:
                         remote_group=remote_group, topology=topology)
 
     def _agree_contexts(self, n_pairs: int = 1) -> list[tuple[int, int]]:
-        """Leader allocates ``n_pairs`` context pairs, broadcasts to all."""
+        """Leader allocates ``n_pairs`` context pairs, broadcasts to all.
+
+        Each rank's universe allocates from a *local* counter (one per
+        process under the process backend), so the leader first raises
+        its floor to the highest counter in the group; combined with
+        every member noting the result (``CommImpl.__init__``), two
+        communicators sharing any member can never collide.
+        """
         self._check_alive()
+        floors = self.obj_gather(self.universe.ctx_floor, root=0)
         if self.my_rank == 0:
+            self.universe.raise_ctx_floor(max(floors))
             pairs = [self.universe.alloc_context_pair()
                      for _ in range(n_pairs)]
         else:
             pairs = None
-        return self.obj_bcast(pairs, root=0)
+        pairs = self.obj_bcast(pairs, root=0)
+        for p in pairs:
+            self.universe.note_context_ids(*p)
+        return pairs
 
     def dup(self) -> "CommImpl":
         """``MPI_Comm_dup`` — same group, fresh contexts, copied attrs."""
@@ -554,14 +570,17 @@ class CommImpl:
         """``MPI_Comm_split`` — collective partition by color/key."""
         self._require_intra("Comm.Split")
         self._check_alive()
-        mine = (color, key, self.my_rank)
+        mine = (color, key, self.my_rank, self.universe.ctx_floor)
         entries = self.obj_gather(mine, root=0)
         if self.my_rank == 0:
+            # allocate above every member's counter (see _agree_contexts)
+            self.universe.raise_ctx_floor(max(f for _, _, _, f in entries))
             plans: list = [None] * self.size
-            colors = sorted({c for c, _, _ in entries
+            colors = sorted({c for c, _, _, _ in entries
                              if c != UNDEFINED})
             for c in colors:
-                members = sorted(((k, r) for cc, k, r in entries if cc == c))
+                members = sorted(((k, r) for cc, k, r, _ in entries
+                                  if cc == c))
                 ranks = [r for _, r in members]
                 ctxs = self.universe.alloc_context_pair()
                 world = [self.group.world_rank(r) for r in ranks]
@@ -688,16 +707,23 @@ class CommImpl:
         self._require_intra("Intercomm_create source")
         self._check_alive()
         i_am_leader = self.my_rank == local_leader
+        # gather local counters so the allocating leader's floor covers
+        # every member of *both* groups (see _agree_contexts)
+        floors = self.obj_gather(self.universe.ctx_floor, root=local_leader)
         if i_am_leader:
             my_leader_world = peer_comm.group.world_rank(peer_comm.my_rank)
             remote_leader_world = peer_comm.group.world_rank(remote_leader)
-            propose = (self.universe.alloc_context_pair()
-                       if my_leader_world < remote_leader_world else None)
-            peer_comm.obj_send((list(self.group.ranks), propose),
+            peer_comm.obj_send((list(self.group.ranks), max(floors)),
                                remote_leader, tag)
-            remote_ranks, their_propose = peer_comm.obj_recv(remote_leader,
-                                                             tag)
-            ctxs = propose if propose is not None else their_propose
+            remote_ranks, their_floor = peer_comm.obj_recv(remote_leader,
+                                                           tag)
+            if my_leader_world < remote_leader_world:
+                # lower leader allocates, above both groups' floors
+                self.universe.raise_ctx_floor(their_floor)
+                ctxs = self.universe.alloc_context_pair()
+                peer_comm.obj_send(ctxs, remote_leader, tag)
+            else:
+                ctxs = peer_comm.obj_recv(remote_leader, tag)
             payload = (remote_ranks, ctxs)
         else:
             payload = None
@@ -710,17 +736,31 @@ class CommImpl:
         """``MPI_Intercomm_merge`` — collective over the intercommunicator."""
         self._require_inter()
         self._check_alive()
+        # obj_gather's default rank->world translation goes through the
+        # *local* group, so on an intercommunicator this gathers each
+        # side's counters to its own leader (see _agree_contexts for why
+        # the allocation floor must cover every member)
+        floors = self.obj_gather(self.universe.ctx_floor, root=0)
         if self.my_rank == 0:
             my_leader_world = self.group.world_rank(0)
             remote_leader_world = self.remote_group.world_rank(0)
             i_allocate = my_leader_world < remote_leader_world
-            propose = self.universe.alloc_context_pair() if i_allocate \
-                else None
-            self.obj_send((bool(high), propose), 0, TAG_INTERCOMM_HANDSHAKE,
+            # leaders exchange their sides' floors; the lower one
+            # allocates above both groups
+            self.obj_send((bool(high), max(floors)), 0,
+                          TAG_INTERCOMM_HANDSHAKE,
                           world_dest=remote_leader_world)
-            their_high, their_propose = self.obj_recv(
+            their_high, their_floor = self.obj_recv(
                 0, TAG_INTERCOMM_HANDSHAKE, world_src=remote_leader_world)
-            ctxs = propose if propose is not None else their_propose
+            if i_allocate:
+                self.universe.raise_ctx_floor(max(max(floors),
+                                                  their_floor))
+                ctxs = self.universe.alloc_context_pair()
+                self.obj_send(ctxs, 0, TAG_INTERCOMM_HANDSHAKE,
+                              world_dest=remote_leader_world)
+            else:
+                ctxs = self.obj_recv(0, TAG_INTERCOMM_HANDSHAKE,
+                                     world_src=remote_leader_world)
             if bool(high) == bool(their_high):
                 # tie: order by leader world rank, per common practice
                 mine_first = my_leader_world < remote_leader_world

@@ -11,11 +11,12 @@ from __future__ import annotations
 
 import itertools
 import threading
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional
 
 from repro.errors import AbortException, MPIException, ERR_INTERN, ERR_OTHER
 from repro.runtime.bsend_pool import BsendPool
-from repro.runtime.envelope import Envelope, KIND_ABORT
+from repro.runtime.envelope import (Envelope, decode_abort_env,
+                                    encode_abort_env)
 from repro.runtime.groups import GroupImpl
 from repro.runtime.mailbox import Mailbox
 from repro.transport import make_transport
@@ -55,10 +56,19 @@ def try_current_runtime() -> Optional["RankRuntime"]:
 
 
 class Universe:
-    """One MPI job: shared state for all of its ranks."""
+    """One MPI job: shared state for all of its ranks.
+
+    In thread mode one Universe hosts every rank (``local_ranks`` covers
+    all of them).  Under the process backend each OS process builds its
+    own Universe with ``local_ranks=(my_rank,)`` — a *single-rank view*
+    of the job: only that rank's mailbox exists, every other rank is
+    reachable only through the (wire) transport, and job-wide state like
+    the abort flag or context-id agreement travels in envelopes.
+    """
 
     def __init__(self, nprocs: int, transport: Transport | str = "inproc",
-                 clock: Clock | None = None, cost_model=None):
+                 clock: Clock | None = None, cost_model=None,
+                 local_ranks: Iterable[int] | None = None):
         if nprocs < 1:
             raise MPIException(ERR_OTHER, f"nprocs must be >= 1, "
                                           f"got {nprocs}")
@@ -73,12 +83,15 @@ class Universe:
         #: optional NetworkModel; the OO layer charges wrapper costs to it
         self.cost_model = cost_model
         self.world_group = GroupImpl(range(self.nprocs))
-        self.mailboxes = [Mailbox(r, self) for r in range(self.nprocs)]
-        for r, mb in enumerate(self.mailboxes):
-            transport.set_deliver(r, mb.deliver)
-        transport.start()
+        if local_ranks is None:
+            local_ranks = range(self.nprocs)
+        self.local_ranks = tuple(sorted(set(int(r) for r in local_ranks)))
+        for r in self.local_ranks:
+            if not 0 <= r < self.nprocs:
+                raise MPIException(ERR_OTHER,
+                                   f"local rank {r} out of range")
         self._ctx_lock = threading.Lock()
-        self._next_ctx = itertools.count(_FIRST_DYNAMIC_CTX)
+        self._next_ctx = _FIRST_DYNAMIC_CTX
         self._abort_lock = threading.Lock()
         self._abort: AbortException | None = None
         #: callbacks fired exactly once when the job is poisoned; every
@@ -86,6 +99,16 @@ class Universe:
         #: event-driven (no poll ticks anywhere on the wait paths)
         self._abort_listeners: list[Callable[[], None]] = []
         self._closed = False
+        #: indexed by world rank; None for ranks hosted in other processes.
+        #: Wired (and the transport started) only after the abort state
+        #: above exists: a wire transport may deliver a peer's KIND_ABORT
+        #: the instant its pump starts.
+        self.mailboxes: list[Mailbox | None] = [None] * self.nprocs
+        for r in self.local_ranks:
+            mb = Mailbox(r, self)
+            self.mailboxes[r] = mb
+            transport.set_deliver(r, mb.deliver)
+        transport.start()
 
     # -- context ids --------------------------------------------------------
     def alloc_context_pair(self) -> tuple[int, int]:
@@ -93,9 +116,34 @@ class Universe:
 
         Called by a single leader rank during communicator construction; the
         leader distributes the pair collectively so every member agrees.
+        With per-process universes every process has its *own* counter, so
+        the agreement protocols first raise the leader's floor to the
+        highest counter in the group (:attr:`ctx_floor` /
+        :meth:`raise_ctx_floor`) and every member notes received ids
+        (:meth:`note_context_ids`) — any two communicators sharing a member
+        therefore get distinct contexts.
         """
         with self._ctx_lock:
-            return next(self._next_ctx), next(self._next_ctx)
+            pair = (self._next_ctx, self._next_ctx + 1)
+            self._next_ctx += 2
+            return pair
+
+    @property
+    def ctx_floor(self) -> int:
+        """Lowest context id this universe would allocate next."""
+        with self._ctx_lock:
+            return self._next_ctx
+
+    def raise_ctx_floor(self, floor: int) -> None:
+        """Never allocate a context id below ``floor`` from now on."""
+        with self._ctx_lock:
+            if floor > self._next_ctx:
+                self._next_ctx = int(floor)
+
+    def note_context_ids(self, *ctx_ids: int) -> None:
+        """Record context ids agreed elsewhere (bump the local counter)."""
+        if ctx_ids:
+            self.raise_ctx_floor(max(ctx_ids) + 1)
 
     # -- abort ---------------------------------------------------------------
     def poison(self, origin_rank: int, errorcode: int = 1,
@@ -108,21 +156,30 @@ class Universe:
         the originating rank — is preserved as the abort's ``__cause__`` so
         the executor can fold victims' failures back to the origin.
         """
+        return self._establish_abort(
+            AbortException(errorcode, origin_rank, cause=cause),
+            broadcast=True)
+
+    def _establish_abort(self, exc: AbortException,
+                         broadcast: bool) -> AbortException:
+        """Install ``exc`` as the job abort (first caller wins) and wake
+        all local waiters; optionally broadcast it to every rank."""
         with self._abort_lock:
             first = self._abort is None
             if first:
-                self._abort = AbortException(errorcode, origin_rank,
-                                             cause=cause)
+                self._abort = exc
                 listeners = self._abort_listeners
                 self._abort_listeners = []
         if first:
-            try:
-                self.transport.broadcast_control(
-                    Envelope(kind=KIND_ABORT, src=origin_rank))
-            except Exception:
-                pass  # teardown is best-effort once the job is poisoned
+            if broadcast:
+                try:
+                    self.transport.broadcast_control(encode_abort_env(
+                        exc.origin_rank, exc.abort_code, exc.__cause__))
+                except Exception:
+                    pass  # teardown is best-effort once the job is poisoned
             for mb in self.mailboxes:
-                mb.on_abort()
+                if mb is not None:
+                    mb.on_abort()
             for fn in listeners:
                 try:
                     fn()
@@ -159,8 +216,22 @@ class Universe:
             except ValueError:
                 pass  # already fired (abort) or never registered
 
-    def note_abort_delivery(self) -> None:
-        """Mailbox hook; the abort flag is already visible (shared memory)."""
+    def note_abort_delivery(self, env: Envelope | None = None) -> None:
+        """A transport delivered a KIND_ABORT frame: adopt it locally.
+
+        In thread mode the poisoning rank set the shared flag *before*
+        broadcasting, so this returns immediately.  Under process
+        isolation the envelope is the only carrier of the abort — its
+        errorcode / origin / pickled cause reconstruct the
+        ``AbortException`` here, without re-broadcasting (every process
+        already got the origin's full-mesh broadcast).
+        """
+        if self._abort is not None or env is None:
+            return
+        origin, errorcode, cause = decode_abort_env(env)
+        self._establish_abort(
+            AbortException(errorcode, origin, cause=cause),
+            broadcast=False)
 
     @property
     def aborted(self) -> bool:
@@ -197,6 +268,11 @@ class RankRuntime:
         self.universe = universe
         self.world_rank = int(world_rank)
         self.mailbox = universe.mailboxes[self.world_rank]
+        if self.mailbox is None:
+            raise MPIException(ERR_INTERN,
+                               f"rank {self.world_rank} is not hosted by "
+                               f"this process (local ranks: "
+                               f"{universe.local_ranks})")
         self._seq = itertools.count(1)
         self.bsend_pool = BsendPool(universe)
         self.initialized = False

@@ -9,6 +9,7 @@ blob for ``MPI.OBJECT`` traffic.
 
 from __future__ import annotations
 
+import pickle
 import struct
 
 import numpy as np
@@ -115,6 +116,80 @@ def encode(env: Envelope) -> tuple[bytes, bytes]:
                          env.mode, env.seq, env.nelems, flags, code,
                          len(body))
     return header, body
+
+
+# --- exception serialization ----------------------------------------------------
+#
+# Exceptions crossing a process boundary lose their __cause__ chain under
+# plain pickling (BaseException.__reduce__ keeps args + __dict__ only),
+# and an exception whose constructor signature doesn't match its args
+# blows up at *load* time on the far side.  So: serialize the cause chain
+# as a list, round-trip-check each element locally (falling back to a
+# summary), and relink the chain on load.
+
+_MAX_CHAIN = 8
+
+
+def dump_exception_chain(exc: BaseException) -> bytes:
+    """Pickle ``exc`` and its ``__cause__`` chain; never raises."""
+    chain, seen = [], set()
+    node: BaseException | None = exc
+    while node is not None and id(node) not in seen \
+            and len(chain) < _MAX_CHAIN:
+        seen.add(id(node))
+        chain.append(node)
+        node = node.__cause__
+    blobs = []
+    for node in chain:
+        try:
+            blob = pickle.dumps(node, protocol=4)
+            pickle.loads(blob)  # constructor-mismatch check, locally
+        except Exception:
+            blob = pickle.dumps(
+                RuntimeError(f"{type(node).__name__}: {node}"), protocol=4)
+        blobs.append(blob)
+    return pickle.dumps(blobs, protocol=4)
+
+
+def load_exception_chain(blob: bytes) -> BaseException | None:
+    """Inverse of :func:`dump_exception_chain`; never raises."""
+    try:
+        nodes = [pickle.loads(b) for b in pickle.loads(bytes(blob))]
+    except Exception:
+        return None
+    nodes = [n for n in nodes if isinstance(n, BaseException)]
+    if not nodes:
+        return None
+    for parent, child in zip(nodes, nodes[1:]):
+        parent.__cause__ = child
+    return nodes[0]
+
+
+# --- abort control envelopes ---------------------------------------------------
+#
+# A job abort must survive process isolation: receivers cannot rely on a
+# shared in-memory flag, so the envelope itself carries everything needed
+# to reconstruct the AbortException — errorcode in the (signed) ``tag``
+# field, origin rank in ``src`` (-1 = not a rank, e.g. a launcher
+# timeout), and the root-cause exception chain pickled into the payload.
+
+def encode_abort_env(origin_rank: int, errorcode: int,
+                     cause: BaseException | None = None) -> Envelope:
+    """Build the KIND_ABORT control envelope for :meth:`Universe.poison`."""
+    payload = b"" if cause is None else dump_exception_chain(cause)
+    return Envelope(kind=KIND_ABORT, src=int(origin_rank),
+                    tag=int(errorcode), payload=payload, is_object=True)
+
+
+def decode_abort_env(env: Envelope) \
+        -> tuple[int, int, BaseException | None]:
+    """(origin_rank, errorcode, cause) from a KIND_ABORT envelope."""
+    cause = None
+    payload = env.payload
+    if payload is not None and len(payload):
+        # a corrupt cause must not mask the abort itself
+        cause = load_exception_chain(payload)
+    return env.src, env.tag, cause
 
 
 def decode(header: bytes, body: bytes) -> Envelope:

@@ -73,7 +73,7 @@ class Mailbox:
             self._route_ack(env)
             return
         if env.kind == KIND_ABORT:
-            self.universe.note_abort_delivery()
+            self.universe.note_abort_delivery(env)
             self.on_abort()
             return
         assert env.kind == KIND_DATA

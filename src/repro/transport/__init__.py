@@ -7,6 +7,10 @@
 * :class:`~repro.transport.socket_tcp.SocketTransport` — distributed-memory
   mode (the paper's DM): every rank pair exchanges frames over a kernel
   socket pair, with per-rank receiver pumps.
+* :class:`~repro.transport.socket_tcp.TCPMeshTransport` — process-per-rank
+  distributed memory (the paper's real ``mpirun`` model): a full TCP mesh
+  between OS processes, bootstrapped by the launcher's rendezvous (see
+  :mod:`repro.executor.procrunner`).
 * :class:`~repro.transport.modeled.ModeledTransport` — charges a calibrated
   latency/bandwidth cost model to a virtual clock so the benchmark harness
   can regenerate the paper's published 1999 numbers deterministically.
@@ -15,7 +19,7 @@
 from repro.transport.base import Transport
 from repro.transport.inproc import InprocTransport
 from repro.transport.chunked import ChunkedTransport
-from repro.transport.socket_tcp import SocketTransport
+from repro.transport.socket_tcp import SocketTransport, TCPMeshTransport
 from repro.transport.modeled import ModeledTransport
 from repro.transport import netmodel
 
@@ -37,5 +41,5 @@ def make_transport(name: str, nprocs: int, **kwargs) -> Transport:
 
 
 __all__ = ["Transport", "InprocTransport", "ChunkedTransport",
-           "SocketTransport", "ModeledTransport", "make_transport",
-           "netmodel", "TRANSPORTS"]
+           "SocketTransport", "TCPMeshTransport", "ModeledTransport",
+           "make_transport", "netmodel", "TRANSPORTS"]

@@ -38,10 +38,17 @@ class Transport:
         raise NotImplementedError
 
     def broadcast_control(self, env: Envelope) -> None:
-        """Deliver a control envelope (e.g. abort) to every rank."""
+        """Deliver a control envelope (e.g. abort) to every rank.
+
+        The payload must survive the fan-out: abort envelopes carry the
+        errorcode and pickled root cause (see ``envelope.encode_abort_env``),
+        which is all a process-isolated receiver has to go on.
+        """
         for dst in range(self.nprocs):
             ctl = Envelope(kind=env.kind, src=env.src, dst=dst,
-                           context=env.context, tag=env.tag, seq=env.seq)
+                           context=env.context, tag=env.tag, seq=env.seq,
+                           payload=env.payload, nelems=env.nelems,
+                           is_object=env.is_object)
             self.send(ctl)
 
     def close(self) -> None:

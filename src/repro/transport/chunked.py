@@ -11,6 +11,8 @@ columns at every size.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.runtime.envelope import Envelope, KIND_DATA
@@ -34,8 +36,12 @@ class ChunkedTransport(Transport):
             raise ValueError("packet_bytes must be positive")
         self.inner = inner or InprocTransport(nprocs)
         self.mode = self.inner.mode  # SM over inproc, DM over sockets
-        #: packets staged since start (benchmark/ablation introspection)
+        #: packets staged since start (benchmark/ablation introspection).
+        #: Rank threads send concurrently, so the counter is accumulated
+        #: per send and added under a lock — a bare ``+= 1`` per packet
+        #: loses increments and under-reports ablation counts.
         self.packets_staged = 0
+        self._stats_lock = threading.Lock()
 
     def set_deliver(self, rank, fn):
         super().set_deliver(rank, fn)
@@ -65,14 +71,17 @@ class ChunkedTransport(Transport):
         step = max(1, self.packet_bytes // itemsize)
         out = np.empty_like(arr)
         staging = np.empty(min(step, len(arr)) or 1, dtype=arr.dtype)
+        packets = 0
         for lo in range(0, len(arr), step):
             hi = min(lo + step, len(arr))
             n = hi - lo
             staging[:n] = arr[lo:hi]       # copy in (the ADI staging copy)
             out[lo:hi] = staging[:n]       # copy out
-            self.packets_staged += 1
+            packets += 1
         if len(arr) == 0:
-            self.packets_staged += 1
+            packets = 1
+        with self._stats_lock:
+            self.packets_staged += packets
         return out
 
     def describe(self) -> str:

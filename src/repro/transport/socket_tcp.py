@@ -1,24 +1,31 @@
-"""Distributed-memory (DM) transport: kernel sockets between rank pairs.
+"""Distributed-memory (DM) transports: kernel sockets between rank pairs.
 
 The paper's DM mode ran each rank in its own process on a separate machine,
-talking over 10BaseT Ethernet.  Our ranks are threads of one Python process,
-so the closest faithful substitute is to route every byte of every message
-through the kernel's socket layer: each rank pair shares a
-``socket.socketpair()`` (a connected stream pair), every rank runs a
-receiver pump thread, and messages are framed with the wire format from
-:mod:`repro.runtime.envelope`.  Syscalls, kernel buffering and the
-serialize/deserialize round trip give this path genuinely different (and
-much higher) per-message cost than the SM path — the property the paper's
-DM experiments depend on.
+talking over 10BaseT Ethernet.  Two carriers live here:
 
-Stream sockets preserve per-pair ordering, which carries MPI's
-non-overtaking guarantee.
+* :class:`SocketTransport` — ranks are threads of one Python process; each
+  rank pair shares a ``socket.socketpair()`` so every byte still crosses
+  the kernel's socket layer (syscalls, kernel buffering, the
+  serialize/deserialize round trip), which is what gives the DM path its
+  genuinely higher per-message cost.
+* :class:`TCPMeshTransport` — ranks are separate OS *processes* (the
+  paper's actual ``mpirun`` model).  A bootstrap rendezvous builds a full
+  TCP mesh: every rank opens a listener, the launcher gossips the
+  (host, port) address book over the control plane, then rank *j* dials
+  every rank *i < j* and accepts from every rank *k > j*; each connection
+  opens with a fixed hello frame declaring the dialer's rank.  One pump
+  thread per process drains frames from all peers.
+
+Messages are framed with the wire format from
+:mod:`repro.runtime.envelope`.  Stream sockets preserve per-pair ordering,
+which carries MPI's non-overtaking guarantee.
 """
 
 from __future__ import annotations
 
 import selectors
 import socket
+import struct
 import threading
 
 from repro.runtime import envelope as ev
@@ -162,3 +169,186 @@ class SocketTransport(Transport):
 
     def describe(self) -> str:
         return f"SocketTransport(nprocs={self.nprocs}, kernel socketpairs)"
+
+
+# ---------------------------------------------------------------------------
+# process-per-rank mesh (the paper's mpirun/WMPI-daemons model)
+# ---------------------------------------------------------------------------
+
+#: hello frame opening every mesh connection: the dialer's world rank
+MESH_HELLO = struct.Struct("!i")
+
+#: bound on every bootstrap step, so a wedged rendezvous fails fast
+#: instead of hanging a CI job
+BOOTSTRAP_TIMEOUT = 30.0
+
+
+def mesh_listener(host: str = "127.0.0.1") -> socket.socket:
+    """Open this rank's mesh listener on an ephemeral port."""
+    return socket.create_server((host, 0), backlog=64)
+
+
+def build_mesh(rank: int, nprocs: int, listener: socket.socket,
+               book: dict[int, tuple[str, int]],
+               timeout: float = BOOTSTRAP_TIMEOUT) \
+        -> dict[int, socket.socket]:
+    """Form this rank's side of the full mesh; returns peer -> socket.
+
+    ``book`` maps every rank to its listener address (gossiped by the
+    launcher once all ranks registered, so every listener exists before
+    anyone dials).  Dial lower ranks, accept from higher ranks: each
+    unordered pair ends up with exactly one connection.
+    """
+    peers: dict[int, socket.socket] = {}
+    try:
+        for peer in range(rank):
+            host, port = book[peer]
+            s = socket.create_connection((host, port), timeout=timeout)
+            s.sendall(MESH_HELLO.pack(rank))
+            s.settimeout(None)
+            peers[peer] = s
+        listener.settimeout(timeout)
+        for _ in range(nprocs - 1 - rank):
+            s, _addr = listener.accept()
+            s.settimeout(timeout)
+            (peer,) = MESH_HELLO.unpack(_recv_exact(s, MESH_HELLO.size))
+            if not rank < peer < nprocs or peer in peers:
+                raise ConnectionError(f"bad mesh hello from rank {peer}")
+            s.settimeout(None)
+            peers[peer] = s
+    except socket.timeout as exc:
+        for s in peers.values():
+            s.close()
+        raise TimeoutError(
+            f"rank {rank}: mesh bootstrap timed out after {timeout}s "
+            f"({len(peers)} of {nprocs - 1} peers connected)") from exc
+    finally:
+        listener.close()
+    return peers
+
+
+class TCPMeshTransport(Transport):
+    """Full TCP mesh between rank *processes*; one socket per pair.
+
+    Hosts exactly one local rank.  Sends to any peer are framed writes on
+    that pair's socket (under a per-peer lock — the rank thread, the pump
+    ACK path and the abort broadcast may write concurrently); the single
+    pump thread drains frames from every peer into the local mailbox.
+    A peer connection dying outside teardown is converted into a
+    synthetic KIND_ABORT delivery, so a hard-killed process unblocks its
+    peers just like an explicit abort.
+    """
+
+    mode = "DM"
+
+    def __init__(self, nprocs: int, rank: int,
+                 peer_socks: dict[int, socket.socket]):
+        super().__init__(nprocs)
+        self.rank = int(rank)
+        if sorted(peer_socks) != [r for r in range(nprocs)
+                                  if r != self.rank]:
+            raise ValueError(f"mesh for rank {self.rank} must cover all "
+                             f"{nprocs - 1} peers, got {sorted(peer_socks)}")
+        self._peer = dict(peer_socks)
+        self._wlock = {p: threading.Lock() for p in self._peer}
+        for s in self._peer.values():
+            try:
+                s.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:  # pragma: no cover - e.g. AF_UNIX carriers
+                pass
+        self._pump_thread: threading.Thread | None = None
+        self._closing = threading.Event()
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self._pump_thread = threading.Thread(
+            target=self._pump, name=f"repro-meshpump-{self.rank}",
+            daemon=True)
+        self._pump_thread.start()
+
+    def close(self) -> None:
+        if self._closing.is_set():
+            return
+        self._closing.set()
+        for s in self._peer.values():
+            try:
+                s.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                s.close()
+            except OSError:
+                pass
+        if self._pump_thread is not None:
+            self._pump_thread.join(timeout=2.0)
+
+    # -- sending -----------------------------------------------------------
+    def send(self, env: Envelope) -> None:
+        if env.dst == self.rank:
+            deliver = self._deliver[self.rank]
+            if deliver is None:
+                raise RuntimeError(f"rank {self.rank} has no mailbox "
+                                   f"attached")
+            deliver(env)
+            return
+        sock = self._peer.get(env.dst)
+        if sock is None:
+            raise RuntimeError(f"no mesh connection {self.rank}->{env.dst}")
+        header, body = ev.encode(env)
+        with self._wlock[env.dst]:
+            sock.sendall(header)
+            if body:
+                sock.sendall(body)
+
+    # -- receiving ---------------------------------------------------------
+    def _pump(self) -> None:
+        sel = selectors.DefaultSelector()
+        for peer, s in self._peer.items():
+            sel.register(s, selectors.EVENT_READ, peer)
+        try:
+            while not self._closing.is_set():
+                for key, _ in sel.select(timeout=0.2):
+                    try:
+                        self._read_one(key.fileobj, key.data)
+                    except (ConnectionError, OSError):
+                        if self._closing.is_set():
+                            return
+                        sel.unregister(key.fileobj)
+                        self._peer_lost(key.data)
+        finally:
+            sel.close()
+
+    def _read_one(self, sock: socket.socket, peer: int) -> None:
+        header = _recv_exact(sock, ev.HEADER_SIZE)
+        nbytes = ev.HEADER.unpack(header)[-1]
+        body = _recv_exact(sock, nbytes) if nbytes else b""
+        env = ev.decode(header, body)
+        if env.mode == ev.MODE_SYNCHRONOUS and env.kind == ev.KIND_DATA:
+            env.transport_notify = self._send_ack
+        deliver = self._deliver[self.rank]
+        if deliver is not None:
+            deliver(env)
+
+    def _peer_lost(self, peer: int) -> None:
+        """Peer connection died outside teardown: deliver a synthetic
+        abort so the local rank unblocks instead of hanging forever."""
+        env = ev.encode_abort_env(
+            peer, 1, ConnectionError(f"rank {peer} connection lost"))
+        env.dst = self.rank
+        deliver = self._deliver[self.rank]
+        if deliver is not None:
+            deliver(env)
+
+    def _send_ack(self, env: Envelope) -> None:
+        """Matched a synchronous-mode message: ACK back to the sender."""
+        ack = Envelope(kind=ev.KIND_ACK, src=env.dst, dst=env.src,
+                       context=env.context, tag=env.tag, seq=env.seq)
+        self.send(ack)
+
+    def describe(self) -> str:
+        return (f"TCPMeshTransport(nprocs={self.nprocs}, "
+                f"rank={self.rank}, full TCP mesh)")

@@ -1,11 +1,13 @@
 """SPMD executor semantics."""
 
+import time
+
 import numpy as np
 import pytest
 
 from repro import MPIExecutor, mpirun
 from repro.errors import AbortException
-from repro.executor.runner import RankFailure
+from repro.executor.runner import JobTimeoutError, RankFailure
 from repro.mpijava import MPI
 from tests.conftest import spmd
 
@@ -85,6 +87,29 @@ class TestFailures:
 
         with pytest.raises(RankFailure):
             mpirun(3, body, timeout=30)
+
+    def test_timeout_reports_failures_and_hung_ranks(self):
+        """A deadline must not discard failures collected before it: a
+        job where rank 0 died and rank 1 wedged reports both facts."""
+
+        def body(action):
+            if action == "raise":
+                raise ValueError("early death")
+            time.sleep(2.0)  # wedged outside MPI: ignores the abort
+            return action
+
+        t0 = time.monotonic()
+        with pytest.raises(JobTimeoutError) as ei:
+            mpirun(2, body, args=[("raise",), ("sleep",)],
+                   per_rank_args=True, timeout=0.5)
+        assert time.monotonic() - t0 < 10.0
+        exc = ei.value
+        assert exc.hung_ranks == [1]
+        assert set(exc.failures) == {0}
+        assert isinstance(exc.failures[0], ValueError)
+        assert isinstance(exc, TimeoutError)  # backwards compatible
+        assert "did not finish" in str(exc)
+        assert "failed before the deadline" in str(exc)
 
     def test_singleton_init_without_mpirun(self):
         # MPI.Init outside mpirun behaves like mpiexec -n 1

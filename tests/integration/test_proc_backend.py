@@ -1,0 +1,277 @@
+"""Process-per-rank backend: end-to-end, faults, and control plane.
+
+Every job here runs ranks as real OS processes over the TCP mesh, so
+nothing — matching, collectives, abort delivery, failure folding — can
+lean on shared memory.  The suite is the process-backend port of the
+fault-injection scenarios plus an IBM-suite smoke subset, with the wire
+bounds the issue demands: cross-process abort unwind under 2 s, and a
+rank's exception round-tripping to the launcher with type and message
+intact.
+
+SPMD bodies must be module-level (they cross the process boundary by
+reference, like ``multiprocessing`` spawn targets).
+
+``REPRO_PROC_NPROCS`` sizes the default world (CI runs a small matrix).
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import procrun, ProcExecutor
+from repro.errors import AbortException
+from repro.executor.procrunner import target_spec
+from repro.executor.runner import JobTimeoutError, RankFailure
+from repro.mpijava import MPI
+from repro.mpijava.op import Op
+
+NPROCS = int(os.environ.get("REPRO_PROC_NPROCS", "4"))
+
+#: the wire bound from the issue: peers of a failed rank must unwind
+#: well under this (measured inside the victim, excluding spawn cost)
+UNWIND_BOUND = 2.0
+
+TIMEOUT = 60.0
+
+
+# --- module-level SPMD bodies -------------------------------------------------
+
+def rank_report_body():
+    MPI.Init([])
+    w = MPI.COMM_WORLD
+    out = (w.Rank(), w.Size(), os.getpid())
+    MPI.Finalize()
+    return out
+
+
+def ibm_smoke_body():
+    """Smoke subset of the IBM suite: pt2pt ring + core collectives."""
+    MPI.Init([])
+    w = MPI.COMM_WORLD
+    rank, size = w.Rank(), w.Size()
+    # ring sendrecv (pt2pt matching over the mesh)
+    right, left = (rank + 1) % size, (rank - 1) % size
+    sb = np.array([rank], dtype=np.int64)
+    rb = np.zeros(1, dtype=np.int64)
+    if rank % 2 == 0:
+        w.Send(sb, 0, 1, MPI.LONG, right, 7)
+        w.Recv(rb, 0, 1, MPI.LONG, left, 7)
+    else:
+        w.Recv(rb, 0, 1, MPI.LONG, left, 7)
+        w.Send(sb, 0, 1, MPI.LONG, right, 7)
+    assert int(rb[0]) == left
+    # bcast
+    buf = np.array([42.0 if rank == 0 else 0.0])
+    w.Bcast(buf, 0, 1, MPI.DOUBLE, 0)
+    assert buf[0] == 42.0
+    # allreduce
+    one = np.array([1.0])
+    total = np.zeros(1)
+    w.Allreduce(one, 0, total, 0, 1, MPI.DOUBLE, MPI.SUM)
+    assert total[0] == float(size)
+    # gather at a non-zero root
+    root = size - 1
+    got = np.zeros(size, dtype=np.int64) if rank == root \
+        else np.zeros(1, dtype=np.int64)
+    w.Gather(sb, 0, 1, MPI.LONG, got, 0, 1, MPI.LONG, root)
+    if rank == root:
+        assert list(got) == list(range(size))
+    w.Barrier()
+    MPI.Finalize()
+    return "ok"
+
+
+def comm_management_body():
+    """Split/dup across processes: context agreement without shared state."""
+    MPI.Init([])
+    w = MPI.COMM_WORLD
+    rank, size = w.Rank(), w.Size()
+    half = w.Split(rank % 2, rank)
+    sub_total = np.zeros(1)
+    one = np.array([1.0])
+    half.Allreduce(one, 0, sub_total, 0, 1, MPI.DOUBLE, MPI.SUM)
+    expect = len([r for r in range(size) if r % 2 == rank % 2])
+    assert sub_total[0] == float(expect), (sub_total[0], expect)
+    dup = w.Dup()
+    total = np.zeros(1)
+    dup.Allreduce(one, 0, total, 0, 1, MPI.DOUBLE, MPI.SUM)
+    assert total[0] == float(size)
+    MPI.Finalize()
+    return float(sub_total[0])
+
+
+def failing_rank_body(fail_rank):
+    MPI.Init([])
+    w = MPI.COMM_WORLD
+    if w.Rank() == fail_rank:
+        raise ValueError("boom at rank %d" % fail_rank)
+    buf = np.zeros(1, dtype=np.int32)
+    w.Recv(buf, 0, 1, MPI.INT, fail_rank, 0)
+    return "unreachable"
+
+
+def timed_victim_body(fail_rank):
+    """Victims time their own unwind and smuggle it out via the failure."""
+    MPI.Init([])
+    w = MPI.COMM_WORLD
+    if w.Rank() == fail_rank:
+        time.sleep(0.2)  # let peers actually block first
+        raise ValueError("origin dies")
+    t0 = time.monotonic()
+    try:
+        buf = np.zeros(1, dtype=np.int32)
+        w.Recv(buf, 0, 1, MPI.INT, fail_rank, 0)
+    except AbortException as exc:
+        dt = time.monotonic() - t0
+        assert exc.origin_rank == fail_rank
+        assert isinstance(exc.__cause__, ValueError), exc.__cause__
+        raise RuntimeError("unwound %.3f" % dt)
+    return "unreachable"
+
+
+def user_op_failure_body(handler):
+    """Fault-injection port: a user reduction op raising a non-MPI error."""
+    MPI.Init([])
+    w = MPI.COMM_WORLD
+
+    def ufn(invec, inoutvec, count, datatype):
+        raise ValueError("injected user-op failure")
+
+    if handler == "return":
+        w.Errhandler_set(MPI.ERRORS_RETURN)
+    op = Op.Create(ufn, commute=True)
+    sb = np.array([float(w.Rank())])
+    rb = np.zeros(1)
+    w.Allreduce(sb, 0, rb, 0, 1, MPI.DOUBLE, op)
+    return "unreachable"
+
+
+def death_between_collectives_body():
+    """Fault-injection port: rank 1 dies where no MPI call can see it."""
+    MPI.Init([])
+    w = MPI.COMM_WORLD
+    sb = np.array([1.0])
+    rb = np.zeros(1)
+    w.Allreduce(sb, 0, rb, 0, 1, MPI.DOUBLE, MPI.SUM)
+    if w.Rank() == 1:
+        raise ValueError("injected failure between collectives")
+    w.Barrier()
+    return "unreachable"
+
+
+def hang_body(kind, arg):
+    """Deliberately MPI-free: a rank wedged in plain Python code cannot
+    be unwound by the abort machinery, guaranteeing a deterministic
+    hang (an MPI-blocked rank would unwind and report instead)."""
+    if kind == "raise":
+        raise ValueError(arg)
+    time.sleep(arg)
+    return kind
+
+
+# --- tests --------------------------------------------------------------------
+
+class TestEndToEnd:
+    def test_ranks_are_distinct_os_processes(self):
+        rows = procrun(NPROCS, rank_report_body, timeout=TIMEOUT)
+        assert [r for r, _, _ in rows] == list(range(NPROCS))
+        assert all(s == NPROCS for _, s, _ in rows)
+        pids = {pid for _, _, pid in rows}
+        assert len(pids) == NPROCS, f"ranks shared processes: {pids}"
+        assert os.getpid() not in pids
+
+    def test_ibm_suite_smoke_subset(self):
+        assert procrun(NPROCS, ibm_smoke_body, timeout=TIMEOUT) \
+            == ["ok"] * NPROCS
+
+    def test_split_and_dup_across_processes(self):
+        out = procrun(NPROCS, comm_management_body, timeout=TIMEOUT)
+        assert len(out) == NPROCS
+
+    def test_string_target_from_example_file(self):
+        root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))
+        target = os.path.join(root, "examples", "pi_reduce.py") \
+            + ":compute_pi"
+        out = procrun(2, target, args=(20_000,), timeout=TIMEOUT)
+        assert out[0] == pytest.approx(3.14159, abs=1e-3)
+        assert out[1] is None
+
+    def test_local_function_rejected_with_clear_error(self):
+        def local_body():  # pragma: no cover - must not even ship
+            return 1
+
+        with pytest.raises(TypeError, match="module-level"):
+            target_spec(local_body)
+
+
+class TestFaultContainment:
+    def test_exception_roundtrips_type_and_message(self):
+        with pytest.raises(RankFailure) as ei:
+            procrun(NPROCS, failing_rank_body, args=(2 % NPROCS,),
+                    timeout=TIMEOUT)
+        failures = ei.value.failures
+        fail_rank = 2 % NPROCS
+        assert isinstance(failures[fail_rank], ValueError)
+        assert str(failures[fail_rank]) == f"boom at rank {fail_rank}"
+        # the formatted child traceback rides along for diagnosis
+        assert "ValueError" in getattr(failures[fail_rank],
+                                       "remote_traceback", "")
+
+    def test_victims_fold_to_origin(self):
+        with pytest.raises(RankFailure) as ei:
+            procrun(NPROCS, failing_rank_body, args=(0,), timeout=TIMEOUT)
+        # victims unwound with AbortException and fold back to rank 0:
+        # only the origin appears, carrying its own ValueError
+        assert set(ei.value.failures) == {0}
+        assert isinstance(ei.value.failures[0], ValueError)
+
+    def test_cross_process_abort_unwinds_under_2s(self):
+        with pytest.raises(RankFailure) as ei:
+            procrun(NPROCS, timed_victim_body, args=(0,), timeout=TIMEOUT)
+        failures = ei.value.failures
+        victims = {r: f for r, f in failures.items()
+                   if isinstance(f, RuntimeError)}
+        assert victims, f"no timed victims in {failures!r}"
+        for rank, failure in victims.items():
+            dt = float(str(failure).split()[-1])
+            assert dt < UNWIND_BOUND, \
+                f"rank {rank} took {dt:.3f}s to unwind across processes"
+
+    @pytest.mark.parametrize("handler", ["fatal", "return"])
+    def test_user_op_failure_poisons_job(self, handler):
+        with pytest.raises(RankFailure) as ei:
+            procrun(NPROCS, user_op_failure_body, args=(handler,),
+                    timeout=TIMEOUT)
+        roots = [f.__cause__ if f.__cause__ is not None else f
+                 for f in ei.value.failures.values()]
+        assert any(isinstance(r, ValueError) for r in roots), \
+            ei.value.failures
+
+    def test_death_between_collectives_unblocks_peers(self):
+        with pytest.raises(RankFailure) as ei:
+            procrun(NPROCS, death_between_collectives_body,
+                    timeout=TIMEOUT)
+        assert set(ei.value.failures) == {1}
+        assert isinstance(ei.value.failures[1], ValueError)
+
+
+class TestTimeoutReporting:
+    def test_timeout_reports_failures_and_hung_ranks(self):
+        """Satellite: a deadline must not mask already-collected failures."""
+        behaviour = [("raise", "early death"), ("sleep", 30.0)]
+        t0 = time.monotonic()
+        with pytest.raises(JobTimeoutError) as ei:
+            ProcExecutor(2).run(hang_body, args=behaviour,
+                                per_rank_args=True, timeout=8.0)
+        assert time.monotonic() - t0 < 25.0
+        exc = ei.value
+        assert exc.hung_ranks == [1]
+        assert set(exc.failures) == {0}
+        assert isinstance(exc.failures[0], ValueError)
+        assert "early death" in str(exc.failures[0])
+        # and the message carries both facts
+        assert "did not finish" in str(exc)
+        assert "failed before the deadline" in str(exc)

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.errors import AbortException, MPIException, ERR_OTHER
 from repro.runtime import envelope as ev
 
 
@@ -10,6 +11,60 @@ def roundtrip(env):
     header, body = ev.encode(env)
     assert len(header) == ev.HEADER_SIZE
     return ev.decode(header, body)
+
+
+class TestAbortEnvelope:
+    """Abort semantics must survive process isolation: errorcode, origin
+    and the root-cause chain all ride in the envelope itself."""
+
+    def test_errorcode_origin_and_cause_roundtrip(self):
+        cause = ValueError("user code exploded")
+        env = roundtrip(ev.encode_abort_env(2, 23, cause))
+        assert env.kind == ev.KIND_ABORT
+        origin, errorcode, got = ev.decode_abort_env(env)
+        assert (origin, errorcode) == (2, 23)
+        assert isinstance(got, ValueError)
+        assert str(got) == "user code exploded"
+
+    def test_launcher_timeout_origin_is_minus_one(self):
+        env = roundtrip(ev.encode_abort_env(-1, 1, None))
+        origin, errorcode, cause = ev.decode_abort_env(env)
+        assert (origin, errorcode, cause) == (-1, 1, None)
+
+    def test_cause_chain_preserved(self):
+        inner = ValueError("root")
+        outer = MPIException(ERR_OTHER, "wrapped")
+        outer.__cause__ = inner
+        env = roundtrip(ev.encode_abort_env(0, 1, outer))
+        _, _, got = ev.decode_abort_env(env)
+        assert isinstance(got, MPIException)
+        assert isinstance(got.__cause__, ValueError)
+
+    def test_unpicklable_cause_degrades_to_summary(self):
+        class Nasty(Exception):  # local class: not importable remotely
+            pass
+
+        env = roundtrip(ev.encode_abort_env(1, 9, Nasty("ugh")))
+        _, _, got = ev.decode_abort_env(env)
+        assert isinstance(got, RuntimeError)
+        assert "Nasty" in str(got)
+
+
+class TestExceptionPickling:
+    """MPI exceptions must survive a pickle round trip (the process
+    backend ships them between rank processes and the launcher)."""
+
+    def test_mpi_exception_roundtrips(self):
+        import pickle
+        exc = pickle.loads(pickle.dumps(MPIException(ERR_OTHER, "hi")))
+        assert exc.error_code == ERR_OTHER
+        assert exc.message == "hi"
+
+    def test_abort_exception_roundtrips(self):
+        import pickle
+        exc = pickle.loads(pickle.dumps(AbortException(23, 4)))
+        assert exc.abort_code == 23
+        assert exc.origin_rank == 4
 
 
 class TestEncodeDecode:

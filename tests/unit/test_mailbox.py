@@ -11,11 +11,14 @@ from repro.runtime.requests import RequestImpl
 
 
 class FakeUniverse:
+    def __init__(self):
+        self.abort_envs = []
+
     def check_abort(self):
         pass
 
-    def note_abort_delivery(self):
-        pass
+    def note_abort_delivery(self, env=None):
+        self.abort_envs.append(env)
 
     def add_abort_listener(self, fn):
         return False
@@ -175,3 +178,15 @@ class TestReadyMode:
         assert not mb.has_posted_match(env)
         post(mb)
         assert mb.has_posted_match(env)
+
+
+class TestAbortDelivery:
+    def test_abort_envelope_forwarded_to_universe(self, mb):
+        from repro.runtime.envelope import encode_abort_env
+        env = encode_abort_env(2, 23, ValueError("cause"))
+        mb.deliver(env)
+        # the mailbox hands the whole envelope to the universe so a
+        # process-isolated receiver can reconstruct the AbortException
+        assert mb.universe.abort_envs == [env]
+        unexpected, posted = mb.pending_counts()
+        assert unexpected == 0 and posted == 0

@@ -74,6 +74,29 @@ class TestChunked:
         sm = ChunkedTransport(2)
         assert sm.mode == "SM"
 
+    def test_packet_accounting_is_race_free_under_concurrent_sends(self):
+        # multiple rank threads stage packets concurrently; a bare
+        # ``+= 1`` per packet loses increments and under-reports
+        tr = ChunkedTransport(2, packet_bytes=8)  # 2 int32 per packet
+        collect(tr, 0)
+        collect(tr, 1)
+        sends_per_thread, packets_per_send = 200, 5
+        payload = np.arange(10, dtype=np.int32)  # 5 packets
+
+        def sender(dst):
+            for _ in range(sends_per_thread):
+                tr.send(Envelope(src=1 - dst, dst=dst, payload=payload,
+                                 nelems=10))
+
+        threads = [threading.Thread(target=sender, args=(d,))
+                   for d in (0, 1, 0, 1)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert tr.packets_staged == \
+            len(threads) * sends_per_thread * packets_per_send
+
 
 class TestSocket:
     def test_roundtrip_frames(self):
@@ -131,6 +154,89 @@ class TestSocket:
         tr.start()
         tr.close()
         tr.close()
+
+
+class TestTCPMesh:
+    """The process-backend carrier, exercised in-process: two 'ranks' of
+    one job mesh up through the real rendezvous helpers."""
+
+    @staticmethod
+    def _make_pair():
+        from repro.transport.socket_tcp import (TCPMeshTransport,
+                                                build_mesh, mesh_listener)
+        listeners = [mesh_listener(), mesh_listener()]
+        book = {r: listeners[r].getsockname()[:2] for r in range(2)}
+        out = [None, None]
+
+        def boot(rank):
+            peers = build_mesh(rank, 2, listeners[rank], book)
+            out[rank] = TCPMeshTransport(2, rank, peers)
+
+        threads = [threading.Thread(target=boot, args=(r,))
+                   for r in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert all(out), "mesh bootstrap failed"
+        return out
+
+    def test_frames_cross_the_mesh(self):
+        t0, t1 = self._make_pair()
+        try:
+            got = []
+            arrived = threading.Event()
+            t1.set_deliver(1, lambda e: (got.append(e), arrived.set()))
+            t0.set_deliver(0, lambda e: None)
+            t0.start()
+            t1.start()
+            data = np.arange(64, dtype=np.float64)
+            t0.send(Envelope(src=0, dst=1, context=3, tag=7, payload=data,
+                             nelems=64))
+            assert arrived.wait(timeout=5)
+            env = got[-1]
+            assert env.tag == 7 and env.context == 3
+            assert np.array_equal(np.asarray(env.payload), data)
+            assert t0.mode == "DM"
+        finally:
+            t0.close()
+            t1.close()
+
+    def test_loopback_is_local(self):
+        t0, t1 = self._make_pair()
+        try:
+            got = []
+            t0.set_deliver(0, got.append)
+            t0.start()
+            t1.start()
+            t0.send(Envelope(src=0, dst=0))
+            assert len(got) == 1  # delivered synchronously, no wire
+        finally:
+            t0.close()
+            t1.close()
+
+    def test_peer_death_delivers_synthetic_abort(self):
+        from repro.runtime.envelope import KIND_ABORT, decode_abort_env
+        t0, t1 = self._make_pair()
+        try:
+            got = []
+            arrived = threading.Event()
+            t0.set_deliver(0, lambda e: (got.append(e), arrived.set()))
+            t0.start()
+            t1.close()  # rank 1 "hard-killed" outside teardown
+            assert arrived.wait(timeout=5)
+            env = got[-1]
+            assert env.kind == KIND_ABORT
+            origin, errorcode, cause = decode_abort_env(env)
+            assert origin == 1
+            assert isinstance(cause, (ConnectionError, RuntimeError))
+        finally:
+            t0.close()
+
+    def test_mesh_must_cover_all_peers(self):
+        from repro.transport.socket_tcp import TCPMeshTransport
+        with pytest.raises(ValueError):
+            TCPMeshTransport(3, 0, {})
 
 
 class TestModeled:
