@@ -1,0 +1,62 @@
+"""The p2p sweep stays runnable and its artifact stays valid.
+
+The committed ``BENCH_P2P.json`` seeds the perf trajectory; a stale or
+malformed artifact (or a sweep that can no longer run) should fail here,
+not at the next person trying to reproduce the numbers.
+"""
+
+import json
+import pathlib
+
+from repro.bench import p2p
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+class TestCommittedArtifact:
+    def test_committed_report_is_valid(self):
+        path = REPO_ROOT / "BENCH_P2P.json"
+        assert path.exists(), "BENCH_P2P.json missing from repo root"
+        report = json.loads(path.read_text())
+        assert p2p.validate_report(report) == []
+
+    def test_committed_report_covers_the_full_sweep(self):
+        report = json.loads((REPO_ROOT / "BENCH_P2P.json").read_text())
+        dm_auto = {r["size_bytes"] for r in report["results"]
+                   if r["backend"] == "threads-DM"
+                   and r["protocol"] == "auto"}
+        assert dm_auto.issuperset(p2p.FULL_SIZES)
+
+    def test_committed_report_carries_the_baseline(self):
+        report = json.loads((REPO_ROOT / "BENCH_P2P.json").read_text())
+        base = report.get("baseline", {})
+        assert base.get("results"), "pre-PR baseline rows missing"
+        improv = base.get("improvement_vs_baseline_threads_DM", {})
+        large = {int(k): v for k, v in improv.items() if int(k) >= 262144}
+        assert large, "no >=256KB improvement entries"
+        assert all(v >= 2.0 for v in large.values()), \
+            f"large-message speedup fell below 2x: {large}"
+
+
+class TestLiveSweep:
+    def test_reduced_sweep_runs_and_validates(self):
+        rows = p2p.run_sweep(sizes=(8, 65536), backends=("threads-DM",),
+                             protocols=("eager", "rendezvous"),
+                             quick=True, log=None)
+        report = p2p.build_report(rows, quick=True)
+        assert p2p.validate_report(report) == []
+        # both protocols measured for both sizes
+        assert len(rows) == 4
+        assert all(r["one_way_us"] > 0 for r in rows)
+
+    def test_validate_rejects_garbage(self):
+        assert p2p.validate_report({}) != []
+        assert p2p.validate_report({"schema": p2p.SCHEMA}) != []
+        good = p2p.build_report([{
+            "backend": "threads-DM", "protocol": "auto",
+            "size_bytes": 8, "reps": 3, "one_way_us": 1.0,
+            "bandwidth_MBps": 8.0}])
+        assert p2p.validate_report(good) == []
+        bad = json.loads(json.dumps(good))
+        bad["results"][0]["backend"] = "quantum-entanglement"
+        assert p2p.validate_report(bad) != []

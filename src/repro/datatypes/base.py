@@ -67,6 +67,7 @@ class DatatypeImpl:
         #: pair types (INT2 &c.) are the only legal operands of MINLOC/MAXLOC
         self.is_pair = bool(is_pair)
         self._index_cache: dict[tuple[int, int], np.ndarray] = {}
+        self._contiguous: bool | None = None   # is_contiguous_layout cache
 
     # -- inquiry (MPI_Type_size / extent / lb / ub) --------------------------
     @property
@@ -102,13 +103,18 @@ class DatatypeImpl:
                 and (self.size_elems == 0 or int(self.disp[0]) == 0))
 
     def is_contiguous_layout(self) -> bool:
-        """True when ``count`` instances cover a dense index range."""
-        n = self.size_elems
-        if n == 0:
-            return False
-        if self.extent_elems != n:
-            return False
-        return bool(np.array_equal(self.disp, np.arange(n, dtype=np.int64)))
+        """True when ``count`` instances cover a dense index range.
+
+        Cached: the displacement map is immutable after construction, and
+        this sits on the per-message send/receive fast path.
+        """
+        if self._contiguous is None:
+            n = self.size_elems
+            self._contiguous = bool(
+                n != 0 and self.extent_elems == n
+                and np.array_equal(self.disp,
+                                   np.arange(n, dtype=np.int64)))
+        return self._contiguous
 
     # -- lifecycle -----------------------------------------------------------
     def commit(self) -> None:

@@ -51,6 +51,7 @@ from repro.executor.runner import JobTimeoutError, RankFailure
 from repro.runtime.envelope import (dump_exception_chain,
                                     load_exception_chain)
 from repro.transport.socket_tcp import BOOTSTRAP_TIMEOUT, _recv_exact
+from repro.transport.wire import set_nodelay
 
 _LEN = struct.Struct("!I")
 
@@ -304,6 +305,9 @@ class ProcExecutor:
                         f"rank {r} process exited during bootstrap "
                         f"(code {procs[r].poll()})")
                      for r in missing if procs[r].poll() is not None})
+            # control frames are tiny and latency-sensitive (abort/exit
+            # must not sit in Nagle's buffer behind nothing)
+            set_nodelay(conn)
             conn.settimeout(BOOTSTRAP_TIMEOUT)
             hello = recv_msg(conn)
             conns[hello["rank"]] = conn

@@ -28,6 +28,7 @@ from repro.runtime.engine import RankRuntime, Universe, bind_thread, \
     unbind_thread
 from repro.transport.socket_tcp import (BOOTSTRAP_TIMEOUT, TCPMeshTransport,
                                         build_mesh, mesh_listener)
+from repro.transport.wire import set_nodelay
 
 
 def _control_loop(ctl: socket.socket, universe: Universe,
@@ -65,6 +66,7 @@ def main(argv=None) -> int:
 
     ctl = socket.create_connection((host, int(port)),
                                    timeout=BOOTSTRAP_TIMEOUT)
+    set_nodelay(ctl)   # worker-side control plane: aborts must not Nagle
     send_msg(ctl, {"rank": opts.rank})
     job = recv_msg(ctl)
     assert job["cmd"] == "job" and job["nprocs"] == opts.nprocs

@@ -63,18 +63,57 @@ def validate_buffer(buf, offset: int, count: int,
 
 
 def extract_send_payload(buf, offset: int, count: int,
-                         datatype: DatatypeImpl):
+                         datatype: DatatypeImpl, allow_view: bool = False):
     """Gather the message into its dense wire form.
 
     Returns ``(payload, nelems, is_object)`` where payload is a dense
     ndarray of base elements, or a pickled blob for ``MPI.OBJECT``.
+
+    ``allow_view=True`` permits returning a *view* of the user buffer for
+    contiguous layouts (no gather copy at all).  Only the rendezvous send
+    path may ask for this: its request completes when the payload has
+    been streamed, which is exactly when MPI lets the user touch the
+    buffer again — eager sends complete immediately and therefore always
+    need the private copy.
     """
     validate_buffer(buf, offset, count, datatype)
     if datatype.base.is_object:
         blob = serialize_objects(list(buf[offset:offset + count]))
         return blob, count, True
+    if allow_view and datatype.is_contiguous_layout():
+        n = count * datatype.size_elems
+        return buf[offset:offset + n], n, False
     dense = gather_elements(buf, offset, count, datatype)
     return dense, int(dense.shape[0]), False
+
+
+def recv_byte_view(buf, offset: int, count: int, datatype: DatatypeImpl,
+                   env) -> memoryview | None:
+    """Writable byte view of the receive window for zero-copy landing.
+
+    The rendezvous fast path streams a payload from the socket directly
+    into the posted user buffer with ``recv_into`` — legal only when the
+    landing would have been a plain contiguous slice assignment.  ``env``
+    is the KIND_RTS envelope announcing the payload (element count,
+    dtype, size).  Returns None whenever the full landing logic must run
+    instead (object data, derived layouts, dtype disagreement,
+    truncation): the transport then stages through its pool and
+    :func:`land_payload` reports the proper MPI error.
+    """
+    if datatype.base.is_object or env.is_object:
+        return None
+    if env.rndv_dtype != datatype.base.np_dtype:
+        return None
+    if not datatype.is_contiguous_layout():
+        return None
+    nelems = env.nelems
+    if nelems <= 0 or nelems > count * datatype.size_elems:
+        return None
+    window = buf[offset:offset + nelems]
+    if window.nbytes != env.rndv_nbytes or not window.flags.c_contiguous \
+            or not window.flags.writeable:
+        return None
+    return memoryview(window).cast("B")
 
 
 class _DenseEnv:

@@ -21,11 +21,12 @@ in-flight schedule, so no collective can strand a peer in a wait.
 from __future__ import annotations
 
 import contextlib
+import os
 import threading
 
 import numpy as np
 
-from repro.errors import MPIException, ERR_ARG, ERR_ROOT
+from repro.errors import MPIException, ERR_ARG, ERR_ROOT, ERR_TYPE
 from repro.datatypes.object_serial import (deserialize_objects,
                                            serialize_objects)
 from repro.runtime.buffers import extract_send_payload, land_dense
@@ -34,25 +35,49 @@ from repro.runtime.buffers import extract_send_payload, land_dense
 
 #: per-collective algorithm choices; first entry is the default
 ALGORITHM_CHOICES = {
-    "bcast": ("binomial", "linear"),
+    "bcast": ("binomial", "linear", "segmented"),
     "reduce": ("binomial", "linear"),
-    "allreduce": ("recursive_doubling", "reduce_bcast"),
+    "allreduce": ("recursive_doubling", "reduce_bcast", "ring"),
     "barrier": ("dissemination", "linear"),
     "allgather": ("gather_bcast", "ring"),
 }
 
 DEFAULT_ALGORITHMS = {k: v[0] for k, v in ALGORITHM_CHOICES.items()}
 
+#: size-aware selection: at/above this dense payload size, collectives
+#: with a large-message variant switch to it (latency-optimal trees ->
+#: bandwidth-optimal pipelines/rings, segmented through the wire fast
+#: path).  Every rank computes the size from (count, datatype), which
+#: MPI requires to agree, so the selection agrees without negotiation.
+LARGE_MESSAGE_BYTES = int(os.environ.get("REPRO_COLL_LARGE_BYTES",
+                                         256 * 1024))
+
+#: dense-element segment size for pipelined algorithms; kept below the
+#: wire eager limit so segments stream without rendezvous handshakes
+SEGMENT_BYTES = 64 * 1024
+
+LARGE_ALGORITHMS = {"bcast": "segmented", "allreduce": "ring"}
+
 _overrides = threading.local()
 
 
-def algorithm_for(collective: str) -> str:
-    """The algorithm the calling thread (rank) should run."""
+def algorithm_for(collective: str, nbytes: int | None = None) -> str:
+    """The algorithm the calling thread (rank) should run.
+
+    Explicit per-call ``algorithm=`` beats thread-local overrides beats
+    size-aware large-message selection beats the default.  ``nbytes`` is
+    the dense payload size when the caller knows it (None for
+    ``MPI.OBJECT`` traffic, whose size is rank-dependent).
+    """
     active = getattr(_overrides, "active", None)
     if active:
         got = active.get(collective)
         if got is not None:
             return got
+    if nbytes is not None and nbytes >= LARGE_MESSAGE_BYTES:
+        large = LARGE_ALGORITHMS.get(collective)
+        if large is not None:
+            return large
     return DEFAULT_ALGORITHMS[collective]
 
 
@@ -106,6 +131,35 @@ def land_contrib(buf, offset, count, datatype, contrib) -> int:
                           serialize_objects(data), len(data), True)
     return land_dense(buf, offset, count, datatype, data,
                       int(data.shape[0]), False)
+
+
+def land_dense_segment(buf, offset, count, datatype, data,
+                       elem_lo: int) -> None:
+    """Land one pipeline segment (dense base elements ``elem_lo``..) into
+    the user buffer — the per-segment analogue of :func:`land_contrib`,
+    so pipelined algorithms never materialize the concatenated message.
+    """
+    n = int(data.shape[0])
+    if n == 0:
+        return
+    if data.dtype != datatype.base.np_dtype:
+        raise MPIException(ERR_TYPE,
+                           f"segment of {data.dtype} elements received "
+                           f"into {datatype.base.name} buffer")
+    if datatype.is_contiguous_layout():
+        buf[offset + elem_lo:offset + elem_lo + n] = data
+    else:
+        idx = datatype.flat_indices(count, offset)[elem_lo:elem_lo + n]
+        buf[idx] = data
+
+
+def segment_bounds(nelems: int, itemsize: int) -> list[int]:
+    """Element boundaries cutting ``nelems`` into SEGMENT_BYTES pieces."""
+    step = max(1, SEGMENT_BYTES // max(1, itemsize))
+    bounds = list(range(0, nelems, step)) + [nelems]
+    if len(bounds) == 1:    # empty payload: one empty segment
+        bounds = [0, 0]
+    return bounds
 
 
 def send_contrib(comm, contrib, dest: int, tag: int) -> None:

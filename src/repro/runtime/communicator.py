@@ -21,7 +21,7 @@ from repro.errors import (MPIException, SUCCESS, ERR_ARG, ERR_COMM,
                           ERR_INTERN, ERR_OTHER, ERR_RANK, ERR_TAG)
 from repro.datatypes.base import DatatypeImpl
 from repro.runtime.buffers import extract_send_payload, land_payload, \
-    validate_buffer
+    recv_byte_view, validate_buffer
 from repro.runtime.consts import (ANY_SOURCE, ANY_TAG, CART, CONGRUENT,
                                   GRAPH, IDENT, PROC_NULL, SIMILAR, TAG_UB,
                                   UNDEFINED, UNEQUAL)
@@ -212,8 +212,15 @@ class CommImpl:
     # ======================================================================
     def _isend_raw(self, payload, nelems: int, is_object: bool,
                    dest_world: int, tag: int, ctx: int,
-                   mode: int = MODE_STANDARD) -> RequestImpl:
-        """Ship a dense payload; returns the (possibly completed) request."""
+                   mode: int = MODE_STANDARD,
+                   zero_copy: bool = False) -> RequestImpl:
+        """Ship a dense payload; returns the (possibly completed) request.
+
+        ``zero_copy=True`` marks a payload that *views* the user buffer
+        (rendezvous path): the request then completes only once the
+        transport has streamed the bytes (``on_flushed``), which is the
+        MPI-legal moment for buffer reuse.
+        """
         rt = self.rt
         req = RequestImpl(self.universe, RequestImpl.KIND_SEND)
         seq = rt.next_seq()
@@ -237,17 +244,43 @@ class CommImpl:
                     "(erroneous per MPI 1.1 §3.4)")
         if mode == MODE_SYNCHRONOUS:
             if wire:
+                # eager: the receiver ACKs at match; rendezvous: the
+                # writer ACKs after the CTS-triggered stream — either
+                # way Ssend completes no earlier than the match
                 rt.mailbox.register_ack(seq, req.complete)
             else:
                 env.on_matched = req.complete
+        elif zero_copy:
+            env.on_flushed = req.complete
         try:
             transport.send(env)
         finally:
             if reservation is not None:
                 rt.bsend_pool.release(reservation)
-        if mode != MODE_SYNCHRONOUS:
+        if mode != MODE_SYNCHRONOUS and not zero_copy:
             req.complete()
         return req
+
+    def _send_takes_view(self, count: int, datatype: DatatypeImpl,
+                         dest_world: int, mode: int) -> bool:
+        """Can this send borrow the user buffer instead of gather-copying?
+
+        True for contiguous primitive standard/synchronous sends over a
+        wire transport.  The wire path never needs a private copy: an
+        eager frame's bytes are in the kernel when ``sendall`` returns
+        (the request completes on flush), and a rendezvous payload is
+        streamed before its request completes — either way the buffer is
+        only handed back to the user once the wire is done with it.  SM
+        transports pass payload references to the receiver, so they keep
+        the gather copy.
+        """
+        if mode not in (MODE_STANDARD, MODE_SYNCHRONOUS):
+            return False
+        if datatype.base.is_object or not datatype.is_contiguous_layout():
+            return False
+        if dest_world == self.rt.world_rank:
+            return False
+        return getattr(self.universe.transport, "mode", "SM") == "DM"
 
     def isend(self, buf, offset: int, count: int, datatype: DatatypeImpl,
               dest: int, tag: int,
@@ -258,11 +291,13 @@ class CommImpl:
             req = RequestImpl(self.universe, RequestImpl.KIND_SEND)
             req.complete()
             return req
+        dest_world = self._dest_world(dest)
+        zero_copy = self._send_takes_view(count, datatype, dest_world, mode)
         payload, nelems, is_object = extract_send_payload(
-            buf, offset, count, datatype)
+            buf, offset, count, datatype, allow_view=zero_copy)
         return self._isend_raw(payload, nelems, is_object,
-                               self._dest_world(dest), tag, self.ctx_pt2pt,
-                               mode)
+                               dest_world, tag, self.ctx_pt2pt,
+                               mode, zero_copy=zero_copy)
 
     def send(self, buf, offset, count, datatype, dest, tag,
              mode: int = MODE_STANDARD) -> None:
@@ -284,8 +319,13 @@ class CommImpl:
         def land(env):
             return land_payload(buf, offset, count, datatype, env)
 
+        def recv_view(env):
+            # rendezvous fast path: writable window for direct recv_into
+            return recv_byte_view(buf, offset, count, datatype, env)
+
         self.rt.mailbox.post_recv(req, self._source_world(source), tag,
-                                  self.ctx_pt2pt, land)
+                                  self.ctx_pt2pt, land,
+                                  recv_view=recv_view)
         return req
 
     def recv(self, buf, offset, count, datatype, source, tag) -> RequestImpl:
@@ -463,7 +503,8 @@ class CommImpl:
         req = RequestImpl(self.universe, RequestImpl.KIND_RECV)
 
         def land(env):
-            box["env"] = env
+            # the envelope outlives deliver(): claim any borrowed payload
+            box["env"] = env.claim()
             return env.nelems, SUCCESS, ""
 
         src_world = (world_src if world_src is not None

@@ -108,6 +108,7 @@ class Universe:
             mb = Mailbox(r, self)
             self.mailboxes[r] = mb
             transport.set_deliver(r, mb.deliver)
+            transport.set_direct_claim(r, mb.claim_direct_recv)
         transport.start()
 
     # -- context ids --------------------------------------------------------

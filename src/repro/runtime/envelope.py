@@ -16,8 +16,11 @@ import numpy as np
 
 # --- message kinds -----------------------------------------------------------
 KIND_DATA = 0
-KIND_ACK = 1      # synchronous-mode acknowledgement
-KIND_ABORT = 2    # job teardown broadcast
+KIND_ACK = 1        # synchronous-mode acknowledgement
+KIND_ABORT = 2      # job teardown broadcast
+KIND_RTS = 3        # rendezvous request-to-send (header only, no payload)
+KIND_CTS = 4        # rendezvous clear-to-send (receiver matched a recv)
+KIND_RNDV_DATA = 5  # rendezvous payload frame, routed by (src, seq)
 
 # --- communication modes (MPI 1.1 §3.4) --------------------------------------
 MODE_STANDARD = 0
@@ -51,7 +54,8 @@ class Envelope:
 
     __slots__ = ("kind", "src", "dst", "context", "tag", "mode", "seq",
                  "payload", "nelems", "is_object", "on_matched",
-                 "transport_notify")
+                 "transport_notify", "borrowed", "rndv_accept",
+                 "rndv_nbytes", "rndv_dtype", "on_flushed")
 
     def __init__(self, kind=KIND_DATA, src=0, dst=0, context=0, tag=0,
                  mode=MODE_STANDARD, seq=0, payload=None, nelems=0,
@@ -71,6 +75,21 @@ class Envelope:
         self.on_matched = None
         #: wire path: transport hook that routes a matched ACK back
         self.transport_notify = None
+        #: payload views a pooled receive buffer that the transport will
+        #: reuse after delivery returns; anyone keeping the envelope past
+        #: that point must call :meth:`claim` first
+        self.borrowed = False
+        #: rendezvous hook installed by wire transports on KIND_RTS
+        #: envelopes; the mailbox calls it with the matched PostedRecv
+        #: instead of landing (there is no payload to land yet)
+        self.rndv_accept = None
+        #: announced payload size / dtype of a KIND_RTS envelope
+        self.rndv_nbytes = 0
+        self.rndv_dtype = None
+        #: wire path: fired once the payload bytes have left for the
+        #: kernel — completes zero-copy sends whose payload is a *view*
+        #: of the user buffer (reusable only after this point)
+        self.on_flushed = None
 
     def notify_matched(self) -> None:
         """Signal the sender that a synchronous send has been matched."""
@@ -81,10 +100,27 @@ class Envelope:
 
     def payload_nbytes(self) -> int:
         if self.payload is None:
-            return 0
+            return self.rndv_nbytes if self.kind == KIND_RTS else 0
         if isinstance(self.payload, (bytes, bytearray, memoryview)):
             return len(self.payload)
         return self.payload.nbytes
+
+    def claim(self) -> "Envelope":
+        """Take ownership of a borrowed payload (copy it out of the pool).
+
+        Wire transports receive into pooled buffers that are recycled as
+        soon as :meth:`Mailbox.deliver` returns.  Any path that keeps the
+        envelope alive past that point — the unexpected queue, a deferred
+        land callback — must claim it first.  No-op for owned payloads.
+        """
+        if self.borrowed:
+            if self.payload is not None:
+                if self.is_object:
+                    self.payload = bytes(self.payload)
+                else:
+                    self.payload = np.array(self.payload)
+            self.borrowed = False
+        return self
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"Envelope(kind={self.kind}, {self.src}->{self.dst}, "
@@ -100,22 +136,45 @@ FLAG_OBJECT = 1
 HEADER_SIZE = HEADER.size
 
 
-def encode(env: Envelope) -> tuple[bytes, bytes]:
-    """Encode an envelope into (header, payload-bytes) for a byte stream."""
+def encode(env: Envelope) -> tuple[bytes, memoryview]:
+    """Encode an envelope into (header, payload-view) for a byte stream.
+
+    The body is a *view* of the envelope's payload (zero-copy): dense
+    NumPy payloads are exposed through the buffer protocol byte-for-byte
+    rather than copied with ``tobytes()``.  Callers hand both pieces to a
+    vectored write (``socket.sendmsg``); the view is only valid while the
+    payload array is alive, which the envelope guarantees.
+    """
     if env.payload is None:
-        body = b""
+        body = memoryview(b"")
         code = b"--"
     elif env.is_object:
-        body = bytes(env.payload)
+        body = memoryview(env.payload) if not isinstance(env.payload, memoryview) \
+            else env.payload
         code = OBJECT_CODE.encode()
     else:
-        body = env.payload.tobytes()
+        payload = env.payload
+        if not payload.flags.c_contiguous:
+            payload = np.ascontiguousarray(payload)
+        body = memoryview(payload).cast("B")
         code = dtype_code_of(env.payload).encode()
     flags = FLAG_OBJECT if env.is_object else 0
     header = HEADER.pack(env.kind, env.src, env.dst, env.context, env.tag,
                          env.mode, env.seq, env.nelems, flags, code,
                          len(body))
     return header, body
+
+
+def encode_rts(env: Envelope) -> bytes:
+    """Header-only request-to-send frame announcing ``env``'s payload.
+
+    The dtype code and element count ride in the header itself, so the
+    receiver can size probes and the landing buffer without any body
+    bytes; the payload ships later in a KIND_RNDV_DATA frame.
+    """
+    code = dtype_code_of(env.payload).encode()
+    return HEADER.pack(KIND_RTS, env.src, env.dst, env.context, env.tag,
+                       env.mode, env.seq, env.nelems, 0, code, 0)
 
 
 # --- exception serialization ----------------------------------------------------
@@ -192,8 +251,15 @@ def decode_abort_env(env: Envelope) \
     return env.src, env.tag, cause
 
 
-def decode(header: bytes, body: bytes) -> Envelope:
-    """Inverse of :func:`encode`."""
+def decode(header: bytes, body) -> Envelope:
+    """Inverse of :func:`encode`.  ``body`` is any bytes-like buffer.
+
+    This is the single choke point where wire bytes become payload
+    arrays.  Landing and reduction code may mutate a received payload in
+    place, so the array handed out is guaranteed *writable*: a view when
+    the buffer is writable (the pooled ``recv_into`` path), a documented
+    copy when it is not (immutable ``bytes``).
+    """
     (kind, src, dst, context, tag, mode, seq, nelems, flags, code,
      nbytes) = HEADER.unpack(header)
     is_object = bool(flags & FLAG_OBJECT)
@@ -204,7 +270,14 @@ def decode(header: bytes, body: bytes) -> Envelope:
     else:
         dtype = DTYPE_CODES[code.decode()]
         payload = np.frombuffer(body, dtype=dtype)
+        if not payload.flags.writeable:
+            # read-only source buffer (e.g. bytes): copy here, once,
+            # rather than handing mutation-hostile views downstream
+            payload = payload.copy()
     env = Envelope(kind=kind, src=src, dst=dst, context=context, tag=tag,
                    mode=mode, seq=seq, payload=payload, nelems=nelems,
                    is_object=is_object)
+    if kind == KIND_RTS and code != b"--":
+        env.rndv_dtype = DTYPE_CODES[code.decode()]
+        env.rndv_nbytes = nelems * env.rndv_dtype.itemsize
     return env

@@ -7,11 +7,26 @@ The two queues implement the standard's matching rules:
 * a message matches a posted receive when contexts are equal, tags are equal
   or the receive posted ``ANY_TAG``, and sources are equal or the receive
   posted ``ANY_SOURCE``;
-* arrivals scan posted receives in *post order*; receives scan the
+* arrivals match posted receives in *post order*; receives match the
   unexpected queue in *arrival order* — together with FIFO transports this
   yields MPI's non-overtaking guarantee;
 * matching a synchronous-mode envelope fires its ``notify_matched`` hook
   (``Ssend`` completes no earlier than the matching receive starts).
+
+Matching is **hash-indexed**, not scanned: both queues are bucketed on the
+exact key ``(context, source, tag)``, with wildcard receives
+(``ANY_SOURCE``/``ANY_TAG``) in a separate fallback list.  Every posted
+receive carries a post-order stamp and every arrival an arrival-order
+stamp, so the indexed lookup picks exactly the receive/message a linear
+scan would have — order semantics are preserved while the common case
+(deep queues of fully-specified traffic, e.g. flooded collectives) drops
+from O(queue) to O(1) per match.
+
+Rendezvous: a wire transport delivers a ``KIND_RTS`` envelope for a large
+message.  It matches exactly like data (it carries the matching key and
+announced size), but consuming it triggers the transport's
+``rndv_accept`` hook — clear-to-send handshake plus payload streaming
+into the posted buffer — instead of landing bytes that aren't here yet.
 """
 
 from __future__ import annotations
@@ -22,26 +37,41 @@ from typing import Callable, Optional
 
 from repro.runtime.consts import ANY_SOURCE, ANY_TAG
 from repro.runtime.envelope import (Envelope, KIND_ABORT, KIND_ACK,
-                                    KIND_DATA, MODE_READY)
+                                    KIND_DATA, KIND_RTS, MODE_READY)
 from repro.runtime.requests import RequestImpl
 
 #: land callback: consume the envelope into the user buffer; returns
 #: (count_elements, error_code, error_message)
 LandFn = Callable[[Envelope], tuple[int, int, str]]
 
+#: optional hook giving the transport a writable byte view of the posted
+#: receive window (rendezvous zero-copy landing); None = stage + land
+RecvViewFn = Callable[[Envelope], Optional[memoryview]]
+
 
 class PostedRecv:
     """A receive waiting in the posted queue."""
 
-    __slots__ = ("req", "source_world", "tag", "context", "land")
+    __slots__ = ("req", "source_world", "tag", "context", "land",
+                 "recv_view", "order")
 
     def __init__(self, req: RequestImpl, source_world: int, tag: int,
-                 context: int, land: LandFn):
+                 context: int, land: LandFn,
+                 recv_view: RecvViewFn | None = None):
         self.req = req
         self.source_world = source_world
         self.tag = tag
         self.context = context
         self.land = land
+        self.recv_view = recv_view
+        self.order = 0
+
+    @property
+    def wildcard(self) -> bool:
+        return self.source_world == ANY_SOURCE or self.tag == ANY_TAG
+
+    def key(self) -> tuple:
+        return (self.context, self.source_world, self.tag)
 
     def matches(self, env: Envelope) -> bool:
         if env.context != self.context:
@@ -53,6 +83,10 @@ class PostedRecv:
         return True
 
 
+def _env_key(env: Envelope) -> tuple:
+    return (env.context, env.src, env.tag)
+
+
 class Mailbox:
     """Matching queues plus sync-ACK routing for one rank."""
 
@@ -61,8 +95,16 @@ class Mailbox:
         self.universe = universe
         self._lock = threading.Lock()
         self._arrival = threading.Condition(self._lock)
-        self._unexpected: deque[Envelope] = deque()
-        self._posted: list[PostedRecv] = []
+        #: unexpected messages, bucketed by exact key; values are
+        #: (arrival_stamp, env) deques in arrival order
+        self._unexpected: dict[tuple, deque] = {}
+        #: fully-specified posted receives, bucketed by exact key,
+        #: post order within each bucket
+        self._posted_exact: dict[tuple, deque] = {}
+        #: wildcard posted receives in post order
+        self._posted_wild: list[PostedRecv] = []
+        self._post_stamp = 0
+        self._arrival_stamp = 0
         #: seq -> callback, for synchronous sends over wire transports
         self._pending_acks: dict[int, Callable[[], None]] = {}
         self.ready_mode_errors: list[Envelope] = []
@@ -76,7 +118,7 @@ class Mailbox:
             self.universe.note_abort_delivery(env)
             self.on_abort()
             return
-        assert env.kind == KIND_DATA
+        assert env.kind in (KIND_DATA, KIND_RTS)
         with self._lock:
             posted = self._match_posted(env)
             if posted is None:
@@ -85,7 +127,14 @@ class Mailbox:
                     # posted receive; record it for diagnosis and still
                     # deliver (the standard leaves behaviour undefined)
                     self.ready_mode_errors.append(env)
-                self._unexpected.append(env)
+                # claim before queueing: a borrowed payload views the
+                # transport's pooled recv buffer, recycled on return
+                env.claim()
+                self._arrival_stamp += 1
+                dq = self._unexpected.get(_env_key(env))
+                if dq is None:
+                    dq = self._unexpected[_env_key(env)] = deque()
+                dq.append((self._arrival_stamp, env))
                 self._arrival.notify_all()
                 return
         self._consume(posted, env)
@@ -100,33 +149,116 @@ class Mailbox:
         with self._lock:
             self._pending_acks[seq] = fn
 
-    def _match_posted(self, env: Envelope) -> Optional[PostedRecv]:
-        for i, p in enumerate(self._posted):
+    def _select_posted(self, env: Envelope) -> Optional[PostedRecv]:
+        """Earliest-posted matching receive, not yet removed (lock held)."""
+        dq = self._posted_exact.get(_env_key(env))
+        exact = dq[0] if dq else None
+        wild = None
+        for p in self._posted_wild:
             if p.matches(env):
-                del self._posted[i]
-                return p
-        return None
+                wild = p
+                break
+        if exact is None:
+            return wild
+        if wild is None or exact.order < wild.order:
+            return exact
+        return wild
+
+    def _remove_posted(self, posted: PostedRecv) -> None:
+        if posted.wildcard:
+            self._posted_wild.remove(posted)
+        else:
+            dq = self._posted_exact[posted.key()]
+            dq.remove(posted)
+            if not dq:
+                del self._posted_exact[posted.key()]
+
+    def _match_posted(self, env: Envelope) -> Optional[PostedRecv]:
+        """Earliest-posted matching receive for an arrival (lock held)."""
+        posted = self._select_posted(env)
+        if posted is not None:
+            self._remove_posted(posted)
+        return posted
+
+    # -- pump-side direct landing (zero staging copies) ----------------------
+    def claim_direct_recv(self, env: Envelope):
+        """Commit an incoming frame to a posted receive before its body
+        is read off the wire.
+
+        ``env`` is header-only (the pump peeked the frame header); its
+        ``rndv_dtype``/``rndv_nbytes`` announce the payload.  When the
+        earliest matching posted receive accepts a direct byte view, the
+        receive is *consumed* here — the pump then streams the payload
+        straight into the user buffer and completes the request, exactly
+        as a linear-scan match-then-land would have, minus the staging
+        copy.  Returns ``(posted, view)`` or None (normal path).
+        """
+        with self._lock:
+            posted = self._select_posted(env)
+            if posted is None or posted.recv_view is None:
+                return None
+            view = posted.recv_view(env)
+            if view is None:
+                return None
+            self._remove_posted(posted)
+        return posted, view
 
     # -- receives --------------------------------------------------------------
     def post_recv(self, req: RequestImpl, source_world: int, tag: int,
-                  context: int, land: LandFn) -> None:
-        posted = PostedRecv(req, source_world, tag, context, land)
+                  context: int, land: LandFn,
+                  recv_view: RecvViewFn | None = None) -> None:
+        posted = PostedRecv(req, source_world, tag, context, land,
+                            recv_view)
         with self._lock:
             env = self._match_unexpected(posted)
             if env is None:
-                self._posted.append(posted)
+                self._post_stamp += 1
+                posted.order = self._post_stamp
+                if posted.wildcard:
+                    self._posted_wild.append(posted)
+                else:
+                    dq = self._posted_exact.get(posted.key())
+                    if dq is None:
+                        dq = self._posted_exact[posted.key()] = deque()
+                    dq.append(posted)
                 return
         self._consume(posted, env)
 
     def _match_unexpected(self, posted: PostedRecv) -> Optional[Envelope]:
-        for i, env in enumerate(self._unexpected):
-            if posted.matches(env):
-                del self._unexpected[i]
-                return env
-        return None
+        """Earliest-arrival matching message for a receive (lock held)."""
+        key, dq = self._find_unexpected(posted)
+        if dq is None:
+            return None
+        _, env = dq.popleft()
+        if not dq:
+            del self._unexpected[key]
+        return env
+
+    def _find_unexpected(self, posted: PostedRecv):
+        """(key, bucket) of the earliest matching arrival, or (None, None).
+
+        Fully-specified receives hit their bucket directly; wildcards
+        compare the head stamps of the (few) matching buckets — within a
+        bucket arrivals are FIFO, so heads are sufficient.
+        """
+        if not posted.wildcard:
+            dq = self._unexpected.get(posted.key())
+            return (posted.key(), dq) if dq else (None, None)
+        best_key, best_dq, best_stamp = None, None, None
+        for key, dq in self._unexpected.items():
+            if posted.matches(dq[0][1]):
+                stamp = dq[0][0]
+                if best_stamp is None or stamp < best_stamp:
+                    best_key, best_dq, best_stamp = key, dq, stamp
+        return best_key, best_dq
 
     def _consume(self, posted: PostedRecv, env: Envelope) -> None:
         """Land a matched envelope and complete the receive request."""
+        if env.kind == KIND_RTS:
+            # rendezvous: no payload yet — hand the posted receive to the
+            # transport (CTS + streamed landing complete the request)
+            env.rndv_accept(posted)
+            return
         count, error, message = posted.land(env)
         env.notify_matched()
         posted.req.complete(source_world=env.src, tag=env.tag,
@@ -136,12 +268,23 @@ class Mailbox:
     def cancel_recv(self, req: RequestImpl) -> bool:
         """Remove a posted receive; True if it was still pending."""
         with self._lock:
-            for i, p in enumerate(self._posted):
-                if p.req is req:
-                    del self._posted[i]
-                    break
+            for dq in self._posted_exact.values():
+                for p in dq:
+                    if p.req is req:
+                        dq.remove(p)
+                        if not dq:
+                            del self._posted_exact[p.key()]
+                        break
+                else:
+                    continue
+                break
             else:
-                return False
+                for p in self._posted_wild:
+                    if p.req is req:
+                        self._posted_wild.remove(p)
+                        break
+                else:
+                    return False
         req.complete_cancelled()
         return True
 
@@ -151,10 +294,8 @@ class Mailbox:
         """Non-consuming match against the unexpected queue."""
         probe = PostedRecv(None, source_world, tag, context, None)
         with self._lock:
-            for env in self._unexpected:
-                if probe.matches(env):
-                    return env
-        return None
+            _, dq = self._find_unexpected(probe)
+            return dq[0][1] if dq else None
 
     def probe(self, source_world: int, tag: int, context: int) -> Envelope:
         """Blocking probe: wait for a matching arrival, do not consume it.
@@ -167,9 +308,9 @@ class Mailbox:
         with self._arrival:
             while True:
                 self.universe.check_abort()
-                for env in self._unexpected:
-                    if probe.matches(env):
-                        return env
+                _, dq = self._find_unexpected(probe)
+                if dq is not None:
+                    return dq[0][1]
                 self._arrival.wait()
 
     def on_abort(self) -> None:
@@ -181,11 +322,13 @@ class Mailbox:
     def has_posted_match(self, env: Envelope) -> bool:
         """Would ``env`` match a posted receive right now? (ready mode)."""
         with self._lock:
-            for p in self._posted:
-                if p.matches(env):
-                    return True
-        return False
+            if self._posted_exact.get(_env_key(env)):
+                return True
+            return any(p.matches(env) for p in self._posted_wild)
 
     def pending_counts(self) -> tuple[int, int]:
         with self._lock:
-            return len(self._unexpected), len(self._posted)
+            unexpected = sum(len(d) for d in self._unexpected.values())
+            posted = sum(len(d) for d in self._posted_exact.values()) \
+                + len(self._posted_wild)
+            return unexpected, posted

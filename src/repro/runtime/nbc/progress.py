@@ -208,8 +208,10 @@ class CollRequestImpl(RequestImpl):
         def land(env):
             # stash the raw envelope only — decoding can raise, and this
             # runs in the delivery thread under Mailbox._consume; the
-            # round tail decodes it in this schedule's own cascade
-            box.contrib = env
+            # round tail decodes it in this schedule's own cascade.
+            # claim(): the envelope outlives deliver(), so a payload
+            # borrowed from a transport recv pool must be copied out now
+            box.contrib = env.claim()
             return env.nelems, SUCCESS, ""
 
         req = self.comm.coll_post_recv(op.peer, op.tag, land)

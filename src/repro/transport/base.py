@@ -25,10 +25,19 @@ class Transport:
     def __init__(self, nprocs: int):
         self.nprocs = int(nprocs)
         self._deliver: list[DeliverFn | None] = [None] * self.nprocs
+        #: optional pump-side fast path: commit an incoming eager frame to
+        #: a posted receive *before* its body is read off the wire, so the
+        #: payload can land straight in the user buffer (zero staging)
+        self._direct_claim: list = [None] * self.nprocs
 
     def set_deliver(self, rank: int, fn: DeliverFn) -> None:
         """Install the intake callback for ``rank`` (called by the engine)."""
         self._deliver[rank] = fn
+
+    def set_direct_claim(self, rank: int, fn) -> None:
+        """Install the header-peek claim hook for ``rank`` (see Mailbox
+        ``claim_direct_recv``); wire transports use it, others ignore it."""
+        self._direct_claim[rank] = fn
 
     def start(self) -> None:
         """Begin moving messages (spawn pumps etc.). Default: nothing."""

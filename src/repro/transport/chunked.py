@@ -42,10 +42,22 @@ class ChunkedTransport(Transport):
         #: loses increments and under-reports ablation counts.
         self.packets_staged = 0
         self._stats_lock = threading.Lock()
+        #: one per-transport scratch packet, reused across messages under
+        #: the same lock discipline as the counter: the ablation should
+        #: model the ADI's staging *copy*, not per-message allocator churn
+        #: (ch_p4 reused its internal packet buffers too)
+        #: (>= 64 bytes so one element of any base dtype always fits,
+        #: even under pathologically small packet sizes in tests)
+        self._scratch = np.empty(max(self.packet_bytes, 64),
+                                 dtype=np.uint8)
 
     def set_deliver(self, rank, fn):
         super().set_deliver(rank, fn)
         self.inner.set_deliver(rank, fn)
+
+    def set_direct_claim(self, rank, fn):
+        super().set_direct_claim(rank, fn)
+        self.inner.set_direct_claim(rank, fn)
 
     def start(self):
         self.inner.start()
@@ -70,17 +82,20 @@ class ChunkedTransport(Transport):
         itemsize = arr.dtype.itemsize
         step = max(1, self.packet_bytes // itemsize)
         out = np.empty_like(arr)
-        staging = np.empty(min(step, len(arr)) or 1, dtype=arr.dtype)
         packets = 0
-        for lo in range(0, len(arr), step):
-            hi = min(lo + step, len(arr))
-            n = hi - lo
-            staging[:n] = arr[lo:hi]       # copy in (the ADI staging copy)
-            out[lo:hi] = staging[:n]       # copy out
-            packets += 1
-        if len(arr) == 0:
-            packets = 1
+        # the shared scratch is a critical section: senders on other rank
+        # threads stage through the same buffer (stats lock discipline)
         with self._stats_lock:
+            staging = self._scratch[:max(step * itemsize, itemsize)] \
+                .view(arr.dtype)
+            for lo in range(0, len(arr), step):
+                hi = min(lo + step, len(arr))
+                n = hi - lo
+                staging[:n] = arr[lo:hi]   # copy in (the ADI staging copy)
+                out[lo:hi] = staging[:n]   # copy out
+                packets += 1
+            if len(arr) == 0:
+                packets = 1
             self.packets_staged += packets
         return out
 

@@ -38,6 +38,10 @@ class ModeledTransport(Transport):
         super().set_deliver(rank, fn)
         self.inner.set_deliver(rank, fn)
 
+    def set_direct_claim(self, rank, fn):
+        super().set_direct_claim(rank, fn)
+        self.inner.set_direct_claim(rank, fn)
+
     def start(self):
         self.inner.start()
 

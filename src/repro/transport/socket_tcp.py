@@ -17,8 +17,11 @@ talking over 10BaseT Ethernet.  Two carriers live here:
   thread per process drains frames from all peers.
 
 Messages are framed with the wire format from
-:mod:`repro.runtime.envelope`.  Stream sockets preserve per-pair ordering,
-which carries MPI's non-overtaking guarantee.
+:mod:`repro.runtime.envelope` and move through the zero-copy fast path in
+:mod:`repro.transport.wire` (vectored ``sendmsg`` writes, pooled
+``recv_into`` receives, eager/rendezvous protocol for large payloads).
+Stream sockets preserve per-pair ordering, which carries MPI's
+non-overtaking guarantee.
 """
 
 from __future__ import annotations
@@ -31,6 +34,7 @@ import threading
 from repro.runtime import envelope as ev
 from repro.runtime.envelope import Envelope
 from repro.transport.base import Transport
+from repro.transport.wire import RecvPool, WireProtocol, set_nodelay
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes:
@@ -46,7 +50,7 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
     return b"".join(chunks)
 
 
-class SocketTransport(Transport):
+class SocketTransport(WireProtocol, Transport):
     """Full mesh of socket pairs with one receiver pump per rank."""
 
     mode = "DM"
@@ -61,8 +65,9 @@ class SocketTransport(Transport):
         for i in range(nprocs):
             for j in range(i + 1, nprocs):
                 a, b = socket.socketpair()
-                if sndbuf:
-                    for s in (a, b):
+                for s in (a, b):
+                    set_nodelay(s)   # no-op on AF_UNIX pairs
+                    if sndbuf:
                         s.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF,
                                      sndbuf)
                         s.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF,
@@ -74,6 +79,14 @@ class SocketTransport(Transport):
         self._pumps: list[threading.Thread] = []
         self._closing = threading.Event()
         self._started = False
+        self._wire_init(range(nprocs))
+
+    # -- wire-protocol routing hooks ---------------------------------------
+    def _peer_sock(self, src: int, dst: int):
+        return self._sock[src][dst]
+
+    def _peer_lock(self, src: int, dst: int):
+        return self._wlock[src][dst]
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> None:
@@ -85,11 +98,13 @@ class SocketTransport(Transport):
                                  name=f"repro-sockpump-{rank}", daemon=True)
             self._pumps.append(t)
             t.start()
+        self._wire_start(name="repro-sock-writer")
 
     def close(self) -> None:
         if self._closing.is_set():
             return
         self._closing.set()
+        self._wire_close()
         for row in self._sock:
             for s in row:
                 if s is not None:
@@ -110,15 +125,7 @@ class SocketTransport(Transport):
             # loopback: no wire; deliver directly like real MPI self-sends
             self._deliver_local(env)
             return
-        header, body = ev.encode(env)
-        sock = self._sock[env.src][env.dst]
-        lock = self._wlock[env.src][env.dst]
-        if sock is None:
-            raise RuntimeError(f"no socket {env.src}->{env.dst}")
-        with lock:
-            sock.sendall(header)
-            if body:
-                sock.sendall(body)
+        self._wire_send(env)
 
     def _deliver_local(self, env: Envelope) -> None:
         deliver = self._deliver[env.dst]
@@ -130,6 +137,7 @@ class SocketTransport(Transport):
     def _pump(self, rank: int) -> None:
         """Receiver loop for ``rank``: drain frames from all peers."""
         sel = selectors.DefaultSelector()
+        pool = RecvPool()
         for peer in range(self.nprocs):
             if peer == rank:
                 continue
@@ -139,7 +147,7 @@ class SocketTransport(Transport):
             while not self._closing.is_set():
                 for key, _ in sel.select(timeout=0.2):
                     try:
-                        self._read_one(rank, key.fileobj, key.data)
+                        self._read_frame(rank, key.fileobj, pool)
                     except (ConnectionError, OSError):
                         if not self._closing.is_set():
                             raise
@@ -149,23 +157,6 @@ class SocketTransport(Transport):
                 raise
         finally:
             sel.close()
-
-    def _read_one(self, rank: int, sock: socket.socket, peer: int) -> None:
-        header = _recv_exact(sock, ev.HEADER_SIZE)
-        nbytes = ev.HEADER.unpack(header)[-1]
-        body = _recv_exact(sock, nbytes) if nbytes else b""
-        env = ev.decode(header, body)
-        if env.mode == ev.MODE_SYNCHRONOUS and env.kind == ev.KIND_DATA:
-            env.transport_notify = self._send_ack
-        deliver = self._deliver[rank]
-        if deliver is not None:
-            deliver(env)
-
-    def _send_ack(self, env: Envelope) -> None:
-        """Matched a synchronous-mode message: ACK back to the sender."""
-        ack = Envelope(kind=ev.KIND_ACK, src=env.dst, dst=env.src,
-                       context=env.context, tag=env.tag, seq=env.seq)
-        self.send(ack)
 
     def describe(self) -> str:
         return f"SocketTransport(nprocs={self.nprocs}, kernel socketpairs)"
@@ -204,12 +195,16 @@ def build_mesh(rank: int, nprocs: int, listener: socket.socket,
         for peer in range(rank):
             host, port = book[peer]
             s = socket.create_connection((host, port), timeout=timeout)
+            set_nodelay(s)
             s.sendall(MESH_HELLO.pack(rank))
             s.settimeout(None)
             peers[peer] = s
         listener.settimeout(timeout)
         for _ in range(nprocs - 1 - rank):
             s, _addr = listener.accept()
+            # NODELAY on the *accepted* side too: without it every ACK /
+            # CTS / small frame this side writes can stall in Nagle
+            set_nodelay(s)
             s.settimeout(timeout)
             (peer,) = MESH_HELLO.unpack(_recv_exact(s, MESH_HELLO.size))
             if not rank < peer < nprocs or peer in peers:
@@ -227,16 +222,17 @@ def build_mesh(rank: int, nprocs: int, listener: socket.socket,
     return peers
 
 
-class TCPMeshTransport(Transport):
+class TCPMeshTransport(WireProtocol, Transport):
     """Full TCP mesh between rank *processes*; one socket per pair.
 
-    Hosts exactly one local rank.  Sends to any peer are framed writes on
-    that pair's socket (under a per-peer lock — the rank thread, the pump
-    ACK path and the abort broadcast may write concurrently); the single
-    pump thread drains frames from every peer into the local mailbox.
-    A peer connection dying outside teardown is converted into a
-    synthetic KIND_ABORT delivery, so a hard-killed process unblocks its
-    peers just like an explicit abort.
+    Hosts exactly one local rank.  Sends to any peer are framed vectored
+    writes on that pair's socket (under a per-peer lock — the rank
+    thread, the pump control path, the rendezvous writer and the abort
+    broadcast may write concurrently); the single pump thread drains
+    frames from every peer into the local mailbox.  A peer connection
+    dying outside teardown is converted into a synthetic KIND_ABORT
+    delivery, so a hard-killed process unblocks its peers just like an
+    explicit abort.
     """
 
     mode = "DM"
@@ -250,15 +246,20 @@ class TCPMeshTransport(Transport):
             raise ValueError(f"mesh for rank {self.rank} must cover all "
                              f"{nprocs - 1} peers, got {sorted(peer_socks)}")
         self._peer = dict(peer_socks)
-        self._wlock = {p: threading.Lock() for p in self._peer}
+        self._plock = {p: threading.Lock() for p in self._peer}
         for s in self._peer.values():
-            try:
-                s.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            except OSError:  # pragma: no cover - e.g. AF_UNIX carriers
-                pass
+            set_nodelay(s)
         self._pump_thread: threading.Thread | None = None
         self._closing = threading.Event()
         self._started = False
+        self._wire_init((self.rank,))
+
+    # -- wire-protocol routing hooks ---------------------------------------
+    def _peer_sock(self, src: int, dst: int):
+        return self._peer.get(dst)
+
+    def _peer_lock(self, src: int, dst: int):
+        return self._plock[dst]
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> None:
@@ -269,11 +270,13 @@ class TCPMeshTransport(Transport):
             target=self._pump, name=f"repro-meshpump-{self.rank}",
             daemon=True)
         self._pump_thread.start()
+        self._wire_start(name=f"repro-mesh-writer-{self.rank}")
 
     def close(self) -> None:
         if self._closing.is_set():
             return
         self._closing.set()
+        self._wire_close()
         for s in self._peer.values():
             try:
                 s.shutdown(socket.SHUT_RDWR)
@@ -295,25 +298,21 @@ class TCPMeshTransport(Transport):
                                    f"attached")
             deliver(env)
             return
-        sock = self._peer.get(env.dst)
-        if sock is None:
+        if self._peer.get(env.dst) is None:
             raise RuntimeError(f"no mesh connection {self.rank}->{env.dst}")
-        header, body = ev.encode(env)
-        with self._wlock[env.dst]:
-            sock.sendall(header)
-            if body:
-                sock.sendall(body)
+        self._wire_send(env)
 
     # -- receiving ---------------------------------------------------------
     def _pump(self) -> None:
         sel = selectors.DefaultSelector()
+        pool = RecvPool()
         for peer, s in self._peer.items():
             sel.register(s, selectors.EVENT_READ, peer)
         try:
             while not self._closing.is_set():
                 for key, _ in sel.select(timeout=0.2):
                     try:
-                        self._read_one(key.fileobj, key.data)
+                        self._read_frame(self.rank, key.fileobj, pool)
                     except (ConnectionError, OSError):
                         if self._closing.is_set():
                             return
@@ -321,17 +320,6 @@ class TCPMeshTransport(Transport):
                         self._peer_lost(key.data)
         finally:
             sel.close()
-
-    def _read_one(self, sock: socket.socket, peer: int) -> None:
-        header = _recv_exact(sock, ev.HEADER_SIZE)
-        nbytes = ev.HEADER.unpack(header)[-1]
-        body = _recv_exact(sock, nbytes) if nbytes else b""
-        env = ev.decode(header, body)
-        if env.mode == ev.MODE_SYNCHRONOUS and env.kind == ev.KIND_DATA:
-            env.transport_notify = self._send_ack
-        deliver = self._deliver[self.rank]
-        if deliver is not None:
-            deliver(env)
 
     def _peer_lost(self, peer: int) -> None:
         """Peer connection died outside teardown: deliver a synthetic
@@ -342,12 +330,6 @@ class TCPMeshTransport(Transport):
         deliver = self._deliver[self.rank]
         if deliver is not None:
             deliver(env)
-
-    def _send_ack(self, env: Envelope) -> None:
-        """Matched a synchronous-mode message: ACK back to the sender."""
-        ack = Envelope(kind=ev.KIND_ACK, src=env.dst, dst=env.src,
-                       context=env.context, tag=env.tag, seq=env.seq)
-        self.send(ack)
 
     def describe(self) -> str:
         return (f"TCPMeshTransport(nprocs={self.nprocs}, "

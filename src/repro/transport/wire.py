@@ -1,0 +1,402 @@
+"""Shared wire-path machinery for the socket transports.
+
+Everything between "the runtime handed the transport an envelope" and
+"bytes hit the kernel" lives here, shared by
+:class:`~repro.transport.socket_tcp.SocketTransport` (thread-per-rank
+socketpairs) and :class:`~repro.transport.socket_tcp.TCPMeshTransport`
+(process-per-rank TCP mesh):
+
+* **Vectored framed I/O** — header and payload go out in a single
+  ``socket.sendmsg([header, view])`` call (one syscall, zero payload
+  copies on the send side: :func:`repro.runtime.envelope.encode` returns
+  buffer views, not ``tobytes()`` copies).  Receives land through
+  ``recv_into`` on a pooled, reusable buffer (:class:`RecvPool`) instead
+  of ``recv``'s chunk-list-and-join.
+* **Eager/rendezvous protocol** — payloads at or above
+  :func:`eager_limit` bytes do not travel with their header.  The sender
+  parks the payload and ships a header-only ``KIND_RTS`` frame; the
+  receiver replies ``KIND_CTS`` once a matching receive is posted; the
+  payload then streams in a ``KIND_RNDV_DATA`` frame routed by
+  ``(source, seq)`` — for contiguous primitive receives directly into
+  the posted user buffer via ``recv_into`` (zero staging copies).
+  ``Ssend`` piggybacks on the handshake: the CTS *is* the match
+  notification, so no separate ACK frame is needed.  Buffered- and
+  ready-mode sends stay eager regardless of size (their completion
+  semantics are local).
+* **Writer thread** — rendezvous payloads *and every pump-originated
+  control frame* (CTS, sync ACKs) are written by a dedicated
+  per-transport thread.  Pumps never write: a pump blocking in
+  ``sendall`` — or on a peer-write lock held by a writer mid-stream —
+  stops draining its own sockets, and two peers in that state deadlock.
+  With pumps strictly read-only, every socket is always being drained
+  and writers always make progress.
+
+The per-pair FIFO that MPI's non-overtaking rule rides on is preserved:
+RTS frames travel the same stream as eager DATA frames, so *matching*
+order is exactly send-call order; the out-of-band RNDV_DATA frame is
+routed by ``(source, seq)``, never matched.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import socket
+import threading
+
+from repro.runtime import envelope as ev
+from repro.runtime.envelope import Envelope
+
+#: default eager/rendezvous switchover (bytes); messages >= this size
+#: take the RTS/CTS handshake.  Below it, eager frames still land
+#: zero-copy when the receive is already posted (header-peek direct
+#: landing), so the handshake only pays off once the *unexpected* claim
+#: copy (and unexpected-queue memory) would hurt — hence a higher
+#: default than 1999-era MPIs used: their daemons staged every eager
+#: byte, ours stages none on the posted path.  Tune with
+#: REPRO_EAGER_LIMIT or :func:`set_eager_limit`.
+DEFAULT_EAGER_LIMIT = 1024 * 1024
+
+_eager_limit = int(os.environ.get("REPRO_EAGER_LIMIT", DEFAULT_EAGER_LIMIT))
+
+
+def eager_limit() -> int:
+    """Current eager/rendezvous threshold in bytes."""
+    return _eager_limit
+
+
+def set_eager_limit(nbytes: int) -> int:
+    """Set the threshold; returns the previous value (for restoring)."""
+    global _eager_limit
+    prev = _eager_limit
+    _eager_limit = int(nbytes)
+    return prev
+
+
+def wants_rendezvous(env: Envelope) -> bool:
+    """Should this envelope take the RTS/CTS path on a wire transport?"""
+    return (env.kind == ev.KIND_DATA
+            and not env.is_object
+            and env.payload is not None
+            and env.payload.nbytes >= _eager_limit
+            and env.mode in (ev.MODE_STANDARD, ev.MODE_SYNCHRONOUS))
+
+
+#: below this payload size the pump skips the header-peek direct-landing
+#: attempt: for tiny messages the posted-queue claim (lock, peek object,
+#: view construction) costs more than the one staging copy it avoids
+DIRECT_EAGER_MIN = 4096
+
+
+def set_nodelay(sock: socket.socket) -> None:
+    """Best-effort TCP_NODELAY (no-op on non-TCP carriers)."""
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except OSError:
+        pass
+
+
+# -- byte-level primitives ----------------------------------------------------
+
+def send_frame(sock: socket.socket, header: bytes, body=b"") -> None:
+    """One framed write: header+payload in a single vectored syscall."""
+    if not len(body):
+        sock.sendall(header)
+        return
+    sent = sock.sendmsg([header, body])
+    total = len(header) + len(body)
+    if sent < total:
+        # short vectored write (full socket buffer): finish with sendall
+        if sent < len(header):
+            sock.sendall(memoryview(header)[sent:])
+            sock.sendall(body)
+        else:
+            sock.sendall(body[sent - len(header):])
+
+
+def recv_exact_into(sock: socket.socket, view: memoryview) -> None:
+    """Fill ``view`` from the socket or raise ConnectionError on EOF."""
+    got, n = 0, len(view)
+    while got < n:
+        r = sock.recv_into(view[got:] if got else view)
+        if not r:
+            raise ConnectionError("peer closed")
+        got += r
+
+
+class RecvPool:
+    """A pump thread's reusable receive buffers (header + body).
+
+    Replaces the per-message chunk-list-and-join of ``recv`` with
+    ``recv_into`` on one preallocated buffer that grows to the largest
+    message seen.  Views handed out are valid only until the next
+    :meth:`body` call — exactly the envelope ``borrowed`` contract.
+    """
+
+    __slots__ = ("_buf", "header")
+
+    def __init__(self, initial: int = 64 * 1024):
+        self._buf = bytearray(initial)
+        self.header = memoryview(bytearray(ev.HEADER_SIZE))
+
+    def body(self, nbytes: int) -> memoryview:
+        if nbytes > len(self._buf):
+            self._buf = bytearray(1 << max(16, nbytes - 1).bit_length())
+        return memoryview(self._buf)[:nbytes]
+
+
+# -- rendezvous bookkeeping ---------------------------------------------------
+
+class _Sink:
+    """A matched receive waiting for its rendezvous payload frame."""
+
+    __slots__ = ("posted", "view")
+
+    def __init__(self, posted, view):
+        self.posted = posted
+        self.view = view   # writable byte view of the user buffer, or None
+
+
+class _RendezvousState:
+    """Per-local-rank rendezvous tables (sender and receiver side)."""
+
+    __slots__ = ("lock", "out", "sinks")
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.out: dict[int, Envelope] = {}     # seq -> parked send
+        self.sinks: dict[tuple, _Sink] = {}    # (src, seq) -> sink
+
+
+class WireProtocol:
+    """Mixin implementing the eager/rendezvous wire protocol.
+
+    Host transports provide ``self._deliver`` (from ``Transport``),
+    ``self._closing`` (an Event), and two routing hooks:
+
+    * ``_peer_sock(src, dst)`` — the socket carrying src->dst frames;
+    * ``_peer_lock(src, dst)`` — the write lock for that socket.
+    """
+
+    def _wire_init(self, local_ranks) -> None:
+        self._rndv = {r: _RendezvousState() for r in local_ranks}
+        self._writeq: queue.SimpleQueue = queue.SimpleQueue()
+        self._writer: threading.Thread | None = None
+        self._wire_stats_lock = threading.Lock()
+        #: frame/byte counters for benchmarks and the zero-copy tests
+        self.wire_stats = {
+            "eager_frames": 0, "eager_bytes": 0,
+            "eager_direct_frames": 0, "eager_direct_bytes": 0,
+            "rts_frames": 0, "cts_frames": 0,
+            "rndv_direct_frames": 0, "rndv_direct_bytes": 0,
+            "rndv_staged_frames": 0, "rndv_staged_bytes": 0,
+            "tx_frames": 0, "tx_bytes": 0,
+        }
+
+    def _wire_start(self, name: str = "repro-wire-writer") -> None:
+        self._writer = threading.Thread(target=self._writer_loop,
+                                        name=name, daemon=True)
+        self._writer.start()
+
+    def _wire_close(self) -> None:
+        self._writeq.put(None)
+        if self._writer is not None:
+            self._writer.join(timeout=2.0)
+
+    def _count(self, **deltas: int) -> None:
+        with self._wire_stats_lock:
+            for key, d in deltas.items():
+                self.wire_stats[key] += d
+
+    # -- send side ---------------------------------------------------------
+    def _wire_send(self, env: Envelope) -> None:
+        """Ship one envelope src->dst (rank thread; never blocks on CTS)."""
+        if wants_rendezvous(env):
+            st = self._rndv[env.src]
+            with st.lock:
+                st.out[env.seq] = env
+            header = ev.encode_rts(env)
+            self._framed_send(env.src, env.dst, header)
+            self._count(rts_frames=1, tx_frames=1, tx_bytes=len(header))
+            return
+        header, body = ev.encode(env)
+        self._framed_send(env.src, env.dst, header, body)
+        self._count(eager_frames=1, eager_bytes=len(body), tx_frames=1,
+                    tx_bytes=len(header) + len(body))
+        if env.on_flushed is not None:
+            # borderline prediction (communicator expected rendezvous,
+            # e.g. after the threshold moved): the bytes are out, so the
+            # user buffer is reusable — complete the send now
+            env.on_flushed()
+
+    def _framed_send(self, src: int, dst: int, header: bytes,
+                     body=b"") -> None:
+        sock = self._peer_sock(src, dst)
+        if sock is None:
+            raise RuntimeError(f"no wire connection {src}->{dst}")
+        with self._peer_lock(src, dst):
+            send_frame(sock, header, body)
+
+    def _enqueue_frame(self, src: int, dst: int, header: bytes) -> None:
+        """Hand a control frame to the writer (pump threads MUST use
+        this instead of writing: a pump blocked on a peer-write lock
+        held by a writer mid-stream stops draining and can deadlock)."""
+        self._writeq.put((src, dst, header))
+
+    def _writer_loop(self) -> None:
+        """Stream parked rendezvous payloads and pump-originated control
+        frames; this thread (plus rank threads) does all wire writing,
+        keeping pumps strictly read-only."""
+        while True:
+            item = self._writeq.get()
+            if item is None:
+                return
+            if isinstance(item, tuple):
+                src, dst, header = item
+                try:
+                    self._framed_send(src, dst, header)
+                    self._count(tx_frames=1, tx_bytes=len(header))
+                except (OSError, RuntimeError, ConnectionError):
+                    if self._closing.is_set():
+                        return
+                continue
+            env = item
+            try:
+                env.kind = ev.KIND_RNDV_DATA
+                header, body = ev.encode(env)
+                self._framed_send(env.src, env.dst, header, body)
+                self._count(tx_frames=1,
+                            tx_bytes=len(header) + len(body))
+            except (OSError, RuntimeError, ConnectionError):
+                if self._closing.is_set():
+                    return
+                continue   # peer death surfaces via the pump
+            if env.on_flushed is not None:
+                # zero-copy send: the user buffer is reusable now
+                env.on_flushed()
+            if env.mode == ev.MODE_SYNCHRONOUS:
+                # the CTS proved the match; complete the local Ssend
+                deliver = self._deliver[env.src]
+                if deliver is not None:
+                    deliver(Envelope(kind=ev.KIND_ACK, src=env.dst,
+                                     dst=env.src, context=env.context,
+                                     tag=env.tag, seq=env.seq))
+
+    # -- receive side ------------------------------------------------------
+    def _read_frame(self, rank: int, sock: socket.socket,
+                    pool: RecvPool) -> None:
+        """Read and dispatch exactly one frame arriving at ``rank``."""
+        recv_exact_into(sock, pool.header)
+        (kind, src, dst, context, tag, mode, seq, nelems, flags, code,
+         nbytes) = ev.HEADER.unpack(pool.header)
+        if kind == ev.KIND_CTS:
+            self._count(cts_frames=1)
+            self._handle_cts(rank, seq)
+            return
+        if kind == ev.KIND_RNDV_DATA:
+            self._handle_rndv_data(rank, sock, pool, src, tag, seq,
+                                   nelems, nbytes)
+            return
+        if kind == ev.KIND_DATA and nbytes >= DIRECT_EAGER_MIN \
+                and not (flags & ev.FLAG_OBJECT):
+            claim = self._direct_claim[rank]
+            if claim is not None:
+                peek = Envelope(kind=kind, src=src, dst=dst,
+                                context=context, tag=tag, mode=mode,
+                                seq=seq, nelems=nelems)
+                peek.rndv_dtype = ev.DTYPE_CODES[code.decode()]
+                peek.rndv_nbytes = nbytes
+                got = claim(peek)
+                if got is not None:
+                    # eager direct landing: the receive was posted and
+                    # contiguous, so the body streams straight from the
+                    # kernel into the user buffer — zero staging copies
+                    posted, view = got
+                    recv_exact_into(sock, view)
+                    self._count(eager_direct_frames=1,
+                                eager_direct_bytes=nbytes)
+                    if mode == ev.MODE_SYNCHRONOUS:
+                        self._send_ack(peek)
+                    posted.req.complete(source_world=src, tag=tag,
+                                        count_elements=nelems)
+                    return
+        body = pool.body(nbytes) if nbytes else b""
+        if nbytes:
+            recv_exact_into(sock, body)
+        env = ev.decode(pool.header, body)
+        env.borrowed = nbytes > 0
+        if kind == ev.KIND_RTS:
+            env.rndv_accept = lambda posted: self._accept_rts(rank, env,
+                                                              posted)
+        elif mode == ev.MODE_SYNCHRONOUS and kind == ev.KIND_DATA:
+            env.transport_notify = self._send_ack
+        deliver = self._deliver[rank]
+        if deliver is not None:
+            deliver(env)
+
+    def _handle_cts(self, rank: int, seq: int) -> None:
+        """Receiver matched our RTS: hand the payload to the writer."""
+        st = self._rndv[rank]
+        with st.lock:
+            env = st.out.pop(seq, None)
+        if env is not None:
+            self._writeq.put(env)
+
+    def _send_ack(self, env: Envelope) -> None:
+        """Matched a synchronous-mode message: ACK back to the sender.
+
+        Fires from ``notify_matched`` — possibly in a pump thread
+        (arrival match) — so the frame goes through the writer queue.
+        """
+        ack = ev.HEADER.pack(ev.KIND_ACK, env.dst, env.src, env.context,
+                             env.tag, 0, env.seq, 0, 0, b"--", 0)
+        self._enqueue_frame(env.dst, env.src, ack)
+
+    def _accept_rts(self, rank: int, env: Envelope, posted) -> None:
+        """Mailbox matched an RTS to ``posted``: register the sink, CTS.
+
+        Runs in whichever thread performed the match (pump on arrival
+        match, the receiving rank on post match); registration strictly
+        precedes the data frame because the sender only streams after
+        this CTS.
+        """
+        view = None
+        if posted.recv_view is not None:
+            view = posted.recv_view(env)
+        st = self._rndv[rank]
+        with st.lock:
+            st.sinks[(env.src, env.seq)] = _Sink(posted, view)
+        cts = ev.HEADER.pack(ev.KIND_CTS, rank, env.src, env.context,
+                             env.tag, env.mode, env.seq, 0, 0, b"--", 0)
+        # via the writer, never inline: this may run in the pump (arrival
+        # match), and pumps must not block on peer-write locks
+        self._enqueue_frame(rank, env.src, cts)
+
+    def _handle_rndv_data(self, rank: int, sock, pool: RecvPool, src: int,
+                          tag: int, seq: int, nelems: int,
+                          nbytes: int) -> None:
+        """Land a rendezvous payload frame on its registered sink."""
+        st = self._rndv[rank]
+        with st.lock:
+            sink = st.sinks.pop((src, seq), None)
+        if sink is None:  # pragma: no cover - protocol guarantees a sink
+            recv_exact_into(sock, pool.body(nbytes))
+            return
+        if sink.view is not None and len(sink.view) == nbytes:
+            # the zero-copy fast path: socket -> user buffer, no staging
+            recv_exact_into(sock, sink.view)
+            self._count(rndv_direct_frames=1, rndv_direct_bytes=nbytes)
+            sink.posted.req.complete(source_world=src, tag=tag,
+                                     count_elements=nelems)
+            return
+        # fallback: non-contiguous target, dtype mismatch or truncation —
+        # stage through the pool and run the full landing checks
+        body = pool.body(nbytes)
+        recv_exact_into(sock, body)
+        env = ev.decode(pool.header, body)
+        env.borrowed = True
+        count, error, message = sink.posted.land(env)
+        self._count(rndv_staged_frames=1, rndv_staged_bytes=nbytes)
+        sink.posted.req.complete(source_world=src, tag=tag,
+                                 count_elements=count, error=error,
+                                 error_message=message)

@@ -1,0 +1,355 @@
+"""Wire fast-path semantics: the protocol must never change the answers.
+
+Eager and rendezvous are *transport* decisions; MPI semantics (results,
+non-overtaking order, wildcard matching, Ssend completion) must be
+identical on either side of the threshold, on every backend.  These
+tests sweep the eager limit across message-size boundaries and assert
+blocking-equivalence, exercise ``ANY_SOURCE``/``ANY_TAG`` against the
+hash-indexed mailbox, prove the rendezvous path performs zero staging
+copies for contiguous receives (copy-count and bytes-on-wire), and pin
+the Ssend-completes-no-earlier-than-match rule.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.executor.runner import MPIExecutor
+from repro.runtime.engine import Universe
+from repro.transport import wire
+from repro.transport.inproc import InprocTransport
+from repro.transport.socket_tcp import SocketTransport
+
+SIZES_AROUND_THRESHOLD = (1, 1024, 4095, 4096, 8192, 65536, 200_000)
+
+
+@pytest.fixture
+def eager_limit_guard():
+    prev = wire.eager_limit()
+    yield
+    wire.set_eager_limit(prev)
+
+
+def _make_universe(backend: str, nprocs: int) -> Universe:
+    if backend == "threads-SM":
+        return Universe(nprocs, transport=InprocTransport(nprocs))
+    return Universe(nprocs, transport=SocketTransport(nprocs))
+
+
+# -- kernel bodies (module-level so the proc backend can import them) ---------
+
+def _exchange_body(limit, sizes, seed):
+    """Deterministic multi-pattern exchange; returns rank 0's digest."""
+    from repro.jni import capi, handles as H
+    from repro.transport import wire as W
+    if limit is not None:
+        W.set_eager_limit(limit)
+    capi.mpi_init([])
+    rank = capi.mpi_comm_rank(H.COMM_WORLD)
+    digest = []
+    for size in sizes:
+        rng = np.random.default_rng(seed + size)
+        data = rng.integers(0, 127, size=size).astype(np.int8)
+        buf = np.zeros(size, dtype=np.int8)
+        if rank == 0:
+            # two back-to-back sends, same pair, distinct tags:
+            # non-overtaking must hold across the protocol split
+            capi.mpi_send(H.COMM_WORLD, data, 0, size, H.DT_BYTE, 1, 7)
+            capi.mpi_send(H.COMM_WORLD, (data + 1) % 127, 0, size,
+                          H.DT_BYTE, 1, 7)
+            capi.mpi_recv(H.COMM_WORLD, buf, 0, size, H.DT_BYTE, 1, 8)
+            digest.append(int(buf.astype(np.int64).sum()))
+        else:
+            a = np.zeros(size, dtype=np.int8)
+            b = np.zeros(size, dtype=np.int8)
+            capi.mpi_recv(H.COMM_WORLD, a, 0, size, H.DT_BYTE, 0, 7)
+            capi.mpi_recv(H.COMM_WORLD, b, 0, size, H.DT_BYTE, 0, 7)
+            # same-tag pair: arrival order == send order (non-overtaking)
+            assert np.array_equal(a, data), "first same-tag message wrong"
+            assert np.array_equal(b, (data + 1) % 127), \
+                "second same-tag message wrong (overtaking?)"
+            capi.mpi_send(H.COMM_WORLD, ((a.astype(np.int16)
+                                          + b) % 127).astype(np.int8),
+                          0, size, H.DT_BYTE, 0, 8)
+        capi.mpi_barrier(H.COMM_WORLD)
+    capi.mpi_finalize()
+    return digest if rank == 0 else None
+
+
+def _wildcard_body(limit):
+    """ANY_SOURCE/ANY_TAG against indexed matching, all protocol modes."""
+    from repro.jni import capi, handles as H
+    from repro.runtime.consts import ANY_SOURCE, ANY_TAG
+    from repro.transport import wire as W
+    if limit is not None:
+        W.set_eager_limit(limit)
+    capi.mpi_init([])
+    rank = capi.mpi_comm_rank(H.COMM_WORLD)
+    size = capi.mpi_comm_size(H.COMM_WORLD)
+    n = 5000
+    if rank == 0:
+        got = []
+        buf = np.zeros(n, dtype=np.int32)
+        # any-source, fixed tag: one message per peer
+        for _ in range(size - 1):
+            st = capi.mpi_recv(H.COMM_WORLD, buf, 0, n, H.DT_INT,
+                               ANY_SOURCE, 5)
+            assert np.all(buf == st.source), "payload/source mismatch"
+            got.append(st.source)
+        assert sorted(got) == list(range(1, size)), got
+        # fixed source, any tag: same-pair order must be send order
+        tags = []
+        for _ in range(3):
+            st = capi.mpi_recv(H.COMM_WORLD, buf, 0, n, H.DT_INT, 1,
+                               ANY_TAG)
+            tags.append(st.tag)
+        assert tags == [11, 13, 12], f"arrival order broken: {tags}"
+        # any-any drains the rest
+        rest = []
+        for _ in range(size - 1):
+            st = capi.mpi_recv(H.COMM_WORLD, buf, 0, n, H.DT_INT,
+                               ANY_SOURCE, ANY_TAG)
+            rest.append((st.source, st.tag))
+        assert sorted(rest) == [(r, 99) for r in range(1, size)], rest
+    else:
+        data = np.full(n, rank, dtype=np.int32)
+        capi.mpi_send(H.COMM_WORLD, data, 0, n, H.DT_INT, 0, 5)
+        if rank == 1:
+            for tag in (11, 13, 12):
+                capi.mpi_send(H.COMM_WORLD, data, 0, n, H.DT_INT, 0, tag)
+        capi.mpi_send(H.COMM_WORLD, data, 0, n, H.DT_INT, 0, 99)
+    capi.mpi_barrier(H.COMM_WORLD)
+    capi.mpi_finalize()
+    return True
+
+
+def _ssend_body(limit, size):
+    """Ssend must not complete before the matching receive is posted."""
+    from repro.jni import capi, handles as H
+    from repro.transport import wire as W
+    import time as _time
+    if limit is not None:
+        W.set_eager_limit(limit)
+    capi.mpi_init([])
+    rank = capi.mpi_comm_rank(H.COMM_WORLD)
+    delay = 0.25
+    if rank == 0:
+        buf = np.ones(size, dtype=np.int8)
+        capi.mpi_barrier(H.COMM_WORLD)
+        t0 = _time.perf_counter()
+        capi.mpi_ssend(H.COMM_WORLD, buf, 0, size, H.DT_BYTE, 1, 3)
+        elapsed = _time.perf_counter() - t0
+        capi.mpi_barrier(H.COMM_WORLD)
+        capi.mpi_finalize()
+        return elapsed
+    buf = np.zeros(size, dtype=np.int8)
+    capi.mpi_barrier(H.COMM_WORLD)
+    _time.sleep(delay)           # hold the match back
+    capi.mpi_recv(H.COMM_WORLD, buf, 0, size, H.DT_BYTE, 0, 3)
+    assert np.all(buf == 1)
+    capi.mpi_barrier(H.COMM_WORLD)
+    capi.mpi_finalize()
+    return None
+
+
+BACKENDS = ("threads-SM", "threads-DM", "procs-DM")
+
+#: eager limits that put the test sizes on every side of the threshold
+LIMIT_POINTS = (1, 4096, 65536, 1 << 62)
+
+
+def _run(backend, body, args, nprocs=2):
+    if backend == "procs-DM":
+        import os
+        from repro.executor.procrunner import ProcExecutor
+        with ProcExecutor(nprocs) as ex:
+            return ex.run(body, args=args, timeout=120.0)
+    with MPIExecutor(nprocs,
+                     universe=_make_universe(backend, nprocs)) as ex:
+        return ex.run(body, args=args)
+
+
+class TestBlockingEquivalence:
+    """Same program, every threshold position, identical results."""
+
+    @pytest.mark.parametrize("backend", ("threads-SM", "threads-DM"))
+    def test_exchange_equivalent_across_thresholds(self, backend,
+                                                   eager_limit_guard):
+        digests = []
+        for limit in LIMIT_POINTS:
+            out = _run(backend, _exchange_body,
+                       (limit, SIZES_AROUND_THRESHOLD, 42))
+            digests.append(out[0])
+        assert all(d == digests[0] for d in digests), \
+            f"results differ across eager limits: {digests}"
+
+    def test_exchange_equivalent_procs_dm(self, eager_limit_guard):
+        # the proc backend spawns real processes; two threshold points
+        # (pure-eager, pure-rendezvous) keep the runtime bounded
+        digests = [_run("procs-DM", _exchange_body,
+                        (limit, (4096, 200_000), 42))[0]
+                   for limit in (1 << 62, 1)]
+        assert digests[0] == digests[1]
+
+
+class TestWildcards:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("limit", (1, 1 << 62))
+    def test_wildcard_matching(self, backend, limit, eager_limit_guard):
+        nprocs = 2 if backend == "procs-DM" else 4
+        assert all(_run(backend, _wildcard_body, (limit,),
+                        nprocs=nprocs))
+
+
+class TestSsendSemantics:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("size", (64, 200_000))
+    def test_ssend_completes_no_earlier_than_match(self, backend, size,
+                                                   eager_limit_guard):
+        wire.set_eager_limit(65536)   # 64 -> eager-ACK, 200k -> rendezvous
+        out = _run(backend, _ssend_body, (65536, size))
+        elapsed = out[0]
+        assert elapsed >= 0.2, \
+            f"Ssend completed {elapsed:.3f}s after start, before the " \
+            f"receiver posted (delay 0.25s)"
+
+
+class TestZeroCopyProof:
+    """Copy-count / bytes-on-wire: the rendezvous contiguous path must
+    perform zero staging copies, and exactly one payload traversal."""
+
+    def test_rendezvous_contiguous_recv_is_zero_staging(self,
+                                                        eager_limit_guard):
+        wire.set_eager_limit(1024)
+        n = 1 << 20
+        transport = SocketTransport(2)
+
+        def body(n):
+            from repro.jni import capi, handles as H
+            capi.mpi_init([])
+            rank = capi.mpi_comm_rank(H.COMM_WORLD)
+            if rank == 0:
+                buf = np.arange(n, dtype=np.float64)
+                capi.mpi_send(H.COMM_WORLD, buf, 0, n, H.DT_DOUBLE, 1, 2)
+            else:
+                buf = np.zeros(n, dtype=np.float64)
+                capi.mpi_recv(H.COMM_WORLD, buf, 0, n, H.DT_DOUBLE, 0, 2)
+                assert np.array_equal(buf, np.arange(n, dtype=np.float64))
+            capi.mpi_finalize()
+            return True
+
+        with MPIExecutor(2, universe=Universe(2,
+                                              transport=transport)) as ex:
+            ex.run(body, args=(n,))
+        s = transport.wire_stats
+        payload = n * 8
+        assert s["rndv_direct_frames"] == 1, s
+        assert s["rndv_direct_bytes"] == payload, s
+        # zero staging copies anywhere on the payload path
+        assert s["rndv_staged_frames"] == 0, s
+        assert s["rndv_staged_bytes"] == 0, s
+        # bytes-on-wire: the payload crossed exactly once (plus control
+        # frames and the finalize-barrier tokens, all header-sized)
+        assert s["tx_bytes"] < payload + 4096, s
+        assert s["rts_frames"] == 1 and s["cts_frames"] == 1, s
+
+    def test_eager_posted_contiguous_recv_is_zero_staging(
+            self, eager_limit_guard):
+        wire.set_eager_limit(1 << 62)
+        n = 1 << 18
+        transport = SocketTransport(2)
+        start = threading.Barrier(2, timeout=10)
+
+        def body(n):
+            from repro.jni import capi, handles as H
+            capi.mpi_init([])
+            rank = capi.mpi_comm_rank(H.COMM_WORLD)
+            if rank == 0:
+                start.wait()
+                time.sleep(0.2)   # let rank 1 post the receive first
+                buf = np.ones(n, dtype=np.int8)
+                capi.mpi_send(H.COMM_WORLD, buf, 0, n, H.DT_BYTE, 1, 2)
+            else:
+                buf = np.zeros(n, dtype=np.int8)
+                start.wait()
+                capi.mpi_recv(H.COMM_WORLD, buf, 0, n, H.DT_BYTE, 0, 2)
+                assert np.all(buf == 1)
+            capi.mpi_finalize()
+            return True
+
+        with MPIExecutor(2, universe=Universe(2,
+                                              transport=transport)) as ex:
+            ex.run(body, args=(n,))
+        s = transport.wire_stats
+        assert s["eager_direct_frames"] == 1, s
+        assert s["eager_direct_bytes"] == n, s
+
+
+class TestLargePairReduction:
+    """Regression: size-aware selection must not hand MINLOC/MAXLOC to
+    the ring algorithm — its per-element chunk bounds would split the
+    interleaved (value, index) pairs (crash on odd splits, silent
+    value/index role swap on even-but-shifted ones)."""
+
+    @pytest.mark.parametrize("nprocs", (3, 4))
+    def test_large_minloc_allreduce(self, nprocs):
+        def body():
+            from repro.jni import capi, handles as H
+            capi.mpi_init([])
+            rank = capi.mpi_comm_rank(H.COMM_WORLD)
+            size = capi.mpi_comm_size(H.COMM_WORLD)
+            npairs = 200_000   # 1.6 MB: deep in the size-aware band
+            vals = np.empty(2 * npairs, dtype=np.int32)
+            vals[0::2] = (np.arange(npairs) + rank * 7) % 1000
+            vals[1::2] = rank
+            out = np.zeros_like(vals)
+            capi.mpi_allreduce(H.COMM_WORLD, vals, 0, out, 0, npairs,
+                               H.DT_INT2, H.OP_MINLOC)
+            per_rank = np.stack([(np.arange(npairs) + r * 7) % 1000
+                                 for r in range(size)])
+            assert np.array_equal(out[0::2], per_rank.min(axis=0))
+            assert np.array_equal(out[1::2], per_rank.argmin(axis=0))
+            capi.mpi_finalize()
+            return True
+
+        with MPIExecutor(nprocs,
+                         universe=_make_universe("threads-DM",
+                                                 nprocs)) as ex:
+            assert all(ex.run(body))
+
+
+class TestSendBufferReuseSafety:
+    """Zero-copy sends borrow the user buffer; the request must not
+    complete until the wire is done with it (mutate-after-wait test)."""
+
+    @pytest.mark.parametrize("limit", (1, 1 << 62))
+    def test_isend_buffer_mutation_after_wait_is_safe(self, limit,
+                                                      eager_limit_guard):
+        wire.set_eager_limit(limit)
+        n = 1 << 19
+
+        def body(n):
+            from repro.jni import capi, handles as H
+            import time as _time
+            capi.mpi_init([])
+            rank = capi.mpi_comm_rank(H.COMM_WORLD)
+            if rank == 0:
+                buf = np.full(n, 7, dtype=np.int8)
+                req = capi.mpi_isend(H.COMM_WORLD, buf, 0, n, H.DT_BYTE,
+                                     1, 2)
+                capi.mpi_wait(req)
+                buf[:] = 99          # MPI-legal: request completed
+            else:
+                _time.sleep(0.1)     # receive posted after the send
+                buf = np.zeros(n, dtype=np.int8)
+                capi.mpi_recv(H.COMM_WORLD, buf, 0, n, H.DT_BYTE, 0, 2)
+                assert np.all(buf == 7), \
+                    "receiver observed sender's post-wait mutation"
+            capi.mpi_finalize()
+            return True
+
+        with MPIExecutor(2, universe=_make_universe("threads-DM",
+                                                    2)) as ex:
+            assert all(ex.run(body, args=(n,)))

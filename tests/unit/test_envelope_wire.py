@@ -126,3 +126,69 @@ class TestEncodeDecode:
         env.transport_notify = lambda e: hits.append("wire")
         env.notify_matched()
         assert hits == ["cb", "wire"]
+
+
+class TestWritableDecode:
+    """Regression: decode() used to hand out read-only np.frombuffer
+    views; landing/reduction code that mutates a received payload in
+    place must get a writable array at the single decode choke point."""
+
+    def test_decode_from_immutable_bytes_is_writable_copy(self):
+        env = ev.Envelope(payload=np.arange(6, dtype=np.float64), nelems=6)
+        header, body = ev.encode(env)
+        out = ev.decode(header, bytes(body))   # immutable source buffer
+        assert out.payload.flags.writeable
+        out.payload[0] = 99.0                  # must not raise
+
+    def test_decode_from_writable_buffer_is_zero_copy_view(self):
+        env = ev.Envelope(payload=np.arange(6, dtype=np.int32), nelems=6)
+        header, body = ev.encode(env)
+        staging = bytearray(bytes(body))       # the recv-pool case
+        out = ev.decode(header, staging)
+        assert out.payload.flags.writeable
+        out.payload[0] = 42
+        assert staging[0:4] == np.int32(42).tobytes()  # a view, not a copy
+
+
+class TestZeroCopyEncode:
+    def test_encode_body_views_the_payload(self):
+        data = np.arange(8, dtype=np.int64)
+        _, body = ev.encode(ev.Envelope(payload=data, nelems=8))
+        assert isinstance(body, memoryview)
+        data[0] = -1   # the view must alias the array, not copy it
+        assert bytes(body[:8]) == np.int64(-1).tobytes()
+
+
+class TestClaim:
+    def test_claim_copies_borrowed_payload_out_of_the_pool(self):
+        pool = bytearray(np.arange(4, dtype=np.int32).tobytes())
+        env = ev.Envelope(payload=np.frombuffer(pool, dtype=np.int32),
+                          nelems=4)
+        env.borrowed = True
+        env.claim()
+        assert not env.borrowed
+        pool[0:4] = b"\xff\xff\xff\xff"    # pool reuse must not leak in
+        assert env.payload[0] == 0
+        env.payload[1] = 7                  # claimed copies are writable
+
+    def test_claim_is_a_no_op_for_owned_payloads(self):
+        data = np.arange(3, dtype=np.int8)
+        env = ev.Envelope(payload=data, nelems=3)
+        env.claim()
+        assert env.payload is data
+
+
+class TestRtsFrames:
+    def test_rts_announces_size_and_dtype_without_a_body(self):
+        env = ev.Envelope(src=1, dst=0, context=3, tag=9, seq=12,
+                          payload=np.zeros(1000, dtype=np.float64),
+                          nelems=1000)
+        header = ev.encode_rts(env)
+        out = ev.decode(header, b"")
+        assert out.kind == ev.KIND_RTS
+        assert out.payload is None
+        assert out.rndv_nbytes == 8000
+        assert out.rndv_dtype == np.dtype(np.float64)
+        assert out.payload_nbytes() == 8000   # what probes report
+        assert (out.src, out.dst, out.context, out.tag, out.seq) == \
+            (1, 0, 3, 9, 12)

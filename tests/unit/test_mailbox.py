@@ -180,6 +180,109 @@ class TestReadyMode:
         assert mb.has_posted_match(env)
 
 
+class TestIndexedMatching:
+    """The hash-bucketed queues must reproduce linear-scan semantics."""
+
+    def test_wildcard_earliest_arrival_across_buckets(self, mb):
+        # three different (src, tag) buckets, interleaved arrival
+        mb.deliver(mkenv(src=3, tag=9, n=1))
+        mb.deliver(mkenv(src=1, tag=5, n=2))
+        mb.deliver(mkenv(src=2, tag=7, n=3))
+        order = []
+        for _ in range(3):
+            req, got = post(mb, source=ANY_SOURCE, tag=ANY_TAG)
+            order.append((got[0].src, got[0].tag))
+        assert order == [(3, 9), (1, 5), (2, 7)]
+
+    def test_wildcard_vs_exact_posted_obeys_post_order(self, mb):
+        r_wild, c_wild = post(mb, source=ANY_SOURCE, tag=ANY_TAG)
+        r_exact, c_exact = post(mb, source=1, tag=5)
+        mb.deliver(mkenv(src=1, tag=5))
+        # the wildcard was posted first: it must win the match
+        assert r_wild.done and not r_exact.done
+        mb.deliver(mkenv(src=1, tag=5))
+        assert r_exact.done
+
+    def test_exact_posted_before_wildcard_wins(self, mb):
+        r_exact, _ = post(mb, source=1, tag=5)
+        r_wild, _ = post(mb, source=ANY_SOURCE, tag=ANY_TAG)
+        mb.deliver(mkenv(src=1, tag=5))
+        assert r_exact.done and not r_wild.done
+
+    def test_any_source_fixed_tag_scans_only_matching_buckets(self, mb):
+        mb.deliver(mkenv(src=1, tag=5, n=1))
+        mb.deliver(mkenv(src=2, tag=6, n=2))
+        mb.deliver(mkenv(src=2, tag=5, n=3))
+        req, got = post(mb, source=ANY_SOURCE, tag=5)
+        assert got[0].nelems == 1   # earliest arrival with tag 5
+        req, got = post(mb, source=ANY_SOURCE, tag=5)
+        assert got[0].nelems == 3
+
+    def test_deep_same_key_queue_stays_fifo(self, mb):
+        for i in range(50):
+            mb.deliver(mkenv(n=i + 1))
+        for i in range(50):
+            req, got = post(mb)
+            assert got[0].nelems == i + 1
+
+    def test_cancel_wildcard_posted(self, mb):
+        req, _ = post(mb, source=ANY_SOURCE, tag=ANY_TAG)
+        assert mb.cancel_recv(req)
+        assert req.cancelled
+        assert mb.pending_counts() == (0, 0)
+
+    def test_borrowed_unexpected_payload_is_claimed(self, mb):
+        import numpy as np
+        pool = bytearray(np.arange(3, dtype=np.int32).tobytes())
+        env = Envelope(src=1, dst=0, context=0, tag=5,
+                       payload=np.frombuffer(pool, dtype=np.int32),
+                       nelems=3)
+        env.borrowed = True
+        mb.deliver(env)                      # no posted recv: queued
+        pool[:] = b"\xee" * len(pool)        # transport reuses the pool
+        req, got = post(mb)
+        assert list(got[0].payload) == [0, 1, 2]
+
+
+class TestDirectClaim:
+    """Pump-side header-peek commit (the zero-staging eager landing)."""
+
+    def _peek(self, nelems=3, src=1, tag=5, context=0):
+        import numpy as np
+        env = Envelope(src=src, dst=0, context=context, tag=tag,
+                       nelems=nelems)
+        env.rndv_dtype = np.dtype(np.int32)
+        env.rndv_nbytes = nelems * 4
+        return env
+
+    def test_no_posted_recv_returns_none(self, mb):
+        assert mb.claim_direct_recv(self._peek()) is None
+
+    def test_posted_without_view_hook_returns_none(self, mb):
+        post(mb)   # helper posts with recv_view=None
+        assert mb.claim_direct_recv(self._peek()) is None
+
+    def test_claim_consumes_the_posted_recv(self, mb):
+        import numpy as np
+        target = np.zeros(3, dtype=np.int32)
+        req = RequestImpl(FakeUniverse(), RequestImpl.KIND_RECV)
+        mb.post_recv(req, 1, 5, 0, lambda env: (0, SUCCESS, ""),
+                     recv_view=lambda env: memoryview(target).cast("B"))
+        got = mb.claim_direct_recv(self._peek())
+        assert got is not None
+        posted, view = got
+        assert posted.req is req
+        assert len(view) == 12
+        assert mb.pending_counts() == (0, 0)   # consumed, not re-matchable
+
+    def test_view_decline_leaves_recv_posted(self, mb):
+        req = RequestImpl(FakeUniverse(), RequestImpl.KIND_RECV)
+        mb.post_recv(req, 1, 5, 0, lambda env: (0, SUCCESS, ""),
+                     recv_view=lambda env: None)
+        assert mb.claim_direct_recv(self._peek()) is None
+        assert mb.pending_counts() == (0, 1)
+
+
 class TestAbortDelivery:
     def test_abort_envelope_forwarded_to_universe(self, mb):
         from repro.runtime.envelope import encode_abort_env
