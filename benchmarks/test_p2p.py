@@ -24,8 +24,18 @@ class TestCommittedArtifact:
         report = json.loads((REPO_ROOT / "BENCH_P2P.json").read_text())
         dm_auto = {r["size_bytes"] for r in report["results"]
                    if r["backend"] == "threads-DM"
-                   and r["protocol"] == "auto"}
+                   and r["protocol"] == "auto"
+                   and r["layout"] == "contiguous"}
         assert dm_auto.issuperset(p2p.FULL_SIZES)
+
+    def test_committed_report_covers_the_strided_sweep(self):
+        report = json.loads((REPO_ROOT / "BENCH_P2P.json").read_text())
+        for backend in p2p.BACKENDS:
+            strided = {r["size_bytes"] for r in report["results"]
+                       if r["backend"] == backend
+                       and r["layout"] == "strided"}
+            assert strided.issuperset(p2p.STRIDED_SIZES), \
+                f"{backend} strided sweep incomplete"
 
     def test_committed_report_carries_the_baseline(self):
         report = json.loads((REPO_ROOT / "BENCH_P2P.json").read_text())
@@ -37,26 +47,46 @@ class TestCommittedArtifact:
         assert all(v >= 2.0 for v in large.values()), \
             f"large-message speedup fell below 2x: {large}"
 
+    def test_committed_report_proves_the_strided_win(self):
+        """The layout-IR datapath acceptance bar: >= 1.5x bandwidth over
+        the pre-IR baseline for every >= 256 KiB strided message on
+        threads-DM (PR 5)."""
+        report = json.loads((REPO_ROOT / "BENCH_P2P.json").read_text())
+        improv = report["baseline"].get(
+            "improvement_vs_baseline_threads_DM_strided", {})
+        large = {int(k): v for k, v in improv.items() if int(k) >= 262144}
+        assert large, "no >=256KB strided improvement entries"
+        assert all(v >= 1.5 for v in large.values()), \
+            f"strided speedup fell below 1.5x: {large}"
+
 
 class TestLiveSweep:
     def test_reduced_sweep_runs_and_validates(self):
         rows = p2p.run_sweep(sizes=(8, 65536), backends=("threads-DM",),
                              protocols=("eager", "rendezvous"),
+                             strided_sizes=(65536,),
                              quick=True, log=None)
         report = p2p.build_report(rows, quick=True)
         assert p2p.validate_report(report) == []
-        # both protocols measured for both sizes
-        assert len(rows) == 4
+        # both protocols for both contiguous sizes + one strided row
+        assert len(rows) == 5
         assert all(r["one_way_us"] > 0 for r in rows)
+        assert any(r["layout"] == "strided" for r in rows)
 
     def test_validate_rejects_garbage(self):
         assert p2p.validate_report({}) != []
         assert p2p.validate_report({"schema": p2p.SCHEMA}) != []
         good = p2p.build_report([{
             "backend": "threads-DM", "protocol": "auto",
+            "layout": "contiguous",
             "size_bytes": 8, "reps": 3, "one_way_us": 1.0,
             "bandwidth_MBps": 8.0}])
         assert p2p.validate_report(good) == []
-        bad = json.loads(json.dumps(good))
-        bad["results"][0]["backend"] = "quantum-entanglement"
-        assert p2p.validate_report(bad) != []
+        for field, value in (("backend", "quantum-entanglement"),
+                             ("layout", "diagonal")):
+            bad = json.loads(json.dumps(good))
+            bad["results"][0][field] = value
+            assert p2p.validate_report(bad) != []
+        missing = json.loads(json.dumps(good))
+        del missing["results"][0]["layout"]
+        assert p2p.validate_report(missing) != []

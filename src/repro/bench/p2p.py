@@ -14,7 +14,16 @@ eager/rendezvous threshold), ``eager`` (threshold forced above every
 size) and ``rendezvous`` (threshold forced to 1 byte) — so the crossover
 between the two is visible in the data, not folklore.
 
-Results land in ``BENCH_P2P.json`` (schema ``repro-p2p/1``); a committed
+Two buffer layouts are swept (the ``layout`` column):
+
+* ``contiguous`` — a dense byte buffer, the classic kernel;
+* ``strided``    — one ``Vector`` datatype instance per message
+  (:data:`STRIDED_BLOCK_ELEMS`-element float64 runs at 50% density),
+  proving the layout-IR datapath: derived-datatype messages ride the
+  same zero-copy iovec send / direct-landing receive machinery as
+  contiguous ones.
+
+Results land in ``BENCH_P2P.json`` (schema ``repro-p2p/2``); a committed
 copy at the repo root seeds the performance trajectory, and the CI bench
 smoke job regenerates a reduced sweep per push.  Usage::
 
@@ -34,12 +43,24 @@ import time
 
 import numpy as np
 
-SCHEMA = "repro-p2p/1"
+SCHEMA = "repro-p2p/2"
 
 #: full sweep: 8 B – 4 MB, dense around the eager/rendezvous band
 FULL_SIZES = (8, 32, 128, 512, 2048, 8192, 32768, 65536, 131072,
               262144, 524288, 1048576, 2097152, 4194304)
 QUICK_SIZES = (8, 8192, 262144, 1048576)
+
+LAYOUTS = ("contiguous", "strided")
+
+#: strided sweep shape: float64 runs of STRIDED_BLOCK_ELEMS elements at
+#: a STRIDED_STRIDE_FACTOR x stride (50% density) — e.g. the rows of
+#: every other matrix column, the paper's canonical Vector use.  Sizes
+#: below are *data* bytes; the smallest implies >= 2 runs.
+STRIDED_BLOCK_ELEMS = 4096
+STRIDED_STRIDE_FACTOR = 2
+STRIDED_SIZES = (65536, 131072, 262144, 524288, 1048576, 2097152,
+                 4194304)
+STRIDED_QUICK_SIZES = (65536, 1048576)
 
 BACKENDS = ("threads-SM", "threads-DM", "procs-DM")
 
@@ -87,7 +108,38 @@ def _pingpong(rank: int, size: int, reps: int,
     return best
 
 
-def _sweep_main(sizes, reps_list, eager_limit):
+def _strided_pingpong(rank: int, data_bytes: int, reps: int,
+                      trials: int = TRIALS) -> float:
+    """One rank's half of the Vector-datatype kernel (data_bytes of
+    payload selected as 50%-density float64 runs); best one-way s."""
+    from repro.jni import capi, handles as H
+    block = STRIDED_BLOCK_ELEMS
+    stride = STRIDED_STRIDE_FACTOR * block
+    count = max(1, data_bytes // (8 * block))
+    vec = capi.mpi_type_vector(count, block, stride, H.DT_DOUBLE)
+    capi.mpi_type_commit(vec)
+    buf = np.zeros((count - 1) * stride + block, dtype=np.float64)
+    best = None
+    for _ in range(trials):
+        capi.mpi_barrier(H.COMM_WORLD)
+        t0 = time.perf_counter()
+        if rank == 0:
+            for _ in range(reps):
+                capi.mpi_send(H.COMM_WORLD, buf, 0, 1, vec, 1, _PING)
+                capi.mpi_recv(H.COMM_WORLD, buf, 0, 1, vec, 1, _PONG)
+        else:
+            for _ in range(reps):
+                capi.mpi_recv(H.COMM_WORLD, buf, 0, 1, vec, 0, _PING)
+                capi.mpi_send(H.COMM_WORLD, buf, 0, 1, vec, 0, _PONG)
+        t1 = time.perf_counter()
+        capi.mpi_barrier(H.COMM_WORLD)
+        one_way = (t1 - t0) / (2 * reps)
+        best = one_way if best is None else min(best, one_way)
+    capi.mpi_type_free(vec)
+    return best
+
+
+def _sweep_main(sizes, reps_list, eager_limit, layout="contiguous"):
     """SPMD body (also the procs-DM child target; must stay module-level
     and importable).  Rank 0 returns [(size, one_way_seconds), ...]."""
     from repro.jni import capi, handles as H
@@ -96,14 +148,16 @@ def _sweep_main(sizes, reps_list, eager_limit):
         wire.set_eager_limit(eager_limit)
     capi.mpi_init([])
     rank = capi.mpi_comm_rank(H.COMM_WORLD)
+    kernel = _pingpong if layout == "contiguous" else _strided_pingpong
     out = []
     for size, reps in zip(sizes, reps_list):
-        out.append((size, _pingpong(rank, size, reps)))
+        out.append((size, kernel(rank, size, reps)))
     capi.mpi_finalize()
     return out if rank == 0 else None
 
 
-def _run_threads(sizes, reps_list, eager_limit, dm: bool):
+def _run_threads(sizes, reps_list, eager_limit, dm: bool,
+                 layout="contiguous"):
     from repro.executor.runner import MPIExecutor
     from repro.runtime.engine import Universe
     from repro.transport import wire
@@ -119,52 +173,72 @@ def _run_threads(sizes, reps_list, eager_limit, dm: bool):
                                               transport=transport)) as ex:
             return ex.run(_sweep_main,
                           args=(tuple(sizes), tuple(reps_list),
-                                eager_limit))[0]
+                                eager_limit, layout))[0]
     finally:
         wire.set_eager_limit(prev)
 
 
-def _run_procs(sizes, reps_list, eager_limit, timeout=300.0):
+def _run_procs(sizes, reps_list, eager_limit, layout="contiguous",
+               timeout=300.0):
     from repro.executor.procrunner import ProcExecutor
     with ProcExecutor(2) as ex:
         return ex.run(_sweep_main,
-                      args=(tuple(sizes), tuple(reps_list), eager_limit),
+                      args=(tuple(sizes), tuple(reps_list), eager_limit,
+                            layout),
                       timeout=timeout)[0]
 
 
 def run_sweep(sizes=FULL_SIZES, backends=BACKENDS,
               protocols=("auto", "eager", "rendezvous"),
+              layouts=LAYOUTS, strided_sizes=None,
               quick: bool = False, log=print) -> list[dict]:
-    """Run the sweep; returns rows of the ``results`` schema array."""
+    """Run the sweep; returns rows of the ``results`` schema array.
+
+    The strided layout runs under the ``auto`` protocol only (the
+    protocol crossover is characterized by the contiguous sweep; the
+    strided sweep answers "do derived datatypes keep up", and its
+    ``size_bytes`` are *data* bytes, excluding the stride gaps).
+    """
+    if strided_sizes is None:
+        strided_sizes = STRIDED_QUICK_SIZES if quick else STRIDED_SIZES
     rows = []
     for backend in backends:
-        # SM has no wire protocol: one pass, recorded as "auto"
-        backend_protocols = ("auto",) if backend == "threads-SM" \
-            else protocols
-        for protocol in backend_protocols:
-            limit = PROTOCOLS[protocol]
-            reps_list = [reps_for(s, quick) for s in sizes]
-            if backend == "threads-SM":
-                got = _run_threads(sizes, reps_list, limit, dm=False)
-            elif backend == "threads-DM":
-                got = _run_threads(sizes, reps_list, limit, dm=True)
-            else:
-                got = _run_procs(sizes, reps_list, limit)
-            for (size, one_way), reps in zip(got, reps_list):
-                rows.append({
-                    "backend": backend, "protocol": protocol,
-                    "size_bytes": int(size), "reps": int(reps),
-                    "one_way_us": round(one_way * 1e6, 3),
-                    "bandwidth_MBps":
-                        round(size / one_way / 1e6, 2) if one_way > 0
-                        else 0.0,
-                })
-            if log:
-                peak = max(r["bandwidth_MBps"] for r in rows
-                           if r["backend"] == backend
-                           and r["protocol"] == protocol)
-                log(f"  {backend:>10} / {protocol:<10} "
-                    f"peak {peak:9.1f} MB/s")
+        for layout in layouts:
+            # SM has no wire protocol: one pass, recorded as "auto";
+            # the strided sweep is auto-only by design
+            backend_protocols = ("auto",) \
+                if backend == "threads-SM" or layout == "strided" \
+                else protocols
+            lay_sizes = sizes if layout == "contiguous" else strided_sizes
+            for protocol in backend_protocols:
+                limit = PROTOCOLS[protocol]
+                reps_list = [reps_for(s, quick) for s in lay_sizes]
+                if backend == "threads-SM":
+                    got = _run_threads(lay_sizes, reps_list, limit,
+                                       dm=False, layout=layout)
+                elif backend == "threads-DM":
+                    got = _run_threads(lay_sizes, reps_list, limit,
+                                       dm=True, layout=layout)
+                else:
+                    got = _run_procs(lay_sizes, reps_list, limit,
+                                     layout=layout)
+                for (size, one_way), reps in zip(got, reps_list):
+                    rows.append({
+                        "backend": backend, "protocol": protocol,
+                        "layout": layout,
+                        "size_bytes": int(size), "reps": int(reps),
+                        "one_way_us": round(one_way * 1e6, 3),
+                        "bandwidth_MBps":
+                            round(size / one_way / 1e6, 2) if one_way > 0
+                            else 0.0,
+                    })
+                if log:
+                    peak = max(r["bandwidth_MBps"] for r in rows
+                               if r["backend"] == backend
+                               and r["protocol"] == protocol
+                               and r["layout"] == layout)
+                    log(f"  {backend:>10} / {layout:<10} / "
+                        f"{protocol:<10} peak {peak:9.1f} MB/s")
     return rows
 
 
@@ -173,20 +247,25 @@ def carry_baseline(baseline: dict, rows) -> dict:
 
     The recorded pre-PR rows are the fixed anchor of the perf
     trajectory; regenerating the sweep keeps them and recomputes the
-    per-size improvement factors from the fresh threads-DM ``auto``
-    measurements, so ``--out`` over an existing artifact stays
+    per-(layout, size) improvement factors from the fresh threads-DM
+    ``auto`` measurements, so ``--out`` over an existing artifact stays
     self-consistent (and keeps passing ``benchmarks/test_p2p.py``).
+    Baseline rows without a ``layout`` field are contiguous (they
+    predate the strided sweep).
     """
-    base_by_size = {r["size_bytes"]: r for r in baseline.get("results", ())}
-    improv = {}
+    base_by_key = {(r.get("layout", "contiguous"), r["size_bytes"]): r
+                   for r in baseline.get("results", ())}
+    improv = {"contiguous": {}, "strided": {}}
     for r in rows:
+        key = (r.get("layout", "contiguous"), r["size_bytes"])
         if r["backend"] == "threads-DM" and r["protocol"] == "auto" \
-                and r["size_bytes"] in base_by_size:
-            improv[str(r["size_bytes"])] = round(
+                and key in base_by_key:
+            improv[key[0]][str(r["size_bytes"])] = round(
                 r["bandwidth_MBps"]
-                / base_by_size[r["size_bytes"]]["bandwidth_MBps"], 2)
+                / base_by_key[key]["bandwidth_MBps"], 2)
     out = dict(baseline)
-    out["improvement_vs_baseline_threads_DM"] = improv
+    out["improvement_vs_baseline_threads_DM"] = improv["contiguous"]
+    out["improvement_vs_baseline_threads_DM_strided"] = improv["strided"]
     return out
 
 
@@ -225,6 +304,7 @@ def validate_report(report: dict) -> list[str]:
         rows = []
     for i, row in enumerate(rows):
         for field, typ in (("backend", str), ("protocol", str),
+                           ("layout", str),
                            ("size_bytes", int), ("reps", int),
                            ("one_way_us", (int, float)),
                            ("bandwidth_MBps", (int, float))):
@@ -238,6 +318,9 @@ def validate_report(report: dict) -> list[str]:
             if row["protocol"] not in PROTOCOLS:
                 problems.append(f"results[{i}].protocol unknown: "
                                 f"{row['protocol']!r}")
+            if row["layout"] not in LAYOUTS:
+                problems.append(f"results[{i}].layout unknown: "
+                                f"{row['layout']!r}")
             if row["size_bytes"] <= 0 or row["one_way_us"] <= 0:
                 problems.append(f"results[{i}] non-positive measurement")
     return problems

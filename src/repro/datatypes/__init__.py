@@ -9,6 +9,7 @@ paper's proposed serialization extension.
 """
 
 from repro.datatypes.base import DatatypeImpl, PrimitiveInfo
+from repro.datatypes.layout import LayoutIR
 from repro.datatypes import primitives
 from repro.datatypes.primitives import (
     BYTE, CHAR, SHORT, BOOLEAN, INT, LONG, FLOAT, DOUBLE, PACKED, OBJECT,
@@ -22,7 +23,7 @@ from repro.datatypes.packing import (
 )
 
 __all__ = [
-    "DatatypeImpl", "PrimitiveInfo", "primitives",
+    "DatatypeImpl", "PrimitiveInfo", "LayoutIR", "primitives",
     "BYTE", "CHAR", "SHORT", "BOOLEAN", "INT", "LONG", "FLOAT", "DOUBLE",
     "PACKED", "OBJECT", "SHORT2", "INT2", "LONG2", "FLOAT2", "DOUBLE2",
     "BASIC_TYPES",

@@ -19,13 +19,18 @@ This representation makes packing vectorizable: the flat element indices for
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import MPIException, ERR_ARG, ERR_COUNT, ERR_TYPE
+from repro.datatypes.layout import LayoutIR
 
-#: Cache size for per-(count, offset) flattened index maps.
+#: Cache size for per-(count, offset) flattened index maps.  Eviction is
+#: LRU: a working set of persistent requests cycling through more than
+#: _INDEX_CACHE_MAX shapes drops only the coldest entry per miss instead
+#: of dumping every cached index map at once.
 _INDEX_CACHE_MAX = 32
 
 
@@ -66,8 +71,10 @@ class DatatypeImpl:
         self.freed = False
         #: pair types (INT2 &c.) are the only legal operands of MINLOC/MAXLOC
         self.is_pair = bool(is_pair)
-        self._index_cache: dict[tuple[int, int], np.ndarray] = {}
+        self._index_cache: OrderedDict[tuple[int, int], np.ndarray] = \
+            OrderedDict()
         self._contiguous: bool | None = None   # is_contiguous_layout cache
+        self._layout: LayoutIR | None = None   # run-length layout IR cache
 
     # -- inquiry (MPI_Type_size / extent / lb / ub) --------------------------
     @property
@@ -81,11 +88,13 @@ class DatatypeImpl:
 
     def lb_elems(self) -> int:
         """Lower bound, in elements (``MPI_Type_lb`` / element units)."""
-        return int(self.disp.min()) if self.size_elems else 0
+        # the layout IR caches min/max displacement; recomputing them
+        # with a reduction over ``disp`` sat on every window validation
+        return self.layout().span_lo if self.size_elems else 0
 
     def ub_elems(self) -> int:
         """Upper bound, in elements (``MPI_Type_ub`` / element units)."""
-        return int(self.disp.max()) + 1 if self.size_elems else 0
+        return self.layout().span_hi if self.size_elems else 0
 
     def lb_bytes(self) -> int:
         return self.lb_elems() * self.base.itemsize
@@ -109,24 +118,46 @@ class DatatypeImpl:
         this sits on the per-message send/receive fast path.
         """
         if self._contiguous is None:
-            n = self.size_elems
-            self._contiguous = bool(
-                n != 0 and self.extent_elems == n
-                and np.array_equal(self.disp,
-                                   np.arange(n, dtype=np.int64)))
+            self._contiguous = self.layout().contiguous
         return self._contiguous
+
+    def layout(self) -> LayoutIR:
+        """The run-length layout IR (built once, cached; see
+        :class:`~repro.datatypes.layout.LayoutIR`)."""
+        lay = self._layout
+        if lay is None:
+            self._check_alive()   # a freed type must not rebuild its IR
+            lay = self._layout = LayoutIR(self.disp, self.extent_elems,
+                                          self.base.itemsize)
+        return lay
 
     # -- lifecycle -----------------------------------------------------------
     def commit(self) -> None:
-        """``MPI_Type_commit`` — mark usable for communication."""
+        """``MPI_Type_commit`` — mark usable for communication.
+
+        Compiles the layout IR here, once: commit is MPI's declared
+        "optimize this type now" point, and every datapath consumer
+        (packing, iovec construction, direct landing, segment math)
+        reads the cached IR from then on.
+        """
         self._check_alive()
         self.committed = True
+        if not self.base.is_object:
+            self.layout()
 
     def free(self) -> None:
-        """``MPI_Type_free`` — release; further use is erroneous."""
+        """``MPI_Type_free`` — release; further use is erroneous.
+
+        Drops the cached index maps *and* the layout IR: a freed type's
+        compiled artifacts must not keep the (potentially large) arrays
+        alive, and any stale handle reuse fails loudly instead of
+        reading a cache.
+        """
         self._check_alive()
         self.freed = True
         self._index_cache.clear()
+        self._layout = None
+        self._contiguous = None
 
     def _check_alive(self) -> None:
         if self.freed:
@@ -145,11 +176,18 @@ class DatatypeImpl:
         key = (int(count), int(offset))
         hit = self._index_cache.get(key)
         if hit is not None:
+            try:
+                self._index_cache.move_to_end(key)
+            except KeyError:   # concurrently evicted by another rank
+                pass
             return hit
         starts = offset + np.arange(count, dtype=np.int64) * self.extent_elems
         idx = np.add.outer(starts, self.disp).ravel()
-        if len(self._index_cache) >= _INDEX_CACHE_MAX:
-            self._index_cache.clear()
+        while len(self._index_cache) >= _INDEX_CACHE_MAX:
+            try:
+                self._index_cache.popitem(last=False)  # evict LRU only
+            except KeyError:   # another rank emptied it concurrently
+                break
         self._index_cache[key] = idx
         return idx
 

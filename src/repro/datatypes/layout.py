@@ -1,0 +1,349 @@
+"""Layout IR: the canonical run-length form of a datatype's selection.
+
+A committed datatype's displacement map compiles into a small list of
+*dense runs* — ``(element start, element length)`` pairs in serialization
+order — plus the outer ``extent`` stride that repeats the pattern per
+instance.  Every datapath consumer operates on runs instead of flat
+element indices:
+
+* :func:`~repro.datatypes.packing.gather_elements` /
+  ``scatter_elements`` move one 2-D strided block per run (``nruns``
+  NumPy copies for *any* count) instead of fabricating a
+  ``count x size`` index array and fancy-indexing through it;
+* :func:`~repro.runtime.buffers.extract_send_payload` hands wire
+  transports a multi-view iovec (one byte view per run) so noncontiguous
+  sends ship with a single vectored ``sendmsg`` — no gather copy at all;
+* posted receives expose per-run writable views, so eager direct landing
+  and rendezvous streaming ``recv_into`` the user buffer's runs directly
+  (zero pack/unpack staging);
+* pipelined collectives land dense segments with :meth:`LayoutIR.
+  scatter_range`, walking only the runs a segment overlaps.
+
+The IR is built once (``DatatypeImpl.commit`` — or lazily on first use)
+and cached on the type; ``free()`` invalidates it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+__all__ = ["LayoutIR", "WIRE_IOV_CAP", "WIRE_MIN_AVG_RUN_BYTES"]
+
+#: cached (offset, nelems) -> byte-span tables per layout; fixed-size
+#: messaging patterns (pingpongs, halo exchanges, persistent requests)
+#: reuse one shape every message
+_SPAN_CACHE_MAX = 8
+
+#: hard cap on iovec entries per wire message (Linux IOV_MAX is 1024;
+#: one slot is reserved for the frame header)
+WIRE_IOV_CAP = 1023
+
+#: below this *average* run size the per-view Python overhead beats the
+#: staging copy it would avoid — such layouts take the dense gather path
+WIRE_MIN_AVG_RUN_BYTES = 512
+
+
+class LayoutIR:
+    """Run-length layout of one datatype instance, extent-repeatable.
+
+    ``run_starts[k]`` is the element offset (relative to the instance
+    origin, may be negative for negative-stride types) of run ``k``;
+    ``run_lens[k]`` its length in elements; ``run_dense[k]`` its start
+    position in the dense (serialized) element stream.  Instance ``i``
+    of a ``count``-instance window shifts every run by
+    ``i * extent_elems``.
+    """
+
+    __slots__ = ("itemsize", "extent_elems", "size_elems", "nruns",
+                 "run_starts", "run_lens", "run_dense", "span_lo",
+                 "span_hi", "contiguous", "monotonic", "uniform",
+                 "run_stride", "use_runs", "_span_cache")
+
+    def __init__(self, disp, extent_elems: int, itemsize: int):
+        disp = np.ascontiguousarray(disp, dtype=np.int64)
+        n = int(disp.shape[0])
+        self.itemsize = int(itemsize)
+        self.extent_elems = int(extent_elems)
+        self.size_elems = n
+        if n == 0:
+            self.run_starts = np.empty(0, dtype=np.int64)
+            self.run_lens = np.empty(0, dtype=np.int64)
+            self.run_dense = np.empty(0, dtype=np.int64)
+            self.nruns = 0
+            self.span_lo = self.span_hi = 0
+            self.contiguous = False
+            self.monotonic = True
+        else:
+            d = np.diff(disp)
+            starts_idx = np.concatenate(
+                ([0], np.flatnonzero(d != 1) + 1)).astype(np.int64)
+            ends_idx = np.concatenate((starts_idx[1:], [n]))
+            self.run_starts = disp[starts_idx]
+            self.run_lens = ends_idx - starts_idx
+            self.run_dense = starts_idx
+            self.nruns = int(starts_idx.shape[0])
+            self.span_lo = int(disp.min())
+            self.span_hi = int(disp.max()) + 1
+            self.contiguous = bool(self.nruns == 1
+                                   and self.run_starts[0] == 0
+                                   and self.extent_elems == n)
+            self.monotonic = bool(n == 1 or np.all(d > 0))
+        # uniform = equal-length runs at a constant inner stride (every
+        # Vector/Hvector, and any regular Indexed): the whole selection
+        # is then ONE strided block — count instances move with a single
+        # 3-D strided copy regardless of nruns
+        if self.nruns >= 2:
+            sdiff = np.diff(self.run_starts)
+            self.uniform = bool(
+                np.all(self.run_lens == self.run_lens[0])
+                and np.all(sdiff == sdiff[0]))
+            self.run_stride = int(sdiff[0]) if self.uniform else 0
+        else:
+            self.uniform = self.nruns == 1
+            self.run_stride = 0
+        # Copy-strategy choice.  A uniform layout is one strided copy —
+        # always beats the index fabric.  An irregular layout pays one
+        # NumPy call (~us) per run, so with many irregular runs the
+        # single fancy-indexed gather wins.  Negative extents (only
+        # constructible by hand) stay on the index path: the
+        # strided-view bounds reasoning below assumes extent >= 0.
+        self.use_runs = bool(
+            n > 0 and self.extent_elems >= 0
+            and (self.uniform or self.nruns <= 32))
+        self._span_cache: OrderedDict[tuple[int, int], tuple] = \
+            OrderedDict()
+
+    # -- safety predicates --------------------------------------------------
+    def scatter_safe(self, count: int) -> bool:
+        """May runs be *written* with strided block copies?
+
+        Requires disjoint destinations: serialization order must be
+        memory order within an instance (monotonic displacements) and
+        consecutive instances must not interleave (extent covers the
+        span).  Overlapping layouts fall back to fancy indexing, whose
+        last-write-wins order the run walk could not reproduce with
+        vectorized per-run copies.
+        """
+        if not self.monotonic:
+            return False
+        return count <= 1 or self.extent_elems >= self.span_hi - self.span_lo
+
+    def wire_friendly(self, nelems: int) -> bool:
+        """Is a ``nelems``-element message worth shipping as an iovec?"""
+        if self.size_elems == 0 or nelems <= 0:
+            return False
+        if self.contiguous:
+            return True
+        instances = -(-nelems // self.size_elems)
+        entries = instances * self.nruns
+        return (entries <= WIRE_IOV_CAP
+                and nelems * self.itemsize
+                >= entries * WIRE_MIN_AVG_RUN_BYTES)
+
+    # -- block gather / scatter (whole instances) ---------------------------
+    def _window(self, buf: np.ndarray, offset: int, count: int):
+        """Strided view of the whole ``(count, nruns, runlen)`` selection.
+
+        Only for uniform layouts: instance stride = extent, run stride =
+        the constant inner stride.  The caller has validated the window,
+        so the view is in bounds.
+        """
+        est = buf.strides[0]
+        return as_strided(
+            buf[int(offset + self.run_starts[0]):],
+            shape=(count, self.nruns, int(self.run_lens[0])),
+            strides=(self.extent_elems * est, self.run_stride * est, est))
+
+    def gather(self, buf: np.ndarray, offset: int,
+               count: int) -> np.ndarray:
+        """Dense copy of ``count`` instances via strided block copies.
+
+        Uniform layouts move in ONE 3-D strided copy; irregular layouts
+        pay one 2-D copy per run (source rows = the run's position in
+        each instance).  Either way there is no index fabric.  The
+        caller has validated the window, so every strided view below is
+        in bounds.
+        """
+        out = np.empty(count * self.size_elems, dtype=buf.dtype)
+        if count == 0 or self.size_elems == 0:
+            return out
+        if self.uniform:
+            out.reshape(count, self.nruns,
+                        int(self.run_lens[0]))[:] = \
+                self._window(buf, offset, count)
+            return out
+        dense = out.reshape(count, self.size_elems)
+        est = buf.strides[0]
+        row = self.extent_elems * est
+        for s, ln, dn in zip(self.run_starts, self.run_lens,
+                             self.run_dense):
+            src = as_strided(buf[int(offset + s):], shape=(count, int(ln)),
+                             strides=(row, est))
+            dense[:, int(dn):int(dn + ln)] = src
+        return out
+
+    def scatter(self, buf: np.ndarray, offset: int, count: int,
+                data: np.ndarray) -> None:
+        """Inverse of :meth:`gather`; caller checked :meth:`scatter_safe`."""
+        if count == 0 or self.size_elems == 0:
+            return
+        if self.uniform:
+            self._window(buf, offset, count)[:] = \
+                data[:count * self.size_elems].reshape(
+                    count, self.nruns, int(self.run_lens[0]))
+            return
+        dense = data[:count * self.size_elems].reshape(count,
+                                                       self.size_elems)
+        est = buf.strides[0]
+        row = self.extent_elems * est
+        for s, ln, dn in zip(self.run_starts, self.run_lens,
+                             self.run_dense):
+            dst = as_strided(buf[int(offset + s):], shape=(count, int(ln)),
+                             strides=(row, est))
+            dst[:, :] = dense[:, int(dn):int(dn + ln)]
+
+    # -- dense-range walking (segments, partial messages, iovecs) ----------
+    def element_pieces(self, offset: int, elem_lo: int,
+                       elem_hi: int) -> list[tuple[int, int]]:
+        """``(buffer element start, length)`` pieces, serialization order.
+
+        Covers dense element positions ``[elem_lo, elem_hi)`` of a
+        window of instances starting at buffer element ``offset`` —
+        the run-walk behind segment landing, partial-message landing
+        and iovec construction.
+        """
+        pieces: list[tuple[int, int]] = []
+        size = self.size_elems
+        if size == 0:
+            return pieces
+        rd, rl, rs = self.run_dense, self.run_lens, self.run_starts
+        ext = self.extent_elems
+        e = elem_lo
+        while e < elem_hi:
+            inst, de = divmod(e, size)
+            k = int(np.searchsorted(rd, de, side="right")) - 1
+            intra = de - int(rd[k])
+            take = min(int(rl[k]) - intra, elem_hi - e)
+            pieces.append((offset + inst * ext + int(rs[k]) + intra, take))
+            e += take
+        return pieces
+
+    def scatter_range(self, buf, offset: int, data,
+                      elem_lo: int) -> None:
+        """Land dense elements ``elem_lo..`` into the selected positions.
+
+        Sequential per-piece slice copies in serialization order, so
+        overlapping layouts keep fancy indexing's last-write-wins
+        outcome.  Used by pipelined collective segments and partial
+        trailing instances, where the 2-D block form does not apply.
+        """
+        n = len(data)
+        nbuf = len(buf)
+        pos = 0
+        for start, take in self.element_pieces(offset, elem_lo,
+                                               elem_lo + n):
+            if start < 0 or start + take > nbuf:
+                # same failure mode as the legacy fancy-indexed landing:
+                # slice assignment would silently clamp, which must not
+                # mask an out-of-window message
+                raise IndexError(
+                    f"run [{start},{start + take}) outside buffer of "
+                    f"length {nbuf}")
+            buf[start:start + take] = data[pos:pos + take]
+            pos += take
+
+    def byte_spans(self, offset: int,
+                   nelems: int) -> tuple[list, list, int, int]:
+        """``(starts, ends, lo, hi)`` byte-span tables, in serialization
+        order, covering ``nelems`` dense elements at element ``offset``.
+
+        Adjacent-in-memory pieces are merged (a contiguous tail after a
+        strided head becomes one span); ``lo``/``hi`` bound the touched
+        byte range for the caller's window check.  Cached per
+        ``(offset, nelems)`` with LRU eviction: fixed-shape messaging
+        patterns pay the vectorized construction once.
+        """
+        key = (offset, nelems)
+        hit = self._span_cache.get(key)
+        if hit is not None:
+            try:
+                self._span_cache.move_to_end(key)
+            except KeyError:   # concurrently evicted by another rank
+                pass
+            return hit
+        size = self.size_elems
+        full, part = divmod(nelems, size)
+        grids = []
+        if full:
+            if full == 1:
+                grids.append((offset + self.run_starts, self.run_lens))
+            else:
+                inst = np.arange(full, dtype=np.int64) * self.extent_elems
+                starts = (offset + np.add.outer(
+                    inst, self.run_starts)).ravel()
+                lens = np.broadcast_to(
+                    self.run_lens, (full, self.nruns)).ravel()
+                grids.append((starts, lens))
+        if part:
+            # partial trailing instance: the run prefix covering its
+            # first ``part`` dense elements
+            k = int(np.searchsorted(self.run_dense, part - 1,
+                                    side="right")) - 1
+            base = offset + full * self.extent_elems
+            pstarts = base + self.run_starts[:k + 1]
+            plens = self.run_lens[:k + 1].copy()
+            plens[k] = part - int(self.run_dense[k])
+            grids.append((pstarts, plens))
+        if len(grids) == 1:
+            starts, lens = grids[0]
+        else:
+            starts = np.concatenate([g[0] for g in grids])
+            lens = np.concatenate([g[1] for g in grids])
+        isz = self.itemsize
+        a = starts * isz
+        b = a + lens * isz
+        if len(a) > 1:
+            # merge pieces that are adjacent in memory (and in order)
+            new_span = np.empty(len(a), dtype=bool)
+            new_span[0] = True
+            np.not_equal(a[1:], b[:-1], out=new_span[1:])
+            if not new_span.all():
+                last = np.flatnonzero(
+                    np.concatenate((new_span[1:], [True])))
+                a, b = a[new_span], b[last]
+        entry = (a.tolist(), b.tolist(), int(a.min()), int(b.max()))
+        while len(self._span_cache) >= _SPAN_CACHE_MAX:
+            try:
+                self._span_cache.popitem(last=False)
+            except KeyError:   # another rank emptied it concurrently
+                break
+        self._span_cache[key] = entry
+        return entry
+
+    def byte_views(self, buf: np.ndarray, offset: int,
+                   nelems: int) -> list[memoryview] | None:
+        """Byte views of the selected runs, serialization order.
+
+        The iovec of a zero-copy wire message: a vectored send ships
+        them as-is, a direct-landing receive streams into them.  Built
+        from the cached :meth:`byte_spans` tables — on the steady state
+        of a fixed-shape exchange this is just one ``memoryview`` slice
+        per span.  Returns None when any span falls outside ``buf`` —
+        callers then take the staged path, which reports the proper MPI
+        error.
+        """
+        if self.size_elems == 0 or nelems <= 0:
+            return []
+        starts, ends, lo, hi = self.byte_spans(offset, nelems)
+        if lo < 0 or hi > buf.nbytes:
+            return None
+        mv = memoryview(buf).cast("B")
+        return [mv[x:y] for x, y in zip(starts, ends)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"LayoutIR(runs={self.nruns}, size={self.size_elems}, "
+                f"extent={self.extent_elems}, "
+                f"{'contiguous' if self.contiguous else 'strided'})")

@@ -1,9 +1,13 @@
 """Element gather/scatter and ``MPI_Pack``/``MPI_Unpack``.
 
-The hot paths are fully vectorized: a derived type's selection is a
-precomputed flat index array (cached on the type), so packing a strided
-section is one NumPy fancy-indexing operation rather than a Python loop —
-the idiom the HPC guides call for.
+The hot paths operate on the datatype's layout IR (see
+:mod:`repro.datatypes.layout`): a derived type's selection compiles to a
+handful of dense runs, and gathering/scattering a strided section is one
+2-D block copy *per run* — no ``count x size`` index fabric on the hot
+path.  Layouts the IR cannot serve (many tiny runs, overlapping or
+non-monotonic selections, hand-built negative extents) fall back to the
+legacy cached-flat-index fancy-indexing path, which remains the
+semantic reference.
 """
 
 from __future__ import annotations
@@ -40,12 +44,15 @@ def gather_elements(buf, offset: int, count: int,
     """
     datatype._check_alive()
     _validate_window(buf, offset, datatype, count)
-    if datatype.is_contiguous_layout():
+    lay = datatype.layout()
+    if lay.contiguous:
         # always a real copy: eager sends park the payload in the
         # receiver's unexpected queue, and MPI lets the sender reuse the
         # buffer the moment the send returns
         n = count * datatype.size_elems
         return buf[offset:offset + n].copy()
+    if lay.use_runs:
+        return lay.gather(buf, offset, count)
     idx = datatype.flat_indices(count, offset)
     return buf[idx]
 
@@ -59,8 +66,12 @@ def scatter_elements(buf, offset: int, count: int, datatype: DatatypeImpl,
     if len(data) < need:
         raise MPIException(ERR_TRUNCATE,
                            f"have {len(data)} elements, need {need}")
-    if datatype.is_contiguous_layout():
+    lay = datatype.layout()
+    if lay.contiguous:
         buf[offset:offset + need] = data[:need]
+        return
+    if lay.use_runs and lay.scatter_safe(count):
+        lay.scatter(buf, offset, count, data)
         return
     idx = datatype.flat_indices(count, offset)
     buf[idx] = data[:need]

@@ -18,9 +18,11 @@ import numpy as np
 from repro.errors import (MPIException, ERR_BUFFER, ERR_COUNT, ERR_TRUNCATE,
                           ERR_TYPE, SUCCESS)
 from repro.datatypes.base import DatatypeImpl
-from repro.datatypes.packing import gather_elements, scatter_elements
+from repro.datatypes.packing import (_validate_window, gather_elements,
+                                     scatter_elements)
 from repro.datatypes.object_serial import (deserialize_objects,
                                            serialize_objects)
+from repro.runtime.envelope import IOVecPayload
 
 
 def validate_buffer(buf, offset: int, count: int,
@@ -64,56 +66,81 @@ def validate_buffer(buf, offset: int, count: int,
 
 def extract_send_payload(buf, offset: int, count: int,
                          datatype: DatatypeImpl, allow_view: bool = False):
-    """Gather the message into its dense wire form.
+    """Gather the message into its wire form.
 
     Returns ``(payload, nelems, is_object)`` where payload is a dense
-    ndarray of base elements, or a pickled blob for ``MPI.OBJECT``.
+    ndarray of base elements, a pickled blob for ``MPI.OBJECT``, or —
+    under ``allow_view=True`` — a zero-copy borrow of the user buffer.
 
-    ``allow_view=True`` permits returning a *view* of the user buffer for
-    contiguous layouts (no gather copy at all).  Only the rendezvous send
-    path may ask for this: its request completes when the payload has
-    been streamed, which is exactly when MPI lets the user touch the
-    buffer again — eager sends complete immediately and therefore always
-    need the private copy.
+    ``allow_view=True`` permits borrowing the user buffer instead of
+    gather-copying: a plain view for contiguous layouts, a per-run
+    :class:`~repro.runtime.envelope.IOVecPayload` for noncontiguous
+    layouts the IR deems wire-friendly.  Only wire send paths may ask
+    for this: their requests complete once the bytes have been flushed
+    (``on_flushed``), which is exactly when MPI lets the user touch the
+    buffer again — SM handoffs pass references to the receiver and
+    therefore always need the private copy.
     """
     validate_buffer(buf, offset, count, datatype)
     if datatype.base.is_object:
         blob = serialize_objects(list(buf[offset:offset + count]))
         return blob, count, True
-    if allow_view and datatype.is_contiguous_layout():
+    if allow_view:
+        lay = datatype.layout()
+        if lay.contiguous:
+            n = count * datatype.size_elems
+            return buf[offset:offset + n], n, False
         n = count * datatype.size_elems
-        return buf[offset:offset + n], n, False
+        if lay.wire_friendly(n) and buf.flags.c_contiguous:
+            _validate_window(buf, offset, datatype, count)
+            views = lay.byte_views(buf, offset, n)
+            if views is not None:
+                return (IOVecPayload(views, datatype.base.np_dtype,
+                                     n * datatype.base.itemsize),
+                        n, False)
     dense = gather_elements(buf, offset, count, datatype)
     return dense, int(dense.shape[0]), False
 
 
-def recv_byte_view(buf, offset: int, count: int, datatype: DatatypeImpl,
-                   env) -> memoryview | None:
-    """Writable byte view of the receive window for zero-copy landing.
+def recv_byte_views(buf, offset: int, count: int, datatype: DatatypeImpl,
+                    env) -> list[memoryview] | None:
+    """Writable byte views of the receive window for zero-copy landing.
 
-    The rendezvous fast path streams a payload from the socket directly
-    into the posted user buffer with ``recv_into`` — legal only when the
-    landing would have been a plain contiguous slice assignment.  ``env``
-    is the KIND_RTS envelope announcing the payload (element count,
-    dtype, size).  Returns None whenever the full landing logic must run
-    instead (object data, derived layouts, dtype disagreement,
-    truncation): the transport then stages through its pool and
-    :func:`land_payload` reports the proper MPI error.
+    The direct-landing fast paths (rendezvous streaming and the eager
+    header-peek) move payload bytes from the socket straight into the
+    posted user buffer with ``recv_into`` — legal exactly when the
+    landing is a sequence of dense slice assignments.  For contiguous
+    layouts that is one view; for derived layouts the IR's per-run
+    views, in serialization order, so streaming the dense wire payload
+    into them *is* the scatter.  ``env`` is the envelope announcing the
+    payload (element count, dtype, size).  Returns None whenever the
+    full landing logic must run instead (object data, dtype
+    disagreement, truncation, wire-unfriendly layouts): the transport
+    then stages through its pool and :func:`land_payload` reports the
+    proper MPI error.
     """
     if datatype.base.is_object or env.is_object:
         return None
     if env.rndv_dtype != datatype.base.np_dtype:
         return None
-    if not datatype.is_contiguous_layout():
-        return None
     nelems = env.nelems
     if nelems <= 0 or nelems > count * datatype.size_elems:
         return None
-    window = buf[offset:offset + nelems]
-    if window.nbytes != env.rndv_nbytes or not window.flags.c_contiguous \
-            or not window.flags.writeable:
+    lay = datatype.layout()
+    if lay.contiguous:
+        window = buf[offset:offset + nelems]
+        if window.nbytes != env.rndv_nbytes \
+                or not window.flags.c_contiguous \
+                or not window.flags.writeable:
+            return None
+        return [memoryview(window).cast("B")]
+    if not lay.wire_friendly(nelems):
         return None
-    return memoryview(window).cast("B")
+    if not buf.flags.c_contiguous or not buf.flags.writeable:
+        return None
+    if nelems * datatype.base.itemsize != env.rndv_nbytes:
+        return None
+    return lay.byte_views(buf, offset, nelems)
 
 
 class _DenseEnv:
@@ -181,8 +208,13 @@ def land_payload(buf, offset: int, count: int, datatype: DatatypeImpl,
     full, part = divmod(nelems, datatype.size_elems)
     if part == 0:
         scatter_elements(buf, offset, full, datatype, payload)
+    elif datatype.layout().use_runs:
+        # partial trailing instance: the IR run walk lands exactly the
+        # first nelems dense positions, in serialization order
+        datatype.layout().scatter_range(buf, offset, payload, 0)
     else:
-        # partial trailing instance: land element-by-element via index map
+        # IR-unfriendly layout (many tiny irregular runs): cached index
+        # map, as before
         idx = datatype.flat_indices(count, offset)[:nelems]
         buf[idx] = payload
     return nelems, SUCCESS, ""

@@ -138,6 +138,11 @@ def land_dense_segment(buf, offset, count, datatype, data,
     """Land one pipeline segment (dense base elements ``elem_lo``..) into
     the user buffer — the per-segment analogue of :func:`land_contrib`,
     so pipelined algorithms never materialize the concatenated message.
+
+    Derived layouts land through the IR run walk
+    (:meth:`~repro.datatypes.layout.LayoutIR.scatter_range`): only the
+    runs the segment overlaps are touched, with slice copies — no
+    full-window index fabric per segment.
     """
     n = int(data.shape[0])
     if n == 0:
@@ -146,9 +151,14 @@ def land_dense_segment(buf, offset, count, datatype, data,
         raise MPIException(ERR_TYPE,
                            f"segment of {data.dtype} elements received "
                            f"into {datatype.base.name} buffer")
-    if datatype.is_contiguous_layout():
+    lay = datatype.layout()
+    if lay.contiguous:
         buf[offset + elem_lo:offset + elem_lo + n] = data
+    elif lay.use_runs:
+        lay.scatter_range(buf, offset, data, elem_lo)
     else:
+        # many tiny irregular runs: the cached index map beats a
+        # per-piece Python walk (same fallback as packing.py)
         idx = datatype.flat_indices(count, offset)[elem_lo:elem_lo + n]
         buf[idx] = data
 

@@ -21,7 +21,7 @@ from repro.errors import (MPIException, SUCCESS, ERR_ARG, ERR_COMM,
                           ERR_INTERN, ERR_OTHER, ERR_RANK, ERR_TAG)
 from repro.datatypes.base import DatatypeImpl
 from repro.runtime.buffers import extract_send_payload, land_payload, \
-    recv_byte_view, validate_buffer
+    recv_byte_views, validate_buffer
 from repro.runtime.consts import (ANY_SOURCE, ANY_TAG, CART, CONGRUENT,
                                   GRAPH, IDENT, PROC_NULL, SIMILAR, TAG_UB,
                                   UNDEFINED, UNEQUAL)
@@ -265,22 +265,28 @@ class CommImpl:
                          dest_world: int, mode: int) -> bool:
         """Can this send borrow the user buffer instead of gather-copying?
 
-        True for contiguous primitive standard/synchronous sends over a
-        wire transport.  The wire path never needs a private copy: an
-        eager frame's bytes are in the kernel when ``sendall`` returns
-        (the request completes on flush), and a rendezvous payload is
-        streamed before its request completes — either way the buffer is
-        only handed back to the user once the wire is done with it.  SM
-        transports pass payload references to the receiver, so they keep
-        the gather copy.
+        True for standard/synchronous sends of wire-friendly layouts
+        over a wire transport: contiguous windows borrow a plain view,
+        derived layouts whose run IR fits an iovec
+        (:meth:`LayoutIR.wire_friendly`) borrow one byte view per run.
+        The wire path never needs a private copy: an eager frame's bytes
+        are in the kernel when ``sendall`` returns (the request
+        completes on flush), and a rendezvous payload is streamed before
+        its request completes — either way the buffer is only handed
+        back to the user once the wire is done with it.  SM transports
+        pass payload references to the receiver, so they keep the
+        gather copy.
         """
         if mode not in (MODE_STANDARD, MODE_SYNCHRONOUS):
             return False
-        if datatype.base.is_object or not datatype.is_contiguous_layout():
+        if datatype.base.is_object:
             return False
         if dest_world == self.rt.world_rank:
             return False
-        return getattr(self.universe.transport, "mode", "SM") == "DM"
+        if getattr(self.universe.transport, "mode", "SM") != "DM":
+            return False
+        return datatype.layout().wire_friendly(
+            count * datatype.size_elems)
 
     def isend(self, buf, offset: int, count: int, datatype: DatatypeImpl,
               dest: int, tag: int,
@@ -319,13 +325,14 @@ class CommImpl:
         def land(env):
             return land_payload(buf, offset, count, datatype, env)
 
-        def recv_view(env):
-            # rendezvous fast path: writable window for direct recv_into
-            return recv_byte_view(buf, offset, count, datatype, env)
+        def recv_views(env):
+            # direct-landing fast path: writable per-run windows for
+            # recv_into straight off the socket (contiguous or strided)
+            return recv_byte_views(buf, offset, count, datatype, env)
 
         self.rt.mailbox.post_recv(req, self._source_world(source), tag,
                                   self.ctx_pt2pt, land,
-                                  recv_view=recv_view)
+                                  recv_views=recv_views)
         return req
 
     def recv(self, buf, offset, count, datatype, source, tag) -> RequestImpl:
@@ -444,8 +451,11 @@ class CommImpl:
         rreq.wait()
         n = rreq.count_elements
         if source != PROC_NULL and n:
-            idx = datatype.flat_indices(count, offset)[:n]
-            buf[idx] = inbox[:n]
+            if datatype.layout().use_runs:
+                datatype.layout().scatter_range(buf, offset, inbox[:n], 0)
+            else:
+                idx = datatype.flat_indices(count, offset)[:n]
+                buf[idx] = inbox[:n]
         return rreq
 
     # ======================================================================

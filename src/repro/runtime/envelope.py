@@ -49,6 +49,32 @@ def dtype_code_of(payload) -> str:
     return _CODE_BY_DTYPE[payload.dtype]
 
 
+class IOVecPayload:
+    """A zero-copy multi-run payload: byte views of the user buffer.
+
+    Noncontiguous (derived-datatype) wire sends carry one of these
+    instead of a gathered dense array: ``views`` are the layout IR's
+    per-run byte views, in serialization order, and the transport ships
+    them with a single vectored ``sendmsg([header, run0, run1, ...])``.
+    Like any borrowed-view payload, the views are valid only until the
+    send's ``on_flushed`` fires — which is exactly when the request
+    completes and the user may touch the buffer again.
+
+    Only sender-side wire paths ever see one (loopback and SM transports
+    keep the dense gather copy), so the receive/landing machinery never
+    has to decode it: on the wire it is indistinguishable from a dense
+    payload of ``dtype`` elements.
+    """
+
+    __slots__ = ("views", "dtype", "nbytes")
+
+    def __init__(self, views, dtype, nbytes=None):
+        self.views = views
+        self.dtype = dtype
+        self.nbytes = sum(len(v) for v in views) if nbytes is None \
+            else nbytes
+
+
 class Envelope:
     """One message in flight (or one control record)."""
 
@@ -103,7 +129,7 @@ class Envelope:
             return self.rndv_nbytes if self.kind == KIND_RTS else 0
         if isinstance(self.payload, (bytes, bytearray, memoryview)):
             return len(self.payload)
-        return self.payload.nbytes
+        return self.payload.nbytes    # ndarray and IOVecPayload alike
 
     def claim(self) -> "Envelope":
         """Take ownership of a borrowed payload (copy it out of the pool).
@@ -136,15 +162,17 @@ FLAG_OBJECT = 1
 HEADER_SIZE = HEADER.size
 
 
-def encode(env: Envelope) -> tuple[bytes, memoryview]:
-    """Encode an envelope into (header, payload-view) for a byte stream.
+def encode(env: Envelope) -> tuple[bytes, object]:
+    """Encode an envelope into (header, body) for a byte stream.
 
     The body is a *view* of the envelope's payload (zero-copy): dense
     NumPy payloads are exposed through the buffer protocol byte-for-byte
-    rather than copied with ``tobytes()``.  Callers hand both pieces to a
-    vectored write (``socket.sendmsg``); the view is only valid while the
-    payload array is alive, which the envelope guarantees.
+    rather than copied with ``tobytes()``, and an :class:`IOVecPayload`
+    passes its run views through as a **list**.  Callers hand both
+    pieces to a vectored write (``socket.sendmsg``); the views are only
+    valid while the payload is alive, which the envelope guarantees.
     """
+    nbytes = None
     if env.payload is None:
         body = memoryview(b"")
         code = b"--"
@@ -152,6 +180,10 @@ def encode(env: Envelope) -> tuple[bytes, memoryview]:
         body = memoryview(env.payload) if not isinstance(env.payload, memoryview) \
             else env.payload
         code = OBJECT_CODE.encode()
+    elif type(env.payload) is IOVecPayload:
+        body = env.payload.views
+        nbytes = env.payload.nbytes
+        code = dtype_code_of(env.payload).encode()
     else:
         payload = env.payload
         if not payload.flags.c_contiguous:
@@ -161,7 +193,7 @@ def encode(env: Envelope) -> tuple[bytes, memoryview]:
     flags = FLAG_OBJECT if env.is_object else 0
     header = HEADER.pack(env.kind, env.src, env.dst, env.context, env.tag,
                          env.mode, env.seq, env.nelems, flags, code,
-                         len(body))
+                         len(body) if nbytes is None else nbytes)
     return header, body
 
 

@@ -44,26 +44,27 @@ from repro.runtime.requests import RequestImpl
 #: (count_elements, error_code, error_message)
 LandFn = Callable[[Envelope], tuple[int, int, str]]
 
-#: optional hook giving the transport a writable byte view of the posted
-#: receive window (rendezvous zero-copy landing); None = stage + land
-RecvViewFn = Callable[[Envelope], Optional[memoryview]]
+#: optional hook giving the transport the writable byte views of the
+#: posted receive window — one per layout run, a single view for
+#: contiguous layouts (zero-copy direct landing); None = stage + land
+RecvViewsFn = Callable[[Envelope], Optional[list]]
 
 
 class PostedRecv:
     """A receive waiting in the posted queue."""
 
     __slots__ = ("req", "source_world", "tag", "context", "land",
-                 "recv_view", "order")
+                 "recv_views", "order")
 
     def __init__(self, req: RequestImpl, source_world: int, tag: int,
                  context: int, land: LandFn,
-                 recv_view: RecvViewFn | None = None):
+                 recv_views: RecvViewsFn | None = None):
         self.req = req
         self.source_world = source_world
         self.tag = tag
         self.context = context
         self.land = land
-        self.recv_view = recv_view
+        self.recv_views = recv_views
         self.order = 0
 
     @property
@@ -187,28 +188,30 @@ class Mailbox:
 
         ``env`` is header-only (the pump peeked the frame header); its
         ``rndv_dtype``/``rndv_nbytes`` announce the payload.  When the
-        earliest matching posted receive accepts a direct byte view, the
-        receive is *consumed* here — the pump then streams the payload
-        straight into the user buffer and completes the request, exactly
-        as a linear-scan match-then-land would have, minus the staging
-        copy.  Returns ``(posted, view)`` or None (normal path).
+        earliest matching posted receive accepts direct byte views —
+        a contiguous window *or* a derived layout described by the
+        type's run IR — the receive is *consumed* here: the pump then
+        streams the payload straight into the user buffer's runs and
+        completes the request, exactly as a match-then-land would have,
+        minus the staging copy and the scatter.  Returns
+        ``(posted, views)`` or None (normal path).
         """
         with self._lock:
             posted = self._select_posted(env)
-            if posted is None or posted.recv_view is None:
+            if posted is None or posted.recv_views is None:
                 return None
-            view = posted.recv_view(env)
-            if view is None:
+            views = posted.recv_views(env)
+            if views is None:
                 return None
             self._remove_posted(posted)
-        return posted, view
+        return posted, views
 
     # -- receives --------------------------------------------------------------
     def post_recv(self, req: RequestImpl, source_world: int, tag: int,
                   context: int, land: LandFn,
-                  recv_view: RecvViewFn | None = None) -> None:
+                  recv_views: RecvViewsFn | None = None) -> None:
         posted = PostedRecv(req, source_world, tag, context, land,
-                            recv_view)
+                            recv_views)
         with self._lock:
             env = self._match_unexpected(posted)
             if env is None:

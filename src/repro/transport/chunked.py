@@ -15,7 +15,7 @@ import threading
 
 import numpy as np
 
-from repro.runtime.envelope import Envelope, KIND_DATA
+from repro.runtime.envelope import Envelope, IOVecPayload, KIND_DATA
 from repro.transport.base import Transport
 from repro.transport.inproc import InprocTransport
 
@@ -72,6 +72,14 @@ class ChunkedTransport(Transport):
 
     def _stage(self, payload):
         """Copy the payload packet-by-packet through a staging buffer."""
+        if isinstance(payload, IOVecPayload):
+            # a zero-copy run iovec cannot ride through the ADI model's
+            # staging packets as views; materialize it dense first (the
+            # ablation charges the staging copy either way)
+            dense = np.frombuffer(
+                b"".join(bytes(v) for v in payload.views),
+                dtype=payload.dtype)
+            return self._stage_array(dense)
         if isinstance(payload, (bytes, bytearray, memoryview)):
             raw = np.frombuffer(bytes(payload), dtype=np.uint8)
             out = self._stage_array(raw)

@@ -9,9 +9,13 @@ socketpairs) and :class:`~repro.transport.socket_tcp.TCPMeshTransport`
 * **Vectored framed I/O** — header and payload go out in a single
   ``socket.sendmsg([header, view])`` call (one syscall, zero payload
   copies on the send side: :func:`repro.runtime.envelope.encode` returns
-  buffer views, not ``tobytes()`` copies).  Receives land through
-  ``recv_into`` on a pooled, reusable buffer (:class:`RecvPool`) instead
-  of ``recv``'s chunk-list-and-join.
+  buffer views, not ``tobytes()`` copies).  Noncontiguous (derived
+  datatype) payloads ride the same syscall as a run iovec —
+  ``sendmsg([header, run0, run1, ...])`` — with no gather copy at all.
+  Receives land through ``recv_into`` on a pooled, reusable buffer
+  (:class:`RecvPool`) instead of ``recv``'s chunk-list-and-join; posted
+  strided receives land via scattering ``recvmsg_into`` over the layout
+  IR's per-run views.
 * **Eager/rendezvous protocol** — payloads at or above
   :func:`eager_limit` bytes do not travel with their header.  The sender
   parks the payload and ships a header-only ``KIND_RTS`` frame; the
@@ -44,6 +48,7 @@ import queue
 import socket
 import threading
 
+from repro.datatypes.layout import WIRE_IOV_CAP
 from repro.runtime import envelope as ev
 from repro.runtime.envelope import Envelope
 
@@ -98,8 +103,28 @@ def set_nodelay(sock: socket.socket) -> None:
 
 # -- byte-level primitives ----------------------------------------------------
 
+#: iovec entries per scatter/gather syscall — the same kernel IOV_MAX
+#: budget the layout IR's wire_friendly gate admits, declared once
+IOV_BATCH = WIRE_IOV_CAP
+
+
+def body_nbytes(body) -> int:
+    """Byte length of a frame body: a buffer or an iovec list of them."""
+    if isinstance(body, (list, tuple)):
+        return sum(len(v) for v in body)
+    return len(body)
+
+
 def send_frame(sock: socket.socket, header: bytes, body=b"") -> None:
-    """One framed write: header+payload in a single vectored syscall."""
+    """One framed write: header+payload in a single vectored syscall.
+
+    ``body`` may be a list of buffer views (a noncontiguous layout's
+    run iovec): header and every run then leave in one
+    ``sendmsg([header, run0, run1, ...])``.
+    """
+    if isinstance(body, (list, tuple)):
+        send_frame_vectored(sock, header, body)
+        return
     if not len(body):
         sock.sendall(header)
         return
@@ -114,6 +139,36 @@ def send_frame(sock: socket.socket, header: bytes, body=b"") -> None:
             sock.sendall(body[sent - len(header):])
 
 
+def _drive_vectored(bufs, xfer) -> None:
+    """Cursor loop shared by vectored send and receive.
+
+    ``xfer(batch)`` moves some bytes through one scatter/gather syscall
+    and returns the count; the cursor resumes across short transfers
+    (re-slicing only the partially-moved head view) and batches at
+    IOV_BATCH entries per call (kernels cap an iovec at IOV_MAX).
+    """
+    i, off = 0, 0
+    while i < len(bufs):
+        head = bufs[i][off:] if off else bufs[i]
+        moved = xfer([head] + bufs[i + 1:i + IOV_BATCH])
+        while moved:
+            avail = len(bufs[i]) - off
+            if moved >= avail:
+                moved -= avail
+                i += 1
+                off = 0
+            else:
+                off += moved
+                moved = 0
+
+
+def send_frame_vectored(sock: socket.socket, header: bytes, views) -> None:
+    """Write header + every view with gathering ``sendmsg`` calls."""
+    bufs = [memoryview(header)]
+    bufs += [v for v in views if len(v)]
+    _drive_vectored(bufs, sock.sendmsg)
+
+
 def recv_exact_into(sock: socket.socket, view: memoryview) -> None:
     """Fill ``view`` from the socket or raise ConnectionError on EOF."""
     got, n = 0, len(view)
@@ -122,6 +177,22 @@ def recv_exact_into(sock: socket.socket, view: memoryview) -> None:
         if not r:
             raise ConnectionError("peer closed")
         got += r
+
+
+def recv_exact_into_views(sock: socket.socket, views) -> None:
+    """Fill every view, in order, with scattering ``recvmsg_into`` calls.
+
+    The multi-run landing primitive: one syscall fills many runs of the
+    posted user buffer directly from the socket.  Raises ConnectionError
+    on EOF.
+    """
+    def rx(batch):
+        got = sock.recvmsg_into(batch)[0]
+        if not got:
+            raise ConnectionError("peer closed")
+        return got
+
+    _drive_vectored([v for v in views if len(v)], rx)
 
 
 class RecvPool:
@@ -150,11 +221,13 @@ class RecvPool:
 class _Sink:
     """A matched receive waiting for its rendezvous payload frame."""
 
-    __slots__ = ("posted", "view")
+    __slots__ = ("posted", "views")
 
-    def __init__(self, posted, view):
+    def __init__(self, posted, views):
         self.posted = posted
-        self.view = view   # writable byte view of the user buffer, or None
+        #: writable byte views of the user buffer (one per layout run,
+        #: a single view for contiguous layouts), or None = stage + land
+        self.views = views
 
 
 class _RendezvousState:
@@ -220,9 +293,10 @@ class WireProtocol:
             self._count(rts_frames=1, tx_frames=1, tx_bytes=len(header))
             return
         header, body = ev.encode(env)
+        nbytes = body_nbytes(body)
         self._framed_send(env.src, env.dst, header, body)
-        self._count(eager_frames=1, eager_bytes=len(body), tx_frames=1,
-                    tx_bytes=len(header) + len(body))
+        self._count(eager_frames=1, eager_bytes=nbytes, tx_frames=1,
+                    tx_bytes=len(header) + nbytes)
         if env.on_flushed is not None:
             # borderline prediction (communicator expected rendezvous,
             # e.g. after the threshold moved): the bytes are out, so the
@@ -266,7 +340,7 @@ class WireProtocol:
                 header, body = ev.encode(env)
                 self._framed_send(env.src, env.dst, header, body)
                 self._count(tx_frames=1,
-                            tx_bytes=len(header) + len(body))
+                            tx_bytes=len(header) + body_nbytes(body))
             except (OSError, RuntimeError, ConnectionError):
                 if self._closing.is_set():
                     return
@@ -308,11 +382,13 @@ class WireProtocol:
                 peek.rndv_nbytes = nbytes
                 got = claim(peek)
                 if got is not None:
-                    # eager direct landing: the receive was posted and
-                    # contiguous, so the body streams straight from the
-                    # kernel into the user buffer — zero staging copies
-                    posted, view = got
-                    recv_exact_into(sock, view)
+                    # eager direct landing: the receive was posted with
+                    # a directly-landable window (contiguous, or a
+                    # derived layout's run views), so the body streams
+                    # straight from the kernel into the user buffer —
+                    # zero staging copies
+                    posted, views = got
+                    recv_exact_into_views(sock, views)
                     self._count(eager_direct_frames=1,
                                 eager_direct_bytes=nbytes)
                     if mode == ev.MODE_SYNCHRONOUS:
@@ -360,12 +436,12 @@ class WireProtocol:
         precedes the data frame because the sender only streams after
         this CTS.
         """
-        view = None
-        if posted.recv_view is not None:
-            view = posted.recv_view(env)
+        views = None
+        if posted.recv_views is not None:
+            views = posted.recv_views(env)
         st = self._rndv[rank]
         with st.lock:
-            st.sinks[(env.src, env.seq)] = _Sink(posted, view)
+            st.sinks[(env.src, env.seq)] = _Sink(posted, views)
         cts = ev.HEADER.pack(ev.KIND_CTS, rank, env.src, env.context,
                              env.tag, env.mode, env.seq, 0, 0, b"--", 0)
         # via the writer, never inline: this may run in the pump (arrival
@@ -382,14 +458,16 @@ class WireProtocol:
         if sink is None:  # pragma: no cover - protocol guarantees a sink
             recv_exact_into(sock, pool.body(nbytes))
             return
-        if sink.view is not None and len(sink.view) == nbytes:
-            # the zero-copy fast path: socket -> user buffer, no staging
-            recv_exact_into(sock, sink.view)
+        if sink.views is not None \
+                and body_nbytes(sink.views) == nbytes:
+            # the zero-copy fast path: socket -> user buffer (every
+            # layout run in one scattering read), no staging
+            recv_exact_into_views(sock, sink.views)
             self._count(rndv_direct_frames=1, rndv_direct_bytes=nbytes)
             sink.posted.req.complete(source_world=src, tag=tag,
                                      count_elements=nelems)
             return
-        # fallback: non-contiguous target, dtype mismatch or truncation —
+        # fallback: wire-unfriendly layout, dtype mismatch or truncation —
         # stage through the pool and run the full landing checks
         body = pool.body(nbytes)
         recv_exact_into(sock, body)

@@ -192,3 +192,38 @@ class TestRtsFrames:
         assert out.payload_nbytes() == 8000   # what probes report
         assert (out.src, out.dst, out.context, out.tag, out.seq) == \
             (1, 0, 3, 9, 12)
+
+
+class TestIOVecPayload:
+    """Noncontiguous zero-copy sends: the run-iovec wire form."""
+
+    def _iovec_env(self):
+        buf = np.arange(12, dtype=np.int64)
+        mv = memoryview(buf).cast("B")
+        views = [mv[0:16], mv[32:48], mv[64:80]]   # elements 0,1 4,5 8,9
+        payload = ev.IOVecPayload(views, np.dtype(np.int64))
+        return buf, ev.Envelope(payload=payload, nelems=6)
+
+    def test_nbytes_and_probe_size(self):
+        _, env = self._iovec_env()
+        assert env.payload.nbytes == 48
+        assert env.payload_nbytes() == 48
+
+    def test_encode_passes_views_through(self):
+        buf, env = self._iovec_env()
+        header, body = ev.encode(env)
+        assert isinstance(body, list) and len(body) == 3
+        buf[0] = -5   # views alias the user buffer, no copy
+        assert bytes(body[0][:8]) == np.int64(-5).tobytes()
+        # the header announces the total payload size and real dtype,
+        # so the receiver decodes it exactly like a dense frame
+        out = ev.decode(header, b"".join(bytes(v) for v in body))
+        assert list(out.payload) == [-5, 1, 4, 5, 8, 9]
+        assert out.nelems == 6
+
+    def test_rts_from_iovec_payload(self):
+        _, env = self._iovec_env()
+        header = ev.encode_rts(env)
+        out = ev.decode(header, b"")
+        assert out.rndv_nbytes == 48
+        assert out.rndv_dtype == np.dtype(np.int64)

@@ -259,7 +259,7 @@ class TestDirectClaim:
         assert mb.claim_direct_recv(self._peek()) is None
 
     def test_posted_without_view_hook_returns_none(self, mb):
-        post(mb)   # helper posts with recv_view=None
+        post(mb)   # helper posts with recv_views=None
         assert mb.claim_direct_recv(self._peek()) is None
 
     def test_claim_consumes_the_posted_recv(self, mb):
@@ -267,18 +267,18 @@ class TestDirectClaim:
         target = np.zeros(3, dtype=np.int32)
         req = RequestImpl(FakeUniverse(), RequestImpl.KIND_RECV)
         mb.post_recv(req, 1, 5, 0, lambda env: (0, SUCCESS, ""),
-                     recv_view=lambda env: memoryview(target).cast("B"))
+                     recv_views=lambda env: [memoryview(target).cast("B")])
         got = mb.claim_direct_recv(self._peek())
         assert got is not None
-        posted, view = got
+        posted, views = got
         assert posted.req is req
-        assert len(view) == 12
+        assert sum(len(v) for v in views) == 12
         assert mb.pending_counts() == (0, 0)   # consumed, not re-matchable
 
     def test_view_decline_leaves_recv_posted(self, mb):
         req = RequestImpl(FakeUniverse(), RequestImpl.KIND_RECV)
         mb.post_recv(req, 1, 5, 0, lambda env: (0, SUCCESS, ""),
-                     recv_view=lambda env: None)
+                     recv_views=lambda env: None)
         assert mb.claim_direct_recv(self._peek()) is None
         assert mb.pending_counts() == (0, 1)
 

@@ -271,3 +271,56 @@ class TestFactory:
     def test_unknown_name(self):
         with pytest.raises(ValueError):
             make_transport("carrier-pigeon", 2)
+
+
+class TestVectoredFrames:
+    """wire.py scatter/gather primitives: short writes, batching, EOF."""
+
+    def _pair(self, bufsize=None):
+        import socket
+        a, b = socket.socketpair()
+        if bufsize:
+            a.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, bufsize)
+            b.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, bufsize)
+        return a, b
+
+    def test_vectored_roundtrip_many_views(self):
+        import threading
+        import numpy as np
+        from repro.transport import wire
+        a, b = self._pair(bufsize=8192)   # force short writes / reads
+        src = np.arange(200_000, dtype=np.uint8)
+        mvs = memoryview(src).cast("B")
+        views = [mvs[i:i + 1777] for i in range(0, len(src), 1777)]
+        header = b"H" * 32
+        out = np.zeros(len(src), dtype=np.uint8)
+        mvd = memoryview(out).cast("B")
+        rviews = [mvd[i:i + 1313] for i in range(0, len(out), 1313)]
+
+        def tx():
+            wire.send_frame(a, header, views)   # list body -> vectored
+
+        t = threading.Thread(target=tx)
+        t.start()
+        got_header = bytearray(32)
+        wire.recv_exact_into(b, memoryview(got_header))
+        wire.recv_exact_into_views(b, rviews)
+        t.join(timeout=10)
+        assert bytes(got_header) == header
+        assert np.array_equal(out, src)
+        a.close(); b.close()
+
+    def test_recv_views_raises_on_eof(self):
+        from repro.transport import wire
+        a, b = self._pair()
+        a.close()
+        view = memoryview(bytearray(16))
+        with pytest.raises(ConnectionError):
+            wire.recv_exact_into_views(b, [view])
+        b.close()
+
+    def test_body_nbytes(self):
+        from repro.transport import wire
+        assert wire.body_nbytes(b"abc") == 3
+        assert wire.body_nbytes([memoryview(b"ab"), memoryview(b"c")]) == 3
+        assert wire.body_nbytes([]) == 0
