@@ -1,0 +1,60 @@
+"""Tracing overhead stays measured, bounded, and its artifact valid.
+
+The committed ``BENCH_OVERHEAD.json`` carries the acceptance number for
+the observability layer: instrumentation that is *off* costs <= 3% on an
+8 B pingpong.  The live run here uses reduced reps, so it checks shape
+and sanity with a noise-tolerant bound; the strict bar applies to the
+committed best-of-5 artifact, regenerated with
+``python -m repro.bench.overhead``.
+"""
+
+import json
+import pathlib
+
+from repro.bench import overhead
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+class TestCommittedArtifact:
+    def test_committed_report_is_valid(self):
+        path = REPO_ROOT / "BENCH_OVERHEAD.json"
+        assert path.exists(), "BENCH_OVERHEAD.json missing from repo root"
+        report = json.loads(path.read_text())
+        assert overhead.validate_report(report) == []
+
+    def test_committed_disabled_overhead_within_limit(self):
+        report = json.loads((REPO_ROOT / "BENCH_OVERHEAD.json").read_text())
+        ratio = report["overhead"]["disabled_vs_baseline"]
+        assert ratio <= overhead.OVERHEAD_LIMIT, \
+            f"disabled-mode tracing overhead {ratio} exceeds " \
+            f"{overhead.OVERHEAD_LIMIT}"
+
+    def test_committed_report_is_8_byte_pingpong(self):
+        report = json.loads((REPO_ROOT / "BENCH_OVERHEAD.json").read_text())
+        assert {r["size_bytes"] for r in report["results"]} == {8}
+        assert {r["mode"] for r in report["results"]} == set(overhead.MODES)
+
+
+class TestLiveRun:
+    def test_reduced_run_validates(self):
+        rows = overhead.run(reps=200, trials=2, log=None)
+        report = overhead.build_report(rows)
+        assert overhead.validate_report(report) == []
+        assert all(r["one_way_us"] > 0 for r in rows)
+        # reduced reps are noisy; this is a smoke bound, not the 3% bar
+        assert report["overhead"]["disabled_vs_baseline"] <= 1.25
+
+    def test_validate_rejects_garbage(self):
+        assert overhead.validate_report({}) != []
+        assert overhead.validate_report({"schema": overhead.SCHEMA}) != []
+        good = overhead.build_report(
+            [{"mode": m, "size_bytes": 8, "reps": 1, "trials": 1,
+              "one_way_us": 1.0} for m in overhead.MODES])
+        assert overhead.validate_report(good) == []
+        bad = json.loads(json.dumps(good))
+        bad["results"][0]["mode"] = "quantum"
+        assert overhead.validate_report(bad) != []
+        missing = json.loads(json.dumps(good))
+        del missing["results"][1]["one_way_us"]
+        assert overhead.validate_report(missing) != []

@@ -18,9 +18,22 @@ from repro.errors import MPIException, ERR_ARG, ERR_BUFFER, ERR_TRUNCATE
 from repro.datatypes.base import DatatypeImpl
 from repro.datatypes.object_serial import serialize_objects, \
     deserialize_objects
+from repro.obs.metrics import CounterGroup
 
 __all__ = ["gather_elements", "scatter_elements",
-           "pack", "unpack", "pack_size"]
+           "pack", "unpack", "pack_size", "DATAPATH"]
+
+#: layout-IR datapath accounting: which path moved each message's
+#: elements — contiguous slice, IR run walk, or the cached-index
+#: fallback — plus the wire-side view decisions counted from
+#: :mod:`repro.runtime.buffers` (zero-copy borrow / iovec vs gather copy
+#: on send, direct landing granted vs refused on receive)
+DATAPATH = CounterGroup("datapath", (
+    "gather_contig", "gather_runs", "gather_index",
+    "scatter_contig", "scatter_runs", "scatter_index",
+    "send_view", "send_iovec", "send_gather",
+    "recv_direct", "recv_refused",
+))
 
 
 def _validate_window(buf, offset: int, datatype: DatatypeImpl,
@@ -49,10 +62,13 @@ def gather_elements(buf, offset: int, count: int,
         # always a real copy: eager sends park the payload in the
         # receiver's unexpected queue, and MPI lets the sender reuse the
         # buffer the moment the send returns
+        DATAPATH.add("gather_contig")
         n = count * datatype.size_elems
         return buf[offset:offset + n].copy()
     if lay.use_runs:
+        DATAPATH.add("gather_runs")
         return lay.gather(buf, offset, count)
+    DATAPATH.add("gather_index")
     idx = datatype.flat_indices(count, offset)
     return buf[idx]
 
@@ -68,11 +84,14 @@ def scatter_elements(buf, offset: int, count: int, datatype: DatatypeImpl,
                            f"have {len(data)} elements, need {need}")
     lay = datatype.layout()
     if lay.contiguous:
+        DATAPATH.add("scatter_contig")
         buf[offset:offset + need] = data[:need]
         return
     if lay.use_runs and lay.scatter_safe(count):
+        DATAPATH.add("scatter_runs")
         lay.scatter(buf, offset, count, data)
         return
+    DATAPATH.add("scatter_index")
     idx = datatype.flat_indices(count, offset)
     buf[idx] = data[:need]
 

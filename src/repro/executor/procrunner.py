@@ -48,6 +48,7 @@ import traceback
 from typing import Any, Callable, Sequence
 
 from repro.executor.runner import JobTimeoutError, RankFailure
+from repro.obs import export as obs_export
 from repro.runtime.envelope import (dump_exception_chain,
                                     load_exception_chain)
 from repro.transport.socket_tcp import BOOTSTRAP_TIMEOUT, _recv_exact
@@ -269,6 +270,7 @@ class ProcExecutor:
                     send_msg(conn, {"cmd": "exit"})
                 except OSError:
                     pass
+            self._write_traces(reports)
             return self._fold(reports, failures)
         finally:
             listener.close()
@@ -406,6 +408,33 @@ class ProcExecutor:
                                 "errorcode": errorcode})
             except OSError:
                 pass  # that child is already gone
+
+    @staticmethod
+    def _write_traces(reports) -> None:
+        """Merge the workers' shipped event rings into REPRO_TRACE.
+
+        Children inherit the environment, so when the launcher sees
+        ``REPRO_TRACE`` every worker traced into memory and attached its
+        snapshot to the report; one merged ``trace.json`` (plus the raw
+        per-rank files) lands in the directory.  Best-effort: a job that
+        failed still folds its failures even if the trace write cannot.
+        """
+        dir = os.environ.get("REPRO_TRACE")
+        if not dir:
+            return
+        snapshots: dict[int, dict] = {}
+        for msg in reports.values():
+            for rank, snap in (msg.pop("trace", None) or {}).items():
+                rank = int(rank)
+                if rank in snapshots:
+                    snapshots[rank]["events"].extend(snap["events"])
+                    snapshots[rank]["dropped"] += snap["dropped"]
+                else:
+                    snapshots[rank] = snap
+        try:
+            obs_export.dump_job_trace(dir, snapshots)
+        except OSError:
+            pass
 
     def _fold(self, reports, failures):
         """Launcher-side mirror of the thread executor's failure folding."""

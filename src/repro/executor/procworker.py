@@ -24,6 +24,7 @@ import threading
 from repro.errors import AbortException
 from repro.executor.procrunner import (dump_exception, recv_msg,
                                        resolve_target, send_msg)
+from repro.obs.trace import TRACE
 from repro.runtime.engine import RankRuntime, Universe, bind_thread, \
     unbind_thread
 from repro.transport.socket_tcp import (BOOTSTRAP_TIMEOUT, TCPMeshTransport,
@@ -123,6 +124,13 @@ def main(argv=None) -> int:
         report = {"status": "error", **dump_exception(exc)}
     finally:
         unbind_thread()
+    if TRACE.enabled:
+        # ship this worker's event rings home on the control plane; the
+        # launcher merges all ranks into one Chrome trace at finalize
+        try:
+            report["trace"] = TRACE.snapshot(reset=True)
+        except Exception:  # noqa: BLE001 - tracing never fails the job
+            pass
     try:
         send_msg(ctl, report)
     except OSError:

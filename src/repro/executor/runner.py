@@ -24,6 +24,8 @@ import time
 from typing import Any, Callable, Sequence
 
 from repro.errors import AbortException
+from repro.obs import export as obs_export
+from repro.obs.trace import TRACE
 from repro.runtime.engine import (RankRuntime, Universe, bind_thread,
                                   unbind_thread)
 
@@ -93,6 +95,16 @@ class MPIExecutor:
         :class:`RankFailure` if any rank raised (job aborts are folded into
         the originating rank's failure).
         """
+        try:
+            return self._run(main, args, per_rank_args, timeout)
+        finally:
+            # tracing to a directory: every run dumps per-rank files and
+            # a merged trace.json, failures and timeouts included (a
+            # trace of the run that hung is the one you want most)
+            if TRACE.enabled and TRACE.dir:
+                obs_export.dump_local(TRACE)
+
+    def _run(self, main, args, per_rank_args, timeout) -> list:
         results: list = [None] * self.nprocs
         failures: dict[int, BaseException] = {}
         lock = threading.Lock()

@@ -152,7 +152,14 @@ def mpi_error_class(code: int) -> int:
 
 
 def mpi_pcontrol(level: int, *args) -> None:
-    """Profiling hook: a documented no-op, as in most MPI-1 libraries."""
+    """Profiling control (MPI-1 §8.1): drive the attached profilers.
+
+    Level 0 mutes attached :class:`~repro.mpijava.profiler.CommProfiler`
+    instances, 1 unmutes them, 2 resets their accumulated state.  Other
+    levels are implementation-defined and ignored, per the standard.
+    """
+    from repro.mpijava import profiler
+    profiler.pcontrol(level)
 
 
 def mpi_buffer_attach(nbytes: int) -> None:

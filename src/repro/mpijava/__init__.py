@@ -41,9 +41,12 @@ from repro.mpijava.status import Status
 from repro.mpijava.request import Request
 from repro.mpijava.prequest import Prequest
 from repro.mpijava.errhandler import Errhandler
+from repro.mpijava.profiler import (CommProfiler, CountingProfiler,
+                                    TracingProfiler)
 from repro.errors import MPIException
 
 __all__ = ["MPI", "Comm", "Intracomm", "Intercomm", "Cartcomm", "Graphcomm",
            "Group", "Datatype", "Op", "User_function", "Status", "Request",
            "Prequest", "Errhandler", "MPIException", "CartParms",
-           "GraphParms", "ShiftParms"]
+           "GraphParms", "ShiftParms", "CommProfiler", "TracingProfiler",
+           "CountingProfiler"]

@@ -27,6 +27,7 @@ from repro.mpijava.datatype import Datatype
 from repro.mpijava.errhandler import (ERRORS_ARE_FATAL, ERRORS_RETURN,
                                       Errhandler, guarded_call)
 from repro.mpijava.group import Group
+from repro.mpijava import profiler
 from repro.mpijava.prequest import Prequest
 from repro.mpijava.request import Request
 from repro.mpijava.status import Status
@@ -56,7 +57,17 @@ class Comm:
         under ``ERRORS_ARE_FATAL`` — so one rank's failure can never leave
         its peers blocked.  :class:`AbortException` always propagates: the
         job is already dead.
+
+        When PMPI-style profilers are attached (see
+        :mod:`repro.mpijava.profiler`) the call is routed through them;
+        the common case is one falsy-list check.
         """
+        if profiler._active:
+            return profiler.dispatch(
+                self, fn, args,
+                lambda: guarded_call(
+                    lambda: capi.mpi_errhandler_get(self._handle),
+                    fn, *args))
         return guarded_call(
             lambda: capi.mpi_errhandler_get(self._handle), fn, *args)
 

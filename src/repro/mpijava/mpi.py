@@ -20,6 +20,7 @@ from repro.mpijava import errhandler as _errh
 from repro.mpijava.datatype import Datatype
 from repro.mpijava.intracomm import Intracomm
 from repro.mpijava.op import Op
+from repro.mpijava import profiler as _profiler
 from repro.runtime import consts as _consts
 
 
@@ -200,6 +201,18 @@ class MPI(metaclass=_MPIMeta):
     @staticmethod
     def Pcontrol(level: int, *args) -> None:
         capi.mpi_pcontrol(level, *args)
+
+    # ------------------------------------------------------------------
+    # PMPI-style profiling (see repro.mpijava.profiler)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def attach_profiler(prof):
+        """Interpose ``prof`` on every ``Comm`` entry point; returns it."""
+        return _profiler.attach(prof)
+
+    @staticmethod
+    def detach_profiler(prof) -> None:
+        _profiler.detach(prof)
 
     # ------------------------------------------------------------------
     # Java-char helpers (``"...".toCharArray()`` analogues)

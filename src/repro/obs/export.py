@@ -1,0 +1,216 @@
+"""Chrome trace-event export: one process lane per rank, Perfetto-ready.
+
+Two on-disk artifacts live under the ``REPRO_TRACE`` directory:
+
+* ``trace.rank<k>.json`` — one rank's raw ring snapshot (schema
+  ``repro-trace-rank/1``): the event tuples exactly as recorded, plus
+  the drop count.  Process-backend workers produce the same structure
+  in memory and ship it over the control plane instead of the disk.
+* ``trace.json`` — the merged Chrome trace-event file (schema noted in
+  ``otherData``): ``pid`` = world rank (one process lane per rank in
+  Perfetto / ``chrome://tracing``), ``tid`` = a per-rank id assigned to
+  each runtime thread name.
+
+The merge is **deterministic**: ranks ascending, thread ids assigned by
+sorted thread name, events in ring (record) order, JSON dumped with
+sorted keys and no wall-clock metadata.  Two identical modeled runs
+(``VirtualClock`` timestamps) therefore produce byte-identical merged
+traces — the regression test in ``tests/integration/test_trace_runtime.py``
+holds us to that.
+
+No external JSON-schema package exists in this environment, so
+:func:`validate_chrome` is a hand-rolled structural checker (same
+pattern as ``bench/p2p.py``'s report validator): it returns a list of
+human-readable problems, empty when the file is well-formed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Iterable
+
+SCHEMA = "repro-trace/1"
+RANK_SCHEMA = "repro-trace-rank/1"
+
+#: merged trace filename inside the REPRO_TRACE directory
+MERGED_NAME = "trace.json"
+
+_RANK_FILE = re.compile(r"^trace\.rank(-?\d+)\.json$")
+
+#: Chrome phases we emit
+_PHASES = {"X", "i", "M"}
+
+
+def _us(seconds: float) -> float:
+    """Clock seconds -> trace microseconds (ns-rounded, deterministic)."""
+    return round(seconds * 1e6, 3)
+
+
+def chrome_trace(snapshots: dict[int, dict]) -> dict:
+    """Merge per-rank ring snapshots into one Chrome trace-event object.
+
+    ``snapshots`` maps world rank to ``{"events": [...], "dropped": n}``
+    (the :meth:`~repro.obs.trace.TraceRecorder.snapshot` shape).
+    """
+    events: list[dict] = []
+    dropped: dict[str, int] = {}
+    for rank in sorted(snapshots):
+        snap = snapshots[rank]
+        recs = snap.get("events", [])
+        if snap.get("dropped"):
+            dropped[str(rank)] = int(snap["dropped"])
+        tnames = sorted({rec[5] for rec in recs})
+        tids = {name: i + 1 for i, name in enumerate(tnames)}
+        events.append({"ph": "M", "name": "process_name", "pid": rank,
+                       "tid": 0, "args": {"name": f"rank {rank}"}})
+        for name in tnames:
+            events.append({"ph": "M", "name": "thread_name", "pid": rank,
+                           "tid": tids[name], "args": {"name": name}})
+        for ph, ts, dur, name, cat, tname, args in recs:
+            evt = {"ph": ph, "pid": rank, "tid": tids[tname],
+                   "ts": _us(ts), "name": name}
+            if cat:
+                evt["cat"] = cat
+            if ph == "X":
+                evt["dur"] = _us(dur)
+            elif ph == "i":
+                evt["s"] = "t"
+            if args:
+                evt["args"] = args
+            events.append(evt)
+    other: dict = {"schema": SCHEMA, "ranks": sorted(snapshots)}
+    if dropped:
+        other["dropped_events"] = dropped
+    return {"traceEvents": events, "displayTimeUnit": "ms",
+            "otherData": other}
+
+
+def validate_chrome(obj) -> list[str]:
+    """Structural check of a merged trace; returns problems (empty = ok)."""
+    problems: list[str] = []
+    if not isinstance(obj, dict):
+        return [f"trace must be a JSON object, got {type(obj).__name__}"]
+    other = obj.get("otherData")
+    if not isinstance(other, dict) or other.get("schema") != SCHEMA:
+        problems.append(f"otherData.schema must be {SCHEMA!r}")
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return problems + ["traceEvents must be a list"]
+    for i, evt in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(evt, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = evt.get("ph")
+        if ph not in _PHASES:
+            problems.append(f"{where}: bad phase {ph!r}")
+            continue
+        if not isinstance(evt.get("name"), str):
+            problems.append(f"{where}: missing name")
+        for key in ("pid", "tid"):
+            if not isinstance(evt.get(key), int):
+                problems.append(f"{where}: missing {key}")
+        if ph in ("X", "i"):
+            ts = evt.get("ts")
+            if not isinstance(ts, (int, float)):
+                problems.append(f"{where}: missing ts")
+        if ph == "X":
+            dur = evt.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: bad dur {dur!r}")
+        if "args" in evt and not isinstance(evt["args"], dict):
+            problems.append(f"{where}: args must be an object")
+        if len(problems) >= 20:
+            problems.append("... (truncated)")
+            break
+    return problems
+
+
+# -- disk layout --------------------------------------------------------------
+
+def rank_file(dir: str, rank: int) -> str:
+    return os.path.join(dir, f"trace.rank{rank}.json")
+
+
+def write_rank_files(dir: str, snapshots: dict[int, dict]) -> list[str]:
+    """Write one raw snapshot file per rank; returns the paths."""
+    os.makedirs(dir, exist_ok=True)
+    paths = []
+    for rank in sorted(snapshots):
+        snap = snapshots[rank]
+        path = rank_file(dir, rank)
+        with open(path, "w") as fh:
+            json.dump({"schema": RANK_SCHEMA, "rank": rank,
+                       "dropped": snap.get("dropped", 0),
+                       "events": snap.get("events", [])},
+                      fh, sort_keys=True)
+        paths.append(path)
+    return paths
+
+
+def write_merged(dir: str, snapshots: dict[int, dict],
+                 filename: str = MERGED_NAME) -> str:
+    """Write the merged Chrome trace; returns its path."""
+    os.makedirs(dir, exist_ok=True)
+    path = os.path.join(dir, filename)
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(snapshots), fh, sort_keys=True,
+                  separators=(",", ":"))
+        fh.write("\n")
+    return path
+
+
+def read_rank_file(path: str) -> tuple[int, dict]:
+    with open(path) as fh:
+        obj = json.load(fh)
+    if obj.get("schema") != RANK_SCHEMA:
+        raise ValueError(f"{path}: not a {RANK_SCHEMA} file "
+                         f"(schema={obj.get('schema')!r})")
+    return int(obj["rank"]), {"events": obj.get("events", []),
+                              "dropped": obj.get("dropped", 0)}
+
+
+def find_rank_files(dir: str) -> list[str]:
+    names = [n for n in os.listdir(dir) if _RANK_FILE.match(n)]
+    names.sort(key=lambda n: int(_RANK_FILE.match(n).group(1)))
+    return [os.path.join(dir, n) for n in names]
+
+
+def merge_files(paths: Iterable[str], out: str) -> str:
+    """Merge raw per-rank files into one Chrome trace at ``out``."""
+    snapshots: dict[int, dict] = {}
+    for path in paths:
+        rank, snap = read_rank_file(path)
+        if rank in snapshots:
+            snapshots[rank]["events"].extend(snap["events"])
+            snapshots[rank]["dropped"] += snap["dropped"]
+        else:
+            snapshots[rank] = snap
+    os.makedirs(os.path.dirname(os.path.abspath(out)), exist_ok=True)
+    with open(out, "w") as fh:
+        json.dump(chrome_trace(snapshots), fh, sort_keys=True,
+                  separators=(",", ":"))
+        fh.write("\n")
+    return out
+
+
+def dump_job_trace(dir: str, snapshots: dict[int, dict]) -> str | None:
+    """Executor hook: write rank files + merged trace for one job run."""
+    if not snapshots:
+        return None
+    write_rank_files(dir, snapshots)
+    return write_merged(dir, snapshots)
+
+
+def dump_local(recorder) -> str | None:
+    """Drain ``recorder`` to its configured directory (thread backends).
+
+    No-op (returns None) when the recorder has no directory — in-memory
+    API captures stay in memory for the test that made them.
+    """
+    if not recorder.dir:
+        return None
+    snapshots = recorder.snapshot(reset=True)
+    return dump_job_trace(recorder.dir, snapshots)

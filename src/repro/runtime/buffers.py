@@ -18,8 +18,8 @@ import numpy as np
 from repro.errors import (MPIException, ERR_BUFFER, ERR_COUNT, ERR_TRUNCATE,
                           ERR_TYPE, SUCCESS)
 from repro.datatypes.base import DatatypeImpl
-from repro.datatypes.packing import (_validate_window, gather_elements,
-                                     scatter_elements)
+from repro.datatypes.packing import (DATAPATH, _validate_window,
+                                     gather_elements, scatter_elements)
 from repro.datatypes.object_serial import (deserialize_objects,
                                            serialize_objects)
 from repro.runtime.envelope import IOVecPayload
@@ -88,6 +88,7 @@ def extract_send_payload(buf, offset: int, count: int,
     if allow_view:
         lay = datatype.layout()
         if lay.contiguous:
+            DATAPATH.add("send_view")
             n = count * datatype.size_elems
             return buf[offset:offset + n], n, False
         n = count * datatype.size_elems
@@ -95,9 +96,11 @@ def extract_send_payload(buf, offset: int, count: int,
             _validate_window(buf, offset, datatype, count)
             views = lay.byte_views(buf, offset, n)
             if views is not None:
+                DATAPATH.add("send_iovec")
                 return (IOVecPayload(views, datatype.base.np_dtype,
                                      n * datatype.base.itemsize),
                         n, False)
+        DATAPATH.add("send_gather")
     dense = gather_elements(buf, offset, count, datatype)
     return dense, int(dense.shape[0]), False
 
@@ -119,6 +122,12 @@ def recv_byte_views(buf, offset: int, count: int, datatype: DatatypeImpl,
     then stages through its pool and :func:`land_payload` reports the
     proper MPI error.
     """
+    views = _recv_byte_views(buf, offset, count, datatype, env)
+    DATAPATH.add("recv_direct" if views is not None else "recv_refused")
+    return views
+
+
+def _recv_byte_views(buf, offset, count, datatype, env):
     if datatype.base.is_object or env.is_object:
         return None
     if env.rndv_dtype != datatype.base.np_dtype:

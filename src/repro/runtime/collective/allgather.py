@@ -10,7 +10,7 @@ from __future__ import annotations
 from repro.errors import MPIException, ERR_ARG
 from repro.runtime.collective.common import (algorithm_for, concat,
                                              extract_contrib, land_contrib,
-                                             slice_contrib)
+                                             note_algorithm, slice_contrib)
 from repro.runtime.collective import bcast as _bcast
 from repro.runtime import nbc
 from repro.runtime.nbc import Box, Compute, Recv, Send
@@ -29,6 +29,7 @@ def iallgather(comm, sendbuf, soffset, scount, sdtype,
     comm._check_alive()
     comm._require_intra("Allgather")
     algorithm = algorithm or algorithm_for("allgather")
+    note_algorithm(comm, "allgather", algorithm)
 
     def build(sched):
         if algorithm == "ring":

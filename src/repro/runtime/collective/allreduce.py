@@ -14,7 +14,7 @@ from __future__ import annotations
 from repro.runtime.buffers import validate_buffer
 from repro.runtime.collective.common import (algorithm_for, combine,
                                              extract_contrib, land_contrib,
-                                             writable)
+                                             note_algorithm, writable)
 from repro.runtime.collective import bcast as _bcast
 from repro.runtime.collective import reduce as _reduce
 from repro.runtime import nbc
@@ -36,6 +36,7 @@ def iallreduce(comm, sendbuf, soffset, recvbuf, roffset, count, datatype,
     nbytes = None if datatype.base.is_object \
         else count * datatype.size_bytes()
     algorithm = algorithm or algorithm_for("allreduce", nbytes)
+    note_algorithm(comm, "allreduce", algorithm, nbytes)
     pow2 = comm.size & (comm.size - 1) == 0
     # ring needs commutativity (chunk partials fold in ring order, not
     # rank order), at least one element per rank to scatter, and a

@@ -8,7 +8,8 @@ to rank 0, rank 0 releases) exists for the ablation benchmark.
 
 from __future__ import annotations
 
-from repro.runtime.collective.common import (algorithm_for, empty_token)
+from repro.runtime.collective.common import (algorithm_for, empty_token,
+                                             note_algorithm)
 from repro.runtime import nbc
 from repro.runtime.nbc import Recv, Send
 
@@ -21,6 +22,7 @@ def ibarrier(comm, algorithm: str | None = None):
     comm._check_alive()
     comm._require_intra("Barrier")
     algorithm = algorithm or algorithm_for("barrier")
+    note_algorithm(comm, "barrier", algorithm)
 
     def build(sched):
         if comm.size == 1:

@@ -22,7 +22,7 @@ from repro.runtime.buffers import validate_buffer
 from repro.runtime.collective.common import (algorithm_for, check_root,
                                              extract_contrib, land_contrib,
                                              land_dense_segment,
-                                             segment_bounds)
+                                             note_algorithm, segment_bounds)
 from repro.runtime import nbc
 from repro.runtime.nbc import Box, Compute, Recv, Send
 
@@ -44,6 +44,7 @@ def ibcast(comm, buf, offset, count, datatype, root,
     algorithm = algorithm or algorithm_for("bcast", nbytes)
     if algorithm == "segmented" and datatype.base.is_object:
         algorithm = "binomial"   # object blobs are not sliceable
+    note_algorithm(comm, "bcast", algorithm, nbytes)
 
     def build(sched):
         if comm.size == 1:

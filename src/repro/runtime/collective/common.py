@@ -29,6 +29,7 @@ import numpy as np
 from repro.errors import MPIException, ERR_ARG, ERR_ROOT, ERR_TYPE
 from repro.datatypes.object_serial import (deserialize_objects,
                                            serialize_objects)
+from repro.obs.trace import TRACE
 from repro.runtime.buffers import extract_send_payload, land_dense
 
 # --- algorithm selection ------------------------------------------------------
@@ -79,6 +80,20 @@ def algorithm_for(collective: str, nbytes: int | None = None) -> str:
         if large is not None:
             return large
     return DEFAULT_ALGORITHMS[collective]
+
+
+def note_algorithm(comm, collective: str, algorithm: str,
+                   nbytes: int | None = None) -> None:
+    """Trace which algorithm a collective dispatcher settled on.
+
+    Called by every entry point after explicit ``algorithm=``, ablation
+    overrides and size-aware selection have all been applied — the
+    traced value is what actually runs.
+    """
+    if TRACE.enabled:
+        TRACE.instant(comm.rt.world_rank, "coll.algo", "coll",
+                      {"coll": collective, "algorithm": algorithm,
+                       "bytes": nbytes, "size": comm.size})
 
 
 @contextlib.contextmanager

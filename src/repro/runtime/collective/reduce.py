@@ -18,7 +18,8 @@ from __future__ import annotations
 from repro.runtime.buffers import validate_buffer
 from repro.runtime.collective.common import (algorithm_for, check_root,
                                              combine, extract_contrib,
-                                             land_contrib, writable)
+                                             land_contrib, note_algorithm,
+                                             writable)
 from repro.runtime import nbc
 from repro.runtime.nbc import Box, Compute, Recv, Send
 
@@ -37,6 +38,12 @@ def ireduce(comm, sendbuf, soffset, recvbuf, roffset, count, datatype, op,
     op.check_usable(datatype)
     if comm.rank == root:
         validate_buffer(recvbuf, roffset, count, datatype)
+    # resolve here (same rules as build_to_root) so the traced choice is
+    # the one that runs — non-commutative ops force the linear chain
+    algorithm = algorithm or algorithm_for("reduce")
+    if not op.commute:
+        algorithm = "linear"
+    note_algorithm(comm, "reduce", algorithm)
 
     def build(sched):
         tag = comm.next_coll_tag()

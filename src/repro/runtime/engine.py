@@ -14,6 +14,7 @@ import threading
 from typing import Callable, Iterable, Optional
 
 from repro.errors import AbortException, MPIException, ERR_INTERN, ERR_OTHER
+from repro.obs.trace import TRACE
 from repro.runtime.bsend_pool import BsendPool
 from repro.runtime.envelope import (Envelope, decode_abort_env,
                                     encode_abort_env)
@@ -80,6 +81,9 @@ class Universe:
                                "transport sized for a different job")
         self.transport = transport
         self.clock: Clock = clock or WallClock()
+        # the tracer reads timestamps through the job clock, so modeled
+        # (VirtualClock) runs emit deterministic traces
+        TRACE.use_clock(self.clock)
         #: optional NetworkModel; the OO layer charges wrapper costs to it
         self.cost_model = cost_model
         self.world_group = GroupImpl(range(self.nprocs))
@@ -252,6 +256,7 @@ class Universe:
     def close(self) -> None:
         if not self._closed:
             self._closed = True
+            TRACE.release_clock(self.clock)
             self.transport.close()
 
     def __enter__(self):

@@ -35,10 +35,33 @@ import threading
 from collections import deque
 from typing import Callable, Optional
 
+from repro.obs.metrics import CounterGroup
+from repro.obs.trace import TRACE
 from repro.runtime.consts import ANY_SOURCE, ANY_TAG
 from repro.runtime.envelope import (Envelope, KIND_ABORT, KIND_ACK,
                                     KIND_DATA, KIND_RTS, MODE_READY)
 from repro.runtime.requests import RequestImpl
+
+#: process-wide match counters (all mailboxes): how often the receive
+#: was already posted when the message arrived vs how often the message
+#: dwelled in the unexpected queue vs the pump's zero-copy direct claim
+MAILBOX_METRICS = CounterGroup("mailbox", (
+    "matched_posted", "matched_unexpected", "matched_direct"))
+
+
+def _note_match(rank: int, path: str, dwell: float, env: Envelope) -> None:
+    """Record one mailbox match: counter always, trace event if enabled.
+
+    ``dwell`` is how long the *later* party waited for the earlier one:
+    post-to-arrival time on the posted path, arrival-to-post (unexpected
+    queue) time on the unexpected path.
+    """
+    MAILBOX_METRICS.add("matched_" + path)
+    if TRACE.enabled:
+        TRACE.instant(rank, "mailbox.match", "mailbox",
+                      {"path": path, "dwell_us": round(dwell * 1e6, 3),
+                       "src": env.src, "tag": env.tag,
+                       "rts": env.kind == KIND_RTS})
 
 #: land callback: consume the envelope into the user buffer; returns
 #: (count_elements, error_code, error_message)
@@ -54,7 +77,7 @@ class PostedRecv:
     """A receive waiting in the posted queue."""
 
     __slots__ = ("req", "source_world", "tag", "context", "land",
-                 "recv_views", "order")
+                 "recv_views", "order", "t_post")
 
     def __init__(self, req: RequestImpl, source_world: int, tag: int,
                  context: int, land: LandFn,
@@ -66,6 +89,8 @@ class PostedRecv:
         self.land = land
         self.recv_views = recv_views
         self.order = 0
+        #: trace stamp: when this receive entered the posted queue
+        self.t_post = 0.0
 
     @property
     def wildcard(self) -> bool:
@@ -135,9 +160,15 @@ class Mailbox:
                 dq = self._unexpected.get(_env_key(env))
                 if dq is None:
                     dq = self._unexpected[_env_key(env)] = deque()
-                dq.append((self._arrival_stamp, env))
+                dq.append((self._arrival_stamp, env,
+                           TRACE.now() if TRACE.enabled else 0.0))
                 self._arrival.notify_all()
                 return
+        # arrival met a receive posted earlier: the dwell is how long
+        # the receive sat posted before its message showed up
+        _note_match(self.rank, "posted",
+                    (TRACE.now() - posted.t_post) if TRACE.enabled
+                    else 0.0, env)
         self._consume(posted, env)
 
     def _route_ack(self, env: Envelope) -> None:
@@ -204,6 +235,11 @@ class Mailbox:
             if views is None:
                 return None
             self._remove_posted(posted)
+        # consumed by the pump pre-body: by construction the receive was
+        # posted before the frame arrived (a posted-path match)
+        _note_match(self.rank, "direct",
+                    (TRACE.now() - posted.t_post) if TRACE.enabled
+                    else 0.0, env)
         return posted, views
 
     # -- receives --------------------------------------------------------------
@@ -213,10 +249,12 @@ class Mailbox:
         posted = PostedRecv(req, source_world, tag, context, land,
                             recv_views)
         with self._lock:
-            env = self._match_unexpected(posted)
-            if env is None:
+            hit = self._match_unexpected(posted)
+            if hit is None:
                 self._post_stamp += 1
                 posted.order = self._post_stamp
+                if TRACE.enabled:
+                    posted.t_post = TRACE.now()
                 if posted.wildcard:
                     self._posted_wild.append(posted)
                 else:
@@ -225,17 +263,24 @@ class Mailbox:
                         dq = self._posted_exact[posted.key()] = deque()
                     dq.append(posted)
                 return
+        env, t_arrive = hit
+        # the receive found its message waiting: the dwell is how long
+        # the message sat in the unexpected queue
+        _note_match(self.rank, "unexpected",
+                    (TRACE.now() - t_arrive) if TRACE.enabled else 0.0,
+                    env)
         self._consume(posted, env)
 
-    def _match_unexpected(self, posted: PostedRecv) -> Optional[Envelope]:
-        """Earliest-arrival matching message for a receive (lock held)."""
+    def _match_unexpected(self, posted: PostedRecv) \
+            -> Optional[tuple[Envelope, float]]:
+        """Earliest-arrival matching (message, arrival time); lock held."""
         key, dq = self._find_unexpected(posted)
         if dq is None:
             return None
-        _, env = dq.popleft()
+        _, env, t_arrive = dq.popleft()
         if not dq:
             del self._unexpected[key]
-        return env
+        return env, t_arrive
 
     def _find_unexpected(self, posted: PostedRecv):
         """(key, bucket) of the earliest matching arrival, or (None, None).

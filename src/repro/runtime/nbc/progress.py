@@ -31,6 +31,7 @@ import threading
 from collections import deque
 
 from repro.errors import MPIException, SUCCESS, ERR_INTERN
+from repro.obs.trace import TRACE
 from repro.runtime.collective.common import contrib_from_env, send_contrib
 from repro.runtime.requests import RequestImpl
 from repro.runtime.nbc.schedule import Compute, Recv, Schedule, Send
@@ -77,6 +78,9 @@ class CollRequestImpl(RequestImpl):
         self._plock = threading.Lock()
         self._pending = 0
         self._exc: Exception | None = None
+        #: trace stamps: world rank lane + current round's start time
+        self._trace_rank = comm.rt.world_rank
+        self._t_round = 0.0
 
     # -- launch ----------------------------------------------------------------
     def launch(self) -> "CollRequestImpl":
@@ -107,6 +111,8 @@ class CollRequestImpl(RequestImpl):
                 self.complete()
                 return
             rnd = rounds[self._round]
+            if TRACE.enabled:
+                self._t_round = TRACE.now()
             recvs = [op for op in rnd if isinstance(op, Recv)]
             with self._plock:
                 # +1 guard token held by this thread while issuing, so
@@ -164,6 +170,11 @@ class CollRequestImpl(RequestImpl):
         except Exception as exc:  # noqa: BLE001 - surfaced via the request
             self._fail(exc)
             return False
+        if TRACE.enabled:
+            # one span per schedule round: receives landed + computes ran
+            TRACE.span(self._trace_rank, f"{self.name}.round", "coll",
+                       self._t_round, {"round": self._round,
+                                       "ops": len(rnd)})
         return True
 
     def _fail(self, exc: Exception) -> None:
@@ -236,4 +247,14 @@ def launch(comm, name: str, build) -> CollRequestImpl:
     """
     sched = Schedule()
     build(sched)
-    return CollRequestImpl(comm, sched, name=name).launch()
+    req = CollRequestImpl(comm, sched, name=name)
+    if TRACE.enabled:
+        # whole-operation span, launch to completion (completion may be
+        # in a peer's delivery thread; the span lands on this rank's
+        # lane either way)
+        t0 = TRACE.now()
+        rank = req._trace_rank
+        nrounds = len(sched.rounds)
+        req.add_listener(lambda: TRACE.span(
+            rank, f"coll.{name}", "coll", t0, {"rounds": nrounds}))
+    return req.launch()

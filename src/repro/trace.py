@@ -1,0 +1,108 @@
+"""``python -m repro.trace``: merge, validate and summarize trace files.
+
+The runtime's executors already write a merged ``trace.json`` next to
+the per-rank files, but the raw rank files are the durable artifact — a
+crashed launcher, a partially-collected job or traces gathered from
+several directories can always be re-merged here::
+
+    python -m repro.trace merge TRACEDIR            # -> TRACEDIR/trace.json
+    python -m repro.trace merge a.json b.json -o out.json
+    python -m repro.trace validate TRACEDIR/trace.json
+    python -m repro.trace summary TRACEDIR/trace.json
+
+``validate`` runs the structural checker CI's obs-smoke job gates on;
+``summary`` prints per-rank event/category counts so a quick look needs
+no browser.  Open the merged file in Perfetto (https://ui.perfetto.dev)
+or ``chrome://tracing`` — one process lane per rank.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from collections import Counter
+
+from repro.obs import export
+
+
+def _merge(opts) -> int:
+    paths: list[str] = []
+    for src in opts.sources:
+        if os.path.isdir(src):
+            found = export.find_rank_files(src)
+            if not found:
+                print(f"error: no trace.rank*.json files in {src}",
+                      file=sys.stderr)
+                return 1
+            paths.extend(found)
+        else:
+            paths.append(src)
+    out = opts.out
+    if out is None:
+        base = opts.sources[0] if os.path.isdir(opts.sources[0]) \
+            else os.path.dirname(opts.sources[0]) or "."
+        out = os.path.join(base, export.MERGED_NAME)
+    export.merge_files(paths, out)
+    print(f"merged {len(paths)} rank trace(s) -> {out}")
+    return 0
+
+
+def _validate(opts) -> int:
+    with open(opts.trace) as fh:
+        obj = json.load(fh)
+    problems = export.validate_chrome(obj)
+    if problems:
+        for p in problems:
+            print(f"INVALID: {p}", file=sys.stderr)
+        return 1
+    n = len(obj.get("traceEvents", []))
+    print(f"{opts.trace}: valid {export.SCHEMA} ({n} events)")
+    return 0
+
+
+def _summary(opts) -> int:
+    with open(opts.trace) as fh:
+        obj = json.load(fh)
+    per_rank: dict[int, Counter] = {}
+    for evt in obj.get("traceEvents", []):
+        if evt.get("ph") == "M":
+            continue
+        per_rank.setdefault(evt["pid"], Counter())[
+            evt.get("cat", "?") + "/" + evt["name"]] += 1
+    for rank in sorted(per_rank):
+        total = sum(per_rank[rank].values())
+        print(f"rank {rank}: {total} events")
+        for key, n in sorted(per_rank[rank].items()):
+            print(f"  {key:40s} {n}")
+    dropped = obj.get("otherData", {}).get("dropped_events", {})
+    for rank, n in sorted(dropped.items()):
+        print(f"rank {rank}: {n} events DROPPED (ring overflow)")
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro.trace",
+        description="merge / validate / summarize repro trace files")
+    sub = ap.add_subparsers(dest="cmd", required=True)
+    mp = sub.add_parser("merge", help="merge per-rank traces into one "
+                                      "Chrome trace-event JSON")
+    mp.add_argument("sources", nargs="+",
+                    help="trace directory or trace.rank*.json files")
+    mp.add_argument("-o", "--out", default=None,
+                    help="output path (default: <dir>/trace.json)")
+    mp.set_defaults(fn=_merge)
+    vp = sub.add_parser("validate", help="structural schema check")
+    vp.add_argument("trace", help="merged trace.json to validate")
+    vp.set_defaults(fn=_validate)
+    sp = sub.add_parser("summary", help="per-rank event counts")
+    sp.add_argument("trace", help="merged trace.json to summarize")
+    sp.set_defaults(fn=_summary)
+    opts = ap.parse_args(argv)
+    return opts.fn(opts)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,7 @@ import threading
 
 import numpy as np
 
+from repro.obs.metrics import CounterGroup
 from repro.runtime.envelope import Envelope, IOVecPayload, KIND_DATA
 from repro.transport.base import Transport
 from repro.transport.inproc import InprocTransport
@@ -38,9 +39,11 @@ class ChunkedTransport(Transport):
         self.mode = self.inner.mode  # SM over inproc, DM over sockets
         #: packets staged since start (benchmark/ablation introspection).
         #: Rank threads send concurrently, so the counter is accumulated
-        #: per send and added under a lock — a bare ``+= 1`` per packet
-        #: loses increments and under-reports ablation counts.
-        self.packets_staged = 0
+        #: per send and added atomically — a bare ``+= 1`` per packet
+        #: loses increments and under-reports ablation counts.  Lives in
+        #: the process metrics registry; :attr:`packets_staged` below is
+        #: the compatible integer view.
+        self.metrics = CounterGroup("chunked", ("packets_staged",))
         self._stats_lock = threading.Lock()
         #: one per-transport scratch packet, reused across messages under
         #: the same lock discipline as the counter: the ablation should
@@ -50,6 +53,11 @@ class ChunkedTransport(Transport):
         #: even under pathologically small packet sizes in tests)
         self._scratch = np.empty(max(self.packet_bytes, 64),
                                  dtype=np.uint8)
+
+    @property
+    def packets_staged(self) -> int:
+        """Thin view over the registry counter (old attribute contract)."""
+        return self.metrics["packets_staged"]
 
     def set_deliver(self, rank, fn):
         super().set_deliver(rank, fn)
@@ -104,7 +112,7 @@ class ChunkedTransport(Transport):
                 packets += 1
             if len(arr) == 0:
                 packets = 1
-            self.packets_staged += packets
+        self.metrics.inc(packets_staged=packets)
         return out
 
     def describe(self) -> str:

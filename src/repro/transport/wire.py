@@ -49,6 +49,8 @@ import socket
 import threading
 
 from repro.datatypes.layout import WIRE_IOV_CAP
+from repro.obs.metrics import CounterGroup
+from repro.obs.trace import TRACE
 from repro.runtime import envelope as ev
 from repro.runtime.envelope import Envelope
 
@@ -233,12 +235,13 @@ class _Sink:
 class _RendezvousState:
     """Per-local-rank rendezvous tables (sender and receiver side)."""
 
-    __slots__ = ("lock", "out", "sinks")
+    __slots__ = ("lock", "out", "sinks", "t0")
 
     def __init__(self):
         self.lock = threading.Lock()
         self.out: dict[int, Envelope] = {}     # seq -> parked send
         self.sinks: dict[tuple, _Sink] = {}    # (src, seq) -> sink
+        self.t0: dict[int, float] = {}         # seq -> RTS time (tracing)
 
 
 class WireProtocol:
@@ -255,16 +258,19 @@ class WireProtocol:
         self._rndv = {r: _RendezvousState() for r in local_ranks}
         self._writeq: queue.SimpleQueue = queue.SimpleQueue()
         self._writer: threading.Thread | None = None
-        self._wire_stats_lock = threading.Lock()
-        #: frame/byte counters for benchmarks and the zero-copy tests
-        self.wire_stats = {
-            "eager_frames": 0, "eager_bytes": 0,
-            "eager_direct_frames": 0, "eager_direct_bytes": 0,
-            "rts_frames": 0, "cts_frames": 0,
-            "rndv_direct_frames": 0, "rndv_direct_bytes": 0,
-            "rndv_staged_frames": 0, "rndv_staged_bytes": 0,
-            "tx_frames": 0, "tx_bytes": 0,
-        }
+        #: frame/byte counters for benchmarks and the zero-copy tests —
+        #: a live :class:`~repro.obs.metrics.CounterGroup` registered in
+        #: the process metrics registry; Mapping-compatible with the
+        #: plain dict this used to be
+        self.wire_stats = CounterGroup("wire", (
+            "eager_frames", "eager_bytes",
+            "eager_direct_frames", "eager_direct_bytes",
+            "eager_direct_miss",
+            "rts_frames", "cts_frames",
+            "rndv_direct_frames", "rndv_direct_bytes",
+            "rndv_staged_frames", "rndv_staged_bytes",
+            "tx_frames", "tx_bytes",
+        ))
 
     def _wire_start(self, name: str = "repro-wire-writer") -> None:
         self._writer = threading.Thread(target=self._writer_loop,
@@ -277,9 +283,7 @@ class WireProtocol:
             self._writer.join(timeout=2.0)
 
     def _count(self, **deltas: int) -> None:
-        with self._wire_stats_lock:
-            for key, d in deltas.items():
-                self.wire_stats[key] += d
+        self.wire_stats.inc(**deltas)
 
     # -- send side ---------------------------------------------------------
     def _wire_send(self, env: Envelope) -> None:
@@ -288,15 +292,24 @@ class WireProtocol:
             st = self._rndv[env.src]
             with st.lock:
                 st.out[env.seq] = env
+                if TRACE.enabled:
+                    st.t0[env.seq] = TRACE.now()
             header = ev.encode_rts(env)
             self._framed_send(env.src, env.dst, header)
             self._count(rts_frames=1, tx_frames=1, tx_bytes=len(header))
+            if TRACE.enabled:
+                TRACE.instant(env.src, "wire.rts", "wire",
+                              {"dst": env.dst, "seq": env.seq,
+                               "bytes": env.payload.nbytes})
             return
         header, body = ev.encode(env)
         nbytes = body_nbytes(body)
         self._framed_send(env.src, env.dst, header, body)
         self._count(eager_frames=1, eager_bytes=nbytes, tx_frames=1,
                     tx_bytes=len(header) + nbytes)
+        if TRACE.enabled:
+            TRACE.instant(env.src, "wire.eager", "wire",
+                          {"dst": env.dst, "bytes": nbytes})
         if env.on_flushed is not None:
             # borderline prediction (communicator expected rendezvous,
             # e.g. after the threshold moved): the bytes are out, so the
@@ -338,9 +351,25 @@ class WireProtocol:
             try:
                 env.kind = ev.KIND_RNDV_DATA
                 header, body = ev.encode(env)
+                t_flush = TRACE.now() if TRACE.enabled else 0.0
                 self._framed_send(env.src, env.dst, header, body)
-                self._count(tx_frames=1,
-                            tx_bytes=len(header) + body_nbytes(body))
+                nbytes = body_nbytes(body)
+                self._count(tx_frames=1, tx_bytes=len(header) + nbytes)
+                if TRACE.enabled:
+                    # the writer-thread flush itself ...
+                    TRACE.span(env.src, "wire.flush", "wire", t_flush,
+                               {"dst": env.dst, "bytes": nbytes})
+                    # ... and the whole RTS -> CTS -> payload-flushed
+                    # span of this rendezvous, anchored at the RTS
+                    st = self._rndv.get(env.src)
+                    t0 = None
+                    if st is not None:
+                        with st.lock:
+                            t0 = st.t0.pop(env.seq, None)
+                    if t0 is not None:
+                        TRACE.span(env.src, "wire.rndv", "wire", t0,
+                                   {"dst": env.dst, "seq": env.seq,
+                                    "bytes": nbytes})
             except (OSError, RuntimeError, ConnectionError):
                 if self._closing.is_set():
                     return
@@ -365,6 +394,8 @@ class WireProtocol:
          nbytes) = ev.HEADER.unpack(pool.header)
         if kind == ev.KIND_CTS:
             self._count(cts_frames=1)
+            if TRACE.enabled:
+                TRACE.instant(rank, "wire.cts", "wire", {"seq": seq})
             self._handle_cts(rank, seq)
             return
         if kind == ev.KIND_RNDV_DATA:
@@ -391,11 +422,22 @@ class WireProtocol:
                     recv_exact_into_views(sock, views)
                     self._count(eager_direct_frames=1,
                                 eager_direct_bytes=nbytes)
+                    if TRACE.enabled:
+                        TRACE.instant(rank, "wire.eager_direct", "wire",
+                                      {"hit": True, "src": src,
+                                       "bytes": nbytes})
                     if mode == ev.MODE_SYNCHRONOUS:
                         self._send_ack(peek)
                     posted.req.complete(source_world=src, tag=tag,
                                         count_elements=nelems)
                     return
+                # the peek ran but no posted receive could take the
+                # bytes directly — the message stages via the pool
+                self._count(eager_direct_miss=1)
+                if TRACE.enabled:
+                    TRACE.instant(rank, "wire.eager_direct", "wire",
+                                  {"hit": False, "src": src,
+                                   "bytes": nbytes})
         body = pool.body(nbytes) if nbytes else b""
         if nbytes:
             recv_exact_into(sock, body)
@@ -458,12 +500,16 @@ class WireProtocol:
         if sink is None:  # pragma: no cover - protocol guarantees a sink
             recv_exact_into(sock, pool.body(nbytes))
             return
+        t0 = TRACE.now() if TRACE.enabled else 0.0
         if sink.views is not None \
                 and body_nbytes(sink.views) == nbytes:
             # the zero-copy fast path: socket -> user buffer (every
             # layout run in one scattering read), no staging
             recv_exact_into_views(sock, sink.views)
             self._count(rndv_direct_frames=1, rndv_direct_bytes=nbytes)
+            if TRACE.enabled:
+                TRACE.span(rank, "wire.rndv_land", "wire", t0,
+                           {"src": src, "bytes": nbytes, "direct": True})
             sink.posted.req.complete(source_world=src, tag=tag,
                                      count_elements=nelems)
             return
@@ -475,6 +521,9 @@ class WireProtocol:
         env.borrowed = True
         count, error, message = sink.posted.land(env)
         self._count(rndv_staged_frames=1, rndv_staged_bytes=nbytes)
+        if TRACE.enabled:
+            TRACE.span(rank, "wire.rndv_land", "wire", t0,
+                       {"src": src, "bytes": nbytes, "direct": False})
         sink.posted.req.complete(source_world=src, tag=tag,
                                  count_elements=count, error=error,
                                  error_message=message)

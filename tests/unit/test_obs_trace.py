@@ -1,0 +1,178 @@
+"""Trace recorder and Chrome export: rings, drops, determinism, validity."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import export
+from repro.obs.trace import TraceRecorder
+
+
+@pytest.fixture
+def rec():
+    r = TraceRecorder(capacity=8)
+    r.enable()
+    yield r
+    r.disable()
+    r.reset()
+
+
+class TestRecorder:
+    def test_disabled_recorder_is_the_default(self):
+        assert TraceRecorder().enabled is False
+
+    def test_instant_and_span_shapes(self, rec):
+        rec.instant(0, "hello", "cat", {"k": 1})
+        t0 = rec.now()
+        rec.span(0, "work", "cat", t0)
+        snap = rec.snapshot()
+        (e_i, e_x) = snap[0]["events"]
+        assert e_i[0] == "i" and e_i[3] == "hello" and e_i[6] == {"k": 1}
+        assert e_x[0] == "X" and e_x[2] >= 0.0 and e_x[3] == "work"
+        assert snap[0]["dropped"] == 0
+
+    def test_span_records_current_thread_name(self, rec):
+        out = {}
+
+        def worker():
+            rec.instant(3, "from-thread")
+            out["name"] = threading.current_thread().name
+
+        t = threading.Thread(target=worker, name="repro-test-thread")
+        t.start()
+        t.join()
+        evt = rec.snapshot()[3]["events"][0]
+        assert evt[5] == "repro-test-thread" == out["name"]
+
+    def test_ring_overflow_drops_oldest_and_counts(self, rec):
+        for i in range(20):     # capacity is 8
+            rec.instant(0, f"e{i}")
+        snap = rec.snapshot()
+        names = [e[3] for e in snap[0]["events"]]
+        assert names == [f"e{i}" for i in range(12, 20)]
+        assert snap[0]["dropped"] == 12
+        assert rec.dropped(0) == 12
+        assert rec.dropped(99) == 0
+
+    def test_snapshot_reset_drains(self, rec):
+        rec.instant(1, "x")
+        assert rec.snapshot(reset=True)[1]["events"]
+        assert rec.snapshot() == {}
+
+    def test_rings_are_per_rank(self, rec):
+        rec.instant(0, "a")
+        rec.instant(1, "b")
+        snap = rec.snapshot()
+        assert {r for r in snap} == {0, 1}
+
+    def test_clock_binding_and_release(self):
+        class FakeClock:
+            def __init__(self):
+                self.t = 100.0
+
+            def now(self):
+                return self.t
+
+        rec = TraceRecorder()
+        clk = FakeClock()
+        rec.use_clock(clk)
+        assert rec.now() == 100.0
+        other = FakeClock()
+        rec.release_clock(other)    # not the bound clock: no-op
+        assert rec.now() == 100.0
+        rec.release_clock(clk)
+        assert rec.now() != 100.0   # back on perf_counter
+
+    def test_enable_keeps_configured_dir(self, tmp_path):
+        rec = TraceRecorder()
+        rec.enable(str(tmp_path))
+        rec.disable()
+        rec.enable()                # dir=None keeps the old directory
+        assert rec.dir == str(tmp_path)
+
+
+class TestDisabledFastPath:
+    def test_sites_guard_on_enabled_so_nothing_is_recorded(self):
+        rec = TraceRecorder()
+        # the recorder itself records unconditionally; instrumentation
+        # sites guard.  Emulate a guarded site:
+        if rec.enabled:
+            rec.instant(0, "never")
+        assert rec.snapshot() == {}
+
+
+class TestExport:
+    def _snap(self):
+        rec = TraceRecorder()
+        rec.enable()
+        rec.instant(0, "m0", "wire", {"n": 1})
+        t0 = rec.now()
+        rec.span(1, "op", "coll", t0, {"round": 0})
+        return rec.snapshot()
+
+    def test_chrome_trace_is_valid_and_lane_structured(self):
+        obj = export.chrome_trace(self._snap())
+        assert export.validate_chrome(obj) == []
+        pids = {e["pid"] for e in obj["traceEvents"]}
+        assert pids == {0, 1}
+        meta = [e for e in obj["traceEvents"] if e["ph"] == "M"]
+        assert {m["args"]["name"] for m in meta
+                if m["name"] == "process_name"} == {"rank 0", "rank 1"}
+        spans = [e for e in obj["traceEvents"] if e["ph"] == "X"]
+        assert spans and all("dur" in e for e in spans)
+        instants = [e for e in obj["traceEvents"] if e["ph"] == "i"]
+        assert instants and all(e["s"] == "t" for e in instants)
+
+    def test_dropped_counts_surface_in_other_data(self):
+        snap = {0: {"events": [], "dropped": 5}}
+        obj = export.chrome_trace(snap)
+        assert obj["otherData"]["dropped_events"] == {"0": 5}
+
+    def test_validate_rejects_garbage(self):
+        assert export.validate_chrome([]) != []
+        assert export.validate_chrome({}) != []
+        good = export.chrome_trace(self._snap())
+        bad = json.loads(json.dumps(good))
+        bad["traceEvents"][0]["ph"] = "Z"
+        assert export.validate_chrome(bad) != []
+        bad2 = json.loads(json.dumps(good))
+        for e in bad2["traceEvents"]:
+            if e["ph"] == "X":
+                e["dur"] = -1
+                break
+        assert export.validate_chrome(bad2) != []
+
+    def test_rank_file_roundtrip_and_merge(self, tmp_path):
+        snap = self._snap()
+        paths = export.write_rank_files(str(tmp_path), snap)
+        assert [export.read_rank_file(p)[0] for p in paths] == [0, 1]
+        assert export.find_rank_files(str(tmp_path)) == paths
+        out = str(tmp_path / "merged.json")
+        export.merge_files(paths, out)
+        with open(out) as fh:
+            assert export.validate_chrome(json.load(fh)) == []
+
+    def test_merge_is_deterministic(self, tmp_path):
+        snap = self._snap()
+        export.write_merged(str(tmp_path / "a"), snap)
+        export.write_merged(str(tmp_path / "b"), snap)
+        a = (tmp_path / "a" / "trace.json").read_bytes()
+        b = (tmp_path / "b" / "trace.json").read_bytes()
+        assert a == b
+
+    def test_dump_local_is_a_noop_without_dir(self):
+        rec = TraceRecorder()
+        rec.enable()
+        rec.instant(0, "kept")
+        assert export.dump_local(rec) is None
+        assert rec.snapshot() != {}     # events were not drained
+
+    def test_dump_local_writes_rank_and_merged_files(self, tmp_path):
+        rec = TraceRecorder()
+        rec.enable(str(tmp_path))
+        rec.instant(0, "evt")
+        merged = export.dump_local(rec)
+        assert merged == str(tmp_path / "trace.json")
+        assert (tmp_path / "trace.rank0.json").exists()
+        assert rec.snapshot() == {}     # drained into the files
