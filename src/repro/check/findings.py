@@ -1,0 +1,98 @@
+"""Finding records, severities, suppressions and report output.
+
+Every lint rule emits :class:`Finding` objects; the driver filters them
+through per-line suppressions and renders ``file:line`` text or JSON.
+
+Suppression syntax (on the offending line or the line directly above)::
+
+    # repro: allow(lock-order) -- rationale for why this is safe
+    # repro: allow(blocking-under-lock, trace-guard)
+
+A rule name of ``all`` suppresses every rule on that line.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import asdict, dataclass
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+#: report ordering: most severe first
+SEVERITY_ORDER = {ERROR: 0, WARNING: 1, INFO: 2}
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\(([^)]*)\)")
+
+
+@dataclass
+class Finding:
+    """One lint finding, anchored to a source location."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    message: str
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def render(self) -> str:
+        return f"{self.location}: {self.severity}: " \
+               f"[{self.rule}] {self.message}"
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+
+def parse_suppressions(text: str) -> dict[int, set[str]]:
+    """Map of 1-based line number -> rule names allowed on that line."""
+    allows: dict[int, set[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        m = _ALLOW_RE.search(line)
+        if m is None:
+            continue
+        rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+        if rules:
+            allows[lineno] = rules
+    return allows
+
+
+def is_suppressed(finding: Finding,
+                  allows: dict[int, set[str]]) -> bool:
+    """True if an allow-comment on the line (or the line above) covers
+    the finding's rule."""
+    for lineno in (finding.line, finding.line - 1):
+        rules = allows.get(lineno)
+        if rules and (finding.rule in rules or "all" in rules):
+            return True
+    return False
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    return sorted(findings, key=lambda f: (
+        SEVERITY_ORDER.get(f.severity, 9), f.path, f.line, f.rule))
+
+
+def render_report(findings: list[Finding], checked_files: int) -> str:
+    lines = [f.render() for f in findings]
+    errors = sum(1 for f in findings if f.severity == ERROR)
+    warnings = sum(1 for f in findings if f.severity == WARNING)
+    lines.append(f"repro.check.lint: {checked_files} files, "
+                 f"{errors} error(s), {warnings} warning(s), "
+                 f"{len(findings) - errors - warnings} info")
+    return "\n".join(lines)
+
+
+def dump_json(findings: list[Finding], checked_files: int,
+              suppressed: int) -> str:
+    return json.dumps({
+        "tool": "repro.check.lint",
+        "files": checked_files,
+        "suppressed": suppressed,
+        "findings": [f.to_json() for f in findings],
+    }, indent=2, sort_keys=True)

@@ -20,7 +20,7 @@ This representation makes packing vectorizable: the flat element indices for
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -14,11 +14,8 @@ The function set is the MPI 1.1 surface the paper's mpiJava wraps.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro import errors
-from repro.errors import MPIException, ERR_ARG, ERR_COUNT, ERR_OTHER, \
-    ERR_REQUEST
+from repro.errors import MPIException, ERR_REQUEST
 from repro.datatypes import derived as _derived
 from repro.datatypes import packing as _packing
 from repro.jni import handles as H
@@ -27,7 +24,7 @@ from repro.runtime import requests as _requests
 from repro.runtime import reduce_ops as _reduce_ops
 from repro.runtime import topology as _topology
 from repro.runtime.communicator import KEYVALS
-from repro.runtime.consts import UNDEFINED, ANY_TAG
+from repro.runtime.consts import UNDEFINED
 from repro.runtime.engine import current_runtime, try_current_runtime, \
     RankRuntime, Universe, bind_thread
 from repro.runtime.envelope import (MODE_BUFFERED, MODE_READY,

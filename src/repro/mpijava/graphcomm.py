@@ -32,6 +32,10 @@ class Graphcomm(Intracomm):
 
     __slots__ = ()
 
+    def Get_dims(self) -> tuple[int, int]:
+        """(nnodes, nedges) of the attached graph (MPI_Graphdims_get)."""
+        return self._guard(capi.mpi_graphdims_get, self._handle)
+
     def Get(self) -> GraphParms:
         index, edges = self._guard(capi.mpi_graph_get, self._handle)
         return GraphParms(index, edges)

@@ -7,7 +7,6 @@ from typing import Optional
 
 from repro.jni import capi, handles as H
 from repro.mpijava.comm import Comm
-from repro.mpijava.datatype import Datatype
 from repro.mpijava.group import Group
 from repro.mpijava.op import Op
 from repro.mpijava.request import Request

@@ -250,6 +250,12 @@ class CommImpl:
                 rt.mailbox.register_ack(seq, req.complete)
             else:
                 env.on_matched = req.complete
+            if self.universe.sanitizer is not None \
+                    and dest_world != rt.world_rank:
+                # a blocked Ssend waits on its receiver: a wait-for
+                # edge for the sanitizer's deadlock detection
+                req.sanitize_block = (rt.world_rank, dest_world, ctx,
+                                      tag, "Ssend")
         elif zero_copy:
             env.on_flushed = req.complete
         try:
@@ -299,11 +305,17 @@ class CommImpl:
             return req
         dest_world = self._dest_world(dest)
         zero_copy = self._send_takes_view(count, datatype, dest_world, mode)
+        san = self.universe.sanitizer
+        verify = san.snapshot_send(buf, offset, count, datatype) \
+            if san is not None else None
         payload, nelems, is_object = extract_send_payload(
             buf, offset, count, datatype, allow_view=zero_copy)
-        return self._isend_raw(payload, nelems, is_object,
-                               dest_world, tag, self.ctx_pt2pt,
-                               mode, zero_copy=zero_copy)
+        req = self._isend_raw(payload, nelems, is_object,
+                              dest_world, tag, self.ctx_pt2pt,
+                              mode, zero_copy=zero_copy)
+        if verify is not None:
+            req.sanitize_verify_send = verify
+        return req
 
     def send(self, buf, offset, count, datatype, dest, tag,
              mode: int = MODE_STANDARD) -> None:
@@ -321,8 +333,21 @@ class CommImpl:
             return req
         validate_buffer(buf, offset, count, datatype)
         req.recv_datatype = datatype
+        san = self.universe.sanitizer
+        source_world = self._source_world(source)
+        if san is not None and source_world != ANY_SOURCE \
+                and source_world != self.rt.world_rank:
+            # specific-source receive: a wait-for edge for the
+            # sanitizer's deadlock detection (ANY_SOURCE posts none —
+            # any sender could complete it)
+            req.sanitize_block = (self.rt.world_rank, source_world,
+                                  self.ctx_pt2pt, tag, "Recv")
 
         def land(env):
+            if san is not None:
+                mismatch = san.check_signature(env, datatype, count)
+                if mismatch is not None:
+                    return mismatch
             return land_payload(buf, offset, count, datatype, env)
 
         def recv_views(env):
@@ -330,7 +355,7 @@ class CommImpl:
             # recv_into straight off the socket (contiguous or strided)
             return recv_byte_views(buf, offset, count, datatype, env)
 
-        self.rt.mailbox.post_recv(req, self._source_world(source), tag,
+        self.rt.mailbox.post_recv(req, source_world, tag,
                                   self.ctx_pt2pt, land,
                                   recv_views=recv_views)
         return req

@@ -10,6 +10,7 @@ the current thread's runtime through :func:`current_runtime`.
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 from typing import Callable, Iterable, Optional
 
@@ -108,6 +109,14 @@ class Universe:
         #: above exists: a wire transport may deliver a peer's KIND_ABORT
         #: the instant its pump starts.
         self.mailboxes: list[Mailbox | None] = [None] * self.nprocs
+        #: dynamic verification layer (repro.check.sanitizer), installed
+        #: before the transport starts so its probes can route from the
+        #: first delivery; None (the common case) keeps every hook to a
+        #: single attribute test
+        self.sanitizer = None
+        if os.environ.get("REPRO_SANITIZE") == "1":
+            from repro.check.sanitizer import Sanitizer
+            self.sanitizer = Sanitizer(self).install()
         for r in self.local_ranks:
             mb = Mailbox(r, self)
             self.mailboxes[r] = mb
@@ -256,6 +265,8 @@ class Universe:
     def close(self) -> None:
         if not self._closed:
             self._closed = True
+            if self.sanitizer is not None:
+                self.sanitizer.uninstall()
             TRACE.release_clock(self.clock)
             self.transport.close()
 
@@ -323,4 +334,8 @@ class RankRuntime:
         # the standard requires Finalize to behave like a barrier
         from repro.runtime.collective import barrier
         barrier.barrier(self.comm_world)
+        if self.universe.sanitizer is not None:
+            # after the barrier: every rank is in Finalize, so leftover
+            # queue/request/handle state is a real leak, not a race
+            self.universe.sanitizer.finalize_audit(self)
         self.finalized = True

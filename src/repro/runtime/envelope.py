@@ -21,6 +21,7 @@ KIND_ABORT = 2      # job teardown broadcast
 KIND_RTS = 3        # rendezvous request-to-send (header only, no payload)
 KIND_CTS = 4        # rendezvous clear-to-send (receiver matched a recv)
 KIND_RNDV_DATA = 5  # rendezvous payload frame, routed by (src, seq)
+KIND_SANITIZE = 6   # sanitizer deadlock-probe (REPRO_SANITIZE=1 only)
 
 # --- communication modes (MPI 1.1 §3.4) --------------------------------------
 MODE_STANDARD = 0

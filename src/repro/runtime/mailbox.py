@@ -39,7 +39,8 @@ from repro.obs.metrics import CounterGroup
 from repro.obs.trace import TRACE
 from repro.runtime.consts import ANY_SOURCE, ANY_TAG
 from repro.runtime.envelope import (Envelope, KIND_ABORT, KIND_ACK,
-                                    KIND_DATA, KIND_RTS, MODE_READY)
+                                    KIND_DATA, KIND_RTS, KIND_SANITIZE,
+                                    MODE_READY)
 from repro.runtime.requests import RequestImpl
 
 #: process-wide match counters (all mailboxes): how often the receive
@@ -143,6 +144,11 @@ class Mailbox:
         if env.kind == KIND_ABORT:
             self.universe.note_abort_delivery(env)
             self.on_abort()
+            return
+        if env.kind == KIND_SANITIZE:
+            san = getattr(self.universe, "sanitizer", None)
+            if san is not None:
+                san.on_deliver(env)
             return
         assert env.kind in (KIND_DATA, KIND_RTS)
         with self._lock:
@@ -380,3 +386,24 @@ class Mailbox:
             posted = sum(len(d) for d in self._posted_exact.values()) \
                 + len(self._posted_wild)
             return unexpected, posted
+
+    def pending_summary(self, limit: int = 8) -> list[str]:
+        """Short human-readable lines describing queued state (sanitizer
+        deadlock diagnostics and the Finalize audit)."""
+        out: list[str] = []
+        with self._lock:
+            for (ctx, src, tag), dq in self._unexpected.items():
+                out.append(f"unreceived msg src={src} tag={tag} "
+                           f"ctx={ctx} x{len(dq)}")
+            for (ctx, src, tag), dq in self._posted_exact.items():
+                out.append(f"posted recv src={src} tag={tag} "
+                           f"ctx={ctx} x{len(dq)}")
+            for p in self._posted_wild:
+                src = "any" if p.source_world == ANY_SOURCE \
+                    else p.source_world
+                tag = "any" if p.tag == ANY_TAG else p.tag
+                out.append(f"posted recv src={src} tag={tag} "
+                           f"ctx={p.context}")
+        if len(out) > limit:
+            out = out[:limit] + [f"... {len(out) - limit} more"]
+        return out

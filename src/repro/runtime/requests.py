@@ -43,6 +43,9 @@ class RequestImpl:
         self.persistent_inner: Optional["RequestImpl"] = None
         # recv-side landing zone, set by the engine
         self._recv_sink = None
+        san = getattr(universe, "sanitizer", None)
+        if san is not None:
+            san.note_request(self)
 
     # -- completion (called by mailbox / engine threads) ---------------------
     def complete(self, source_world: int = -1, tag: int = -1,
@@ -95,20 +98,39 @@ class RequestImpl:
             poke = self._event.set
             self.universe.add_abort_listener(poke)
             try:
-                self._event.wait()
+                san = getattr(self.universe, "sanitizer", None)
+                if san is not None:
+                    # deadlock-probing wait loop (REPRO_SANITIZE=1)
+                    san.sanitized_wait(self)
+                else:
+                    self._event.wait()
             finally:
                 self.universe.remove_abort_listener(poke)
         if not self.done:
             # woken by the abort listener, not by completion
             self.universe.check_abort()
+        self._sanitize_completion_checks()
         self.raise_if_error()
 
     def test(self) -> bool:
         if self._event.is_set() and self.done:
+            self._sanitize_completion_checks()
             self.raise_if_error()
             return True
         self.universe.check_abort()
         return False
+
+    def _sanitize_completion_checks(self) -> None:
+        """Run sanitizer verifiers pinned to completion observation.
+
+        The MPI moment a send buffer returns to user ownership is the
+        Wait/Test that *observes* completion — so the buffer-mutation
+        checksum fires here, once, on every backend alike.
+        """
+        verify = getattr(self, "sanitize_verify_send", None)
+        if verify is not None and self.done:
+            self.sanitize_verify_send = None
+            verify()
 
     def raise_if_error(self) -> None:
         if self.error != SUCCESS:

@@ -8,9 +8,9 @@ unit- and property-tested without any communication.
 
 from __future__ import annotations
 
-from repro.errors import MPIException, ERR_ARG, ERR_DIMS, ERR_RANK, \
+from repro.errors import MPIException, ERR_DIMS, ERR_RANK, \
     ERR_TOPOLOGY
-from repro.runtime.consts import PROC_NULL, UNDEFINED
+from repro.runtime.consts import PROC_NULL
 
 
 def dims_create(nnodes: int, dims: list[int]) -> list[int]:

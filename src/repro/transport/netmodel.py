@@ -31,7 +31,7 @@ the row the authors promised for the workshop.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -322,6 +322,10 @@ class WireProtocol:
         if sock is None:
             raise RuntimeError(f"no wire connection {src}->{dst}")
         with self._peer_lock(src, dst):
+            # By design: the peer lock exists only to keep frames atomic
+            # on the stream, and every caller is a rank-owned writer/app
+            # thread; pump threads never reach here (_enqueue_frame).
+            # repro: allow(blocking-under-lock) -- single-writer discipline
             send_frame(sock, header, body)
 
     def _enqueue_frame(self, src: int, dst: int, header: bytes) -> None:

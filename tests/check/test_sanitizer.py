@@ -1,0 +1,286 @@
+"""Negative + quietness tests for the runtime sanitizer
+(``REPRO_SANITIZE=1``): each check fires with the right diagnostic, and
+correct programs run clean.
+
+The process-per-rank backend is exercised with module-level SPMD bodies
+(they must be importable by the worker processes); the env var is
+inherited by the workers automatically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import mpirun, procrun
+from repro.errors import MPIException, ERR_TYPE
+from repro.executor.runner import RankFailure
+from repro.mpijava import MPI
+
+from tests.conftest import MODES, run
+
+
+@pytest.fixture(autouse=True)
+def _sanitize_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    # fast probe ticks keep the deadlock tests snappy
+    monkeypatch.setenv("REPRO_SANITIZE_PROBE_MS", "20")
+
+
+def first_failure(excinfo) -> BaseException:
+    failures = excinfo.value.failures
+    return failures[min(failures)]
+
+
+# ---------------------------------------------------------------------------
+# deadlock detection: named cycle, not a timeout
+# ---------------------------------------------------------------------------
+
+def recv_recv_deadlock_body():
+    MPI.Init([])
+    me = MPI.COMM_WORLD.Rank()
+    buf = np.zeros(4, dtype=np.int32)
+    MPI.COMM_WORLD.Recv(buf, 0, 4, MPI.INT, 1 - me, 7)
+    MPI.Finalize()
+
+
+@pytest.mark.parametrize("mode", sorted(MODES))
+def test_recv_recv_cycle_detected_threads(mode):
+    with pytest.raises(RankFailure) as ei:
+        # not spmd-wrapped: the body Init/Finalizes itself
+        mpirun(2, recv_recv_deadlock_body, transport=MODES[mode],
+               timeout=30.0)
+    exc = first_failure(ei)
+    assert isinstance(exc, MPIException)
+    msg = str(exc)
+    assert "deadlock detected" in msg
+    assert "cycle rank 0 -> rank 1 -> rank 0" in msg \
+        or "cycle rank 1 -> rank 0 -> rank 1" in msg
+    assert "blocked in Recv" in msg
+    assert "pending at rank" in msg
+
+
+def test_recv_recv_cycle_detected_procs():
+    with pytest.raises(RankFailure) as ei:
+        procrun(2, recv_recv_deadlock_body, timeout=60.0)
+    msg = str(first_failure(ei))
+    assert "deadlock detected" in msg
+    assert "-> rank" in msg and "blocked in Recv" in msg
+
+
+def ssend_cycle_body():
+    MPI.Init([])
+    me = MPI.COMM_WORLD.Rank()
+    buf = np.zeros(4, dtype=np.int32)
+    MPI.COMM_WORLD.Ssend(buf, 0, 4, MPI.INT, 1 - me, 2)
+    MPI.Finalize()
+
+
+def test_ssend_ssend_cycle_detected():
+    with pytest.raises(RankFailure) as ei:
+        mpirun(2, ssend_cycle_body, transport="inproc", timeout=30.0)
+    msg = str(first_failure(ei))
+    assert "deadlock detected" in msg and "Ssend" in msg
+
+
+def test_matched_traffic_is_not_flagged(mode_transport):
+    """Recv with the matching send in flight must never trip detection."""
+    def body():
+        me = MPI.COMM_WORLD.Rank()
+        buf = np.zeros(256, dtype=np.int64)
+        other = 1 - me
+        for i in range(20):
+            if me == 0:
+                buf[:] = i
+                MPI.COMM_WORLD.Send(buf, 0, 256, MPI.LONG, other, i)
+                MPI.COMM_WORLD.Recv(buf, 0, 256, MPI.LONG, other, i)
+            else:
+                MPI.COMM_WORLD.Recv(buf, 0, 256, MPI.LONG, other, i)
+                assert buf[0] == i
+                MPI.COMM_WORLD.Send(buf, 0, 256, MPI.LONG, other, i)
+    run(2, body, transport=mode_transport, timeout=60.0)
+
+
+# ---------------------------------------------------------------------------
+# send-buffer mutation before completion
+# ---------------------------------------------------------------------------
+
+def mutate_in_flight_body():
+    MPI.Init([])
+    me = MPI.COMM_WORLD.Rank()
+    buf = np.arange(64, dtype=np.int64)
+    if me == 0:
+        req = MPI.COMM_WORLD.Isend(buf, 0, 64, MPI.LONG, 1, 3)
+        buf[5] = -999       # illegal: MPI owns the buffer until Wait
+        req.Wait()
+    else:
+        r = np.zeros(64, dtype=np.int64)
+        MPI.COMM_WORLD.Recv(r, 0, 64, MPI.LONG, 0, 3)
+    MPI.Finalize()
+
+
+@pytest.mark.parametrize("mode", sorted(MODES))
+def test_buffer_mutation_detected_threads(mode):
+    with pytest.raises(RankFailure) as ei:
+        mpirun(2, mutate_in_flight_body, transport=MODES[mode],
+               timeout=30.0)
+    exc = first_failure(ei)
+    msg = str(exc)
+    assert "send buffer mutated before completion" in msg
+    assert "checksum" in msg
+
+
+def test_buffer_mutation_detected_procs():
+    with pytest.raises(RankFailure) as ei:
+        procrun(2, mutate_in_flight_body, timeout=60.0)
+    assert "send buffer mutated before completion" \
+        in str(first_failure(ei))
+
+
+def test_untouched_isend_buffer_is_fine(mode_transport):
+    def body():
+        me = MPI.COMM_WORLD.Rank()
+        buf = np.arange(64, dtype=np.int64)
+        if me == 0:
+            req = MPI.COMM_WORLD.Isend(buf, 0, 64, MPI.LONG, 1, 3)
+            req.Wait()
+            buf[5] = -999    # legal: completion already observed
+        else:
+            r = np.zeros(64, dtype=np.int64)
+            MPI.COMM_WORLD.Recv(r, 0, 64, MPI.LONG, 0, 3)
+            assert r[5] == 5
+    run(2, body, transport=mode_transport, timeout=30.0)
+
+
+# ---------------------------------------------------------------------------
+# collective call-order / root / dtype consistency
+# ---------------------------------------------------------------------------
+
+def test_collective_root_mismatch_detected():
+    def body():
+        me = MPI.COMM_WORLD.Rank()
+        buf = np.zeros(4, dtype=np.int32)
+        MPI.COMM_WORLD.Bcast(buf, 0, 4, MPI.INT, 0 if me == 0 else 1)
+
+    with pytest.raises(RankFailure) as ei:
+        run(2, body, timeout=30.0)
+    msg = str(first_failure(ei))
+    assert "collective mismatch" in msg
+    assert "root=0" in msg and "root=1" in msg
+
+
+def test_collective_order_mismatch_detected():
+    def body():
+        me = MPI.COMM_WORLD.Rank()
+        buf = np.zeros(4, dtype=np.int32)
+        out = np.zeros(4, dtype=np.int32)
+        if me == 0:
+            MPI.COMM_WORLD.Bcast(buf, 0, 4, MPI.INT, 0)
+        else:
+            MPI.COMM_WORLD.Allreduce(buf, 0, out, 0, 4, MPI.INT, MPI.SUM)
+
+    with pytest.raises(RankFailure) as ei:
+        run(2, body, timeout=30.0)
+    msg = str(first_failure(ei))
+    assert "collective mismatch" in msg
+    assert "Bcast" in msg and "Allreduce" in msg
+
+
+def test_matching_collectives_pass(mode_transport):
+    def body():
+        me = MPI.COMM_WORLD.Rank()
+        buf = np.full(8, me, dtype=np.int64)
+        out = np.zeros(8, dtype=np.int64)
+        MPI.COMM_WORLD.Bcast(buf, 0, 8, MPI.LONG, 0)
+        MPI.COMM_WORLD.Allreduce(buf, 0, out, 0, 8, MPI.LONG, MPI.SUM)
+        MPI.COMM_WORLD.Barrier()
+    run(3, body, transport=mode_transport, timeout=30.0)
+
+
+# ---------------------------------------------------------------------------
+# datatype signature check on landing
+# ---------------------------------------------------------------------------
+
+def test_recv_type_mismatch_raises_err_type():
+    def body():
+        me = MPI.COMM_WORLD.Rank()
+        if me == 0:
+            s = np.arange(8, dtype=np.float64)
+            MPI.COMM_WORLD.Send(s, 0, 8, MPI.DOUBLE, 1, 5)
+        else:
+            r = np.zeros(8, dtype=np.int32)
+            MPI.COMM_WORLD.Recv(r, 0, 8, MPI.INT, 0, 5)
+
+    with pytest.raises(RankFailure) as ei:
+        run(2, body, timeout=30.0)
+    exc = first_failure(ei)
+    assert isinstance(exc, MPIException)
+    assert exc.error_code == ERR_TYPE
+    msg = str(exc)
+    assert "sanitizer: datatype signature mismatch" in msg
+    assert "float64" in msg and "MPI.INT" in msg
+
+
+# ---------------------------------------------------------------------------
+# Finalize audit
+# ---------------------------------------------------------------------------
+
+def test_finalize_audit_reports_unmatched_recv(capfd):
+    def body():
+        me = MPI.COMM_WORLD.Rank()
+        if me == 0:
+            buf = np.zeros(4, dtype=np.int32)
+            MPI.COMM_WORLD.Irecv(buf, 0, 4, MPI.INT, 1, 9)  # never sent
+
+    run(2, body, timeout=30.0)
+    err = capfd.readouterr().err
+    assert "sanitizer: Finalize audit, rank 0" in err
+    assert "posted receive(s) never matched" in err
+    assert "request(s) never completed" in err
+
+
+def test_finalize_audit_strict_raises(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE_STRICT", "1")
+
+    def body():
+        me = MPI.COMM_WORLD.Rank()
+        if me == 1:
+            buf = np.zeros(4, dtype=np.int32)
+            MPI.COMM_WORLD.Irecv(buf, 0, 4, MPI.INT, 0, 9)
+
+    with pytest.raises(RankFailure) as ei:
+        run(2, body, timeout=30.0)
+    assert "Finalize audit" in str(first_failure(ei))
+
+
+def test_finalize_audit_quiet_on_clean_program(capfd):
+    def body():
+        me = MPI.COMM_WORLD.Rank()
+        buf = np.full(4, me, dtype=np.int32)
+        out = np.zeros(4, dtype=np.int32)
+        MPI.COMM_WORLD.Allreduce(buf, 0, out, 0, 4, MPI.INT, MPI.SUM)
+    run(2, body, timeout=30.0)
+    assert "Finalize audit" not in capfd.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# plumbing
+# ---------------------------------------------------------------------------
+
+def test_sanitizer_installed_and_uninstalled(monkeypatch):
+    from repro.mpijava import profiler
+    from repro.runtime.engine import Universe
+    before = list(profiler._active)
+    u = Universe(2, "inproc")
+    assert u.sanitizer is not None
+    assert len(profiler._active) == len(before) + 1
+    u.close()
+    assert profiler._active == before
+
+
+def test_sanitizer_absent_when_env_unset(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE")
+    from repro.runtime.engine import Universe
+    u = Universe(2, "inproc")
+    assert u.sanitizer is None
+    u.close()

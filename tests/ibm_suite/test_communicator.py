@@ -1,7 +1,6 @@
 """IBM-suite category: communicators (management, attributes, intercomms)."""
 
 import numpy as np
-import pytest
 
 from repro.mpijava import MPI, Comm, MPIException
 from tests.conftest import run

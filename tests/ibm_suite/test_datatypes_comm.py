@@ -2,7 +2,6 @@
 pair types, MPI.OBJECT, Pack/Unpack through the OO API)."""
 
 import numpy as np
-import pytest
 
 from repro.mpijava import MPI, Datatype, MPIException
 from tests.conftest import run

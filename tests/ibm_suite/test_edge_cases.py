@@ -1,7 +1,6 @@
 """Cross-cutting edge cases the categorized suites don't cover."""
 
 import numpy as np
-import pytest
 
 from repro.mpijava import MPI, Comm
 from tests.conftest import run

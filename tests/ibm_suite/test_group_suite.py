@@ -1,6 +1,5 @@
 """IBM-suite category: groups through the OO API."""
 
-import pytest
 
 from repro.mpijava import MPI, Group
 from tests.conftest import run

@@ -1,7 +1,6 @@
 """IBM-suite category: virtual topologies through the OO API."""
 
 import numpy as np
-import pytest
 
 from repro.mpijava import MPI, Cartcomm
 from tests.conftest import run

@@ -6,7 +6,6 @@ procedural calls — exactly what the benchmark's ``-C`` columns run.
 """
 
 import numpy as np
-import pytest
 
 from repro import mpirun
 from repro.jni import capi, handles as H

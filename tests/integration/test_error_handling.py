@@ -6,7 +6,7 @@ import pytest
 from repro import mpirun
 from repro.executor.runner import RankFailure
 from repro.mpijava import MPI, MPIException
-from tests.conftest import run, spmd
+from tests.conftest import run
 
 
 class TestErrorsReturn:

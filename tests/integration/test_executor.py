@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro import MPIExecutor, mpirun
-from repro.errors import AbortException
 from repro.executor.runner import JobTimeoutError, RankFailure
 from repro.mpijava import MPI
 from tests.conftest import spmd

@@ -1,7 +1,6 @@
 """Stress and concurrency: many messages, mixed traffic, random patterns."""
 
 import numpy as np
-import pytest
 
 from repro.mpijava import MPI, Request
 from tests.conftest import run

@@ -2,7 +2,6 @@
 NumPy references, executed through the real multi-rank stack."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import mpirun

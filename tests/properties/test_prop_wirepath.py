@@ -162,7 +162,6 @@ LIMIT_POINTS = (1, 4096, 65536, 1 << 62)
 
 def _run(backend, body, args, nprocs=2):
     if backend == "procs-DM":
-        import os
         from repro.executor.procrunner import ProcExecutor
         with ProcExecutor(nprocs) as ex:
             return ex.run(body, args=args, timeout=120.0)

@@ -1,6 +1,5 @@
 """Derived-datatype constructors, including the paper's §2.2 restrictions."""
 
-import numpy as np
 import pytest
 
 from repro.datatypes import derived, primitives as P

@@ -1,6 +1,5 @@
 """Error classes, strings and exceptions."""
 
-import pytest
 
 from repro import errors
 from repro.errors import AbortException, MPIException

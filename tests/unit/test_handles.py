@@ -1,6 +1,5 @@
 """JNI-stub handle tables."""
 
-import numpy as np
 import pytest
 
 from repro import mpirun

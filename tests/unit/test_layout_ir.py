@@ -5,7 +5,6 @@ import pytest
 
 from repro.datatypes import derived, primitives as P
 from repro.datatypes.base import DatatypeImpl, _INDEX_CACHE_MAX
-from repro.datatypes.layout import LayoutIR
 from repro.errors import MPIException
 
 
