@@ -13,8 +13,10 @@ A rule name of ``all`` suppresses every rule on that line.
 
 from __future__ import annotations
 
+import io
 import json
 import re
+import tokenize
 from dataclasses import asdict, dataclass
 
 ERROR = "error"
@@ -50,15 +52,35 @@ class Finding:
 
 
 def parse_suppressions(text: str) -> dict[int, set[str]]:
-    """Map of 1-based line number -> rule names allowed on that line."""
+    """Map of 1-based line number -> rule names allowed on that line.
+
+    Only real ``#`` comments count: an ``allow(...)`` spelled inside a
+    docstring or string literal (this module's own docstring, say) is
+    documentation, not a suppression.  Unparseable sources fall back to
+    a plain line scan so lint can still report on broken files.
+    """
     allows: dict[int, set[str]] = {}
-    for lineno, line in enumerate(text.splitlines(), start=1):
-        m = _ALLOW_RE.search(line)
-        if m is None:
-            continue
-        rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+
+    def add(lineno: int, spec: str) -> None:
+        rules = {r.strip() for r in spec.split(",") if r.strip()}
         if rules:
-            allows[lineno] = rules
+            allows.setdefault(lineno, set()).update(rules)
+
+    try:
+        tokens = list(tokenize.generate_tokens(
+            io.StringIO(text).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            m = _ALLOW_RE.search(line)
+            if m is not None:
+                add(lineno, m.group(1))
+        return allows
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        m = _ALLOW_RE.search(tok.string)
+        if m is not None:
+            add(tok.start[0], m.group(1))
     return allows
 
 
@@ -74,25 +96,51 @@ def is_suppressed(finding: Finding,
 
 
 def sort_findings(findings: list[Finding]) -> list[Finding]:
+    """Deterministic report order: file, line, rule (then severity so
+    duplicate anchors order stably).  Keeping the key free of insertion
+    order makes text and JSON reports byte-stable across runs, which CI
+    diffs and ``--baseline`` files rely on."""
     return sorted(findings, key=lambda f: (
-        SEVERITY_ORDER.get(f.severity, 9), f.path, f.line, f.rule))
+        f.path, f.line, f.rule, SEVERITY_ORDER.get(f.severity, 9)))
 
 
-def render_report(findings: list[Finding], checked_files: int) -> str:
+def render_report(findings: list[Finding], checked_files: int,
+                  tool: str = "repro.check.lint") -> str:
     lines = [f.render() for f in findings]
     errors = sum(1 for f in findings if f.severity == ERROR)
     warnings = sum(1 for f in findings if f.severity == WARNING)
-    lines.append(f"repro.check.lint: {checked_files} files, "
+    lines.append(f"{tool}: {checked_files} files, "
                  f"{errors} error(s), {warnings} warning(s), "
                  f"{len(findings) - errors - warnings} info")
     return "\n".join(lines)
 
 
 def dump_json(findings: list[Finding], checked_files: int,
-              suppressed: int) -> str:
+              suppressed: int, tool: str = "repro.check.lint") -> str:
     return json.dumps({
-        "tool": "repro.check.lint",
+        "tool": tool,
         "files": checked_files,
         "suppressed": suppressed,
-        "findings": [f.to_json() for f in findings],
+        "findings": [f.to_json() for f in sort_findings(findings)],
     }, indent=2, sort_keys=True)
+
+
+def baseline_key(finding: Finding) -> tuple[str, str, int]:
+    return (finding.rule, finding.path, finding.line)
+
+
+def load_baseline(path: str) -> set[tuple[str, str, int]]:
+    """Known-finding keys from a previous ``--json`` report (or any JSON
+    file with a ``findings`` list of ``{rule, path, line}`` objects)."""
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    entries = data["findings"] if isinstance(data, dict) else data
+    return {(e["rule"], e["path"], int(e["line"])) for e in entries}
+
+
+def apply_baseline(findings: list[Finding],
+                   baseline: set[tuple[str, str, int]],
+                   ) -> tuple[list[Finding], int]:
+    """Drop findings present in the baseline; returns (kept, dropped)."""
+    kept = [f for f in findings if baseline_key(f) not in baseline]
+    return kept, len(findings) - len(kept)

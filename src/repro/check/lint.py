@@ -40,11 +40,16 @@ import sys
 from pathlib import Path
 
 from repro.check import lockmodel
-from repro.check.findings import (ERROR, WARNING, Finding, dump_json,
-                                  is_suppressed, parse_suppressions,
-                                  render_report, sort_findings)
+from repro.check.findings import (ERROR, WARNING, Finding, apply_baseline,
+                                  dump_json, is_suppressed, load_baseline,
+                                  parse_suppressions, render_report,
+                                  sort_findings)
 
-RULES = ("lock-order", "blocking-under-lock", "trace-guard", "api-drift")
+RULES = ("lock-order", "blocking-under-lock", "trace-guard", "api-drift",
+         "stale-suppression")
+
+#: rules that produce findings a suppression could apply to
+_FINDING_RULES = tuple(r for r in RULES if r != "stale-suppression")
 
 #: TRACE methods that are per-event instrumentation (must be guarded);
 #: lifecycle/config methods (use_clock, snapshot, ...) are exempt
@@ -424,6 +429,32 @@ def build_model(files: list[SourceFile]) -> lockmodel.CodeModel:
     return model
 
 
+def check_stale_suppressions(files: list[SourceFile],
+                             used: set[tuple[str, int]],
+                             active: set[str]) -> list[Finding]:
+    """Allow-comments that suppressed nothing this run (so they can't
+    rot in place after the code they excused is gone).
+
+    Only comments whose named rules were all *active* this run are
+    judged — a comment for a rule that didn't execute (``--rules``
+    subset, or another tool's rule like the verifier's) proves nothing
+    either way.
+    """
+    findings: list[Finding] = []
+    all_active = set(_FINDING_RULES) <= active
+    for sf in files:
+        for lineno, names in sorted(sf.allows.items()):
+            checkable = names <= active or ("all" in names and all_active)
+            if not checkable or (sf.rel, lineno) in used:
+                continue
+            findings.append(Finding(
+                "stale-suppression", WARNING, sf.rel, lineno,
+                f"'# repro: allow({', '.join(sorted(names))})' "
+                f"suppresses nothing here — remove it (or fix the rule "
+                f"name)"))
+    return findings
+
+
 def run_lint(paths: list[str], rules: tuple[str, ...] = RULES):
     """Run the selected rules; returns (findings, nfiles, nsuppressed)."""
     files = load_files(paths)
@@ -440,11 +471,19 @@ def run_lint(paths: list[str], rules: tuple[str, ...] = RULES):
         findings += check_api_drift(files)
     allows = {sf.rel: sf.allows for sf in files}
     kept, suppressed = [], 0
+    used: set[tuple[str, int]] = set()
     for f in findings:
-        if is_suppressed(f, allows.get(f.path, {})):
+        file_allows = allows.get(f.path, {})
+        if is_suppressed(f, file_allows):
             suppressed += 1
+            for lineno in (f.line, f.line - 1):
+                names = file_allows.get(lineno)
+                if names and (f.rule in names or "all" in names):
+                    used.add((f.path, lineno))
         else:
             kept.append(f)
+    if "stale-suppression" in rules:
+        kept += check_stale_suppressions(files, used, set(rules))
     return sort_findings(kept), len(files), suppressed
 
 
@@ -460,6 +499,8 @@ def main(argv: list[str] | None = None) -> int:
                          f"{', '.join(RULES)})")
     ap.add_argument("--json", metavar="PATH", default=None,
                     help="also write the findings as JSON")
+    ap.add_argument("--baseline", metavar="PATH", default=None,
+                    help="JSON report of known findings to filter out")
     ap.add_argument("--strict", action="store_true",
                     help="treat warnings as failures too")
     args = ap.parse_args(argv)
@@ -469,10 +510,17 @@ def main(argv: list[str] | None = None) -> int:
         ap.error(f"unknown rule(s): {', '.join(sorted(unknown))}")
     findings, nfiles, suppressed = run_lint(args.paths or ["src/repro"],
                                             rules)
+    baselined = 0
+    if args.baseline:
+        findings, baselined = apply_baseline(findings,
+                                             load_baseline(args.baseline))
     print(render_report(findings, nfiles))
     if suppressed:
         print(f"repro.check.lint: {suppressed} finding(s) suppressed by "
               f"'# repro: allow(...)' comments")
+    if baselined:
+        print(f"repro.check.lint: {baselined} known finding(s) filtered "
+              f"by the baseline")
     if args.json:
         Path(args.json).write_text(
             dump_json(findings, nfiles, suppressed), encoding="utf-8")

@@ -1,0 +1,1609 @@
+"""Per-rank symbolic execution of user MPI programs.
+
+The protocol verifier (:mod:`repro.check.protocol`) needs, for every
+rank, the *sequence of communication events* the program would perform —
+before the program ever runs.  This module extracts it by abstractly
+interpreting the program's AST once per rank:
+
+* ``Get_rank()``/``Rank()`` and ``Size()`` evaluate to **concrete**
+  integers (the rank being analyzed and ``--nprocs``), so rank-dependent
+  control flow — ``if rank == 0:``, ``for peer in range(size):`` — is
+  followed exactly;
+* ``numpy`` arrays are :class:`Buffer` objects with known element counts
+  but unknown contents; cartesian topologies reuse the runtime's own
+  pure :class:`~repro.runtime.topology.CartTopology` math, so
+  ``Shift``/``Coords`` neighbour ranks are concrete too;
+* loops with computable trip counts are unrolled (within a step budget);
+  a branch or loop whose condition depends on *data* (message contents,
+  a wildcard ``Status``) is executed **tentatively**: both arms run on a
+  cloned environment, their events are recorded as *conditional*, and
+  diverging control flow marks the trace *inexact* — the matcher then
+  degrades from exact verification to may-analysis instead of reporting
+  false positives.
+
+The entry point is :func:`run_program`, which returns one
+:class:`RankTrace` per rank.  Event objects (:class:`SendEv`,
+:class:`RecvEv`, :class:`CollEv`, ...) carry ``file:line`` anchors for
+findings, byte sizes for the eager/rendezvous deadlock rule, and buffer
+spans for the Isend/Irecv buffer-race rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+import operator
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from repro.runtime.topology import CartTopology
+
+__all__ = [
+    "Buffer", "CollEv", "CommV", "DatatypeV", "FinalizeEv", "Limits",
+    "ProbeEv", "Program", "RankTrace", "RecvEv", "RequestV", "SendEv",
+    "Unknown", "WaitEv", "WriteEv", "run_program",
+]
+
+
+# ---------------------------------------------------------------------------
+# abstract values
+# ---------------------------------------------------------------------------
+
+class Unknown:
+    """A value the analysis cannot determine (message data, RNG, ...)."""
+
+    __slots__ = ("note",)
+
+    def __init__(self, note: str = ""):
+        self.note = note
+
+    def __repr__(self) -> str:
+        return f"<unknown{':' + self.note if self.note else ''}>"
+
+    def __deepcopy__(self, memo: dict) -> "Unknown":
+        return self
+
+
+def is_unknown(v: Any) -> bool:
+    return isinstance(v, Unknown)
+
+
+class _Pinned:
+    """Base for identity-bearing model values: never cloned by the
+    tentative-execution machinery (a request issued in a tentative arm is
+    the *same* request outside it)."""
+
+    def __deepcopy__(self, memo: dict) -> "_Pinned":
+        return self
+
+
+class Buffer(_Pinned):
+    """A message buffer: element count known, contents unknown."""
+
+    _next_id = 0
+
+    def __init__(self, nelems: Optional[int], shape: Optional[tuple] = None,
+                 base: Optional["Buffer"] = None):
+        if base is not None:
+            self.bid = base.bid
+        else:
+            Buffer._next_id += 1
+            self.bid = Buffer._next_id
+        self.nelems = nelems
+        self.shape = shape if shape is not None else (
+            (nelems,) if nelems is not None else None)
+
+    def view(self, shape: Optional[tuple] = None) -> "Buffer":
+        n = self.nelems
+        if shape is not None:
+            n = 1
+            for d in shape:
+                if not isinstance(d, int):
+                    n = None
+                    break
+                n *= d
+        return Buffer(n, shape, base=self)
+
+    def __repr__(self) -> str:
+        return f"<buffer #{self.bid} n={self.nelems}>"
+
+
+#: primitive name -> (bytes per element); OBJECT is serialized (unknown)
+PRIMITIVE_BYTES = {
+    "BYTE": 1, "CHAR": 2, "SHORT": 2, "BOOLEAN": 1, "INT": 4, "LONG": 8,
+    "FLOAT": 4, "DOUBLE": 8, "PACKED": 1, "SHORT2": 4, "INT2": 8,
+    "LONG2": 16, "FLOAT2": 8, "DOUBLE2": 16, "OBJECT": None,
+}
+
+
+class DatatypeV(_Pinned):
+    """An ``MPI.Datatype``: base primitive, units per instance, extent."""
+
+    def __init__(self, base: str, units: Optional[int] = 1,
+                 extent: Optional[int] = 1, derived: bool = False,
+                 site: Optional[tuple] = None, name: str = ""):
+        self.base = base                #: primitive name, e.g. "DOUBLE"
+        self.units = units              #: base elements of data / instance
+        self.extent = extent            #: span in base elements / instance
+        self.derived = derived
+        self.site = site                #: (path, line) of construction
+        self.name = name or base
+        self.committed = not derived
+        self.freed = False
+
+    @property
+    def elem_bytes(self) -> Optional[int]:
+        return PRIMITIVE_BYTES.get(self.base)
+
+    def bytes_for(self, count: Any) -> Optional[int]:
+        eb = self.elem_bytes
+        if eb is None or self.units is None or not isinstance(count, int):
+            return None
+        return count * self.units * eb
+
+    def span_for(self, offset: Any, count: Any) -> Optional[tuple]:
+        """(lo, hi) element span in the buffer, where computable."""
+        if not isinstance(offset, int) or not isinstance(count, int) \
+                or self.extent is None:
+            return None
+        return (offset, offset + count * self.extent)
+
+    def signature(self, count: Any) -> tuple:
+        """Cross-rank comparable type signature for ``count`` instances."""
+        n = count * self.units if isinstance(count, int) \
+            and self.units is not None else None
+        return (self.base, n)
+
+    def __repr__(self) -> str:
+        return f"<datatype {self.name}>"
+
+
+class OpV(_Pinned):
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"<op MPI.{self.name}>"
+
+
+class CommV(_Pinned):
+    """A communicator as one rank sees it.
+
+    ``exact`` communicators preserve world numbering and full membership
+    (COMM_WORLD, Dup, Create_cart without reorder); matching runs on
+    their events.  Everything else (Split, Create, intercomms) yields an
+    inexact communicator whose events are exempt from exact matching.
+    """
+
+    def __init__(self, ctx: str, size: Any, rank: Any,
+                 topo: Optional[CartTopology] = None, exact: bool = True):
+        self.ctx = ctx
+        self.size = size
+        self.rank = rank
+        self.topo = topo
+        self.exact = exact
+
+    def __repr__(self) -> str:
+        return f"<comm {self.ctx}>"
+
+
+class RequestV(_Pinned):
+    _next_id = 0
+
+    def __init__(self, event: "Ev"):
+        RequestV._next_id += 1
+        self.rid = RequestV._next_id
+        self.event = event
+        self.observed = False      #: some Wait/Test referenced it
+
+    def __repr__(self) -> str:
+        return f"<request #{self.rid}>"
+
+
+class StatusV(_Pinned):
+    def __init__(self, source: Any, tag: Any):
+        self.source = source
+        self.tag = tag
+        self.index = Unknown("status.index")
+        self.error = 0
+
+
+class ObjV(_Pinned):
+    """Generic attribute bag (ShiftParms, CartParms, ...)."""
+
+    def __init__(self, attrs: dict):
+        self.attrs = attrs
+
+
+class FuncV(_Pinned):
+    """A user-defined function with its defining environment."""
+
+    def __init__(self, node: ast.FunctionDef, env: "Env", path: str):
+        self.node = node
+        self.env = env
+        self.path = path
+        self.defaults: list = []
+
+    def __repr__(self) -> str:
+        return f"<function {self.node.name}>"
+
+
+class ModuleV(_Pinned):
+    """A modeled (or interpreted) module: plain attribute dict."""
+
+    def __init__(self, name: str, attrs: dict, permissive: bool = False):
+        self.name = name
+        self.attrs = attrs
+        #: unknown attributes resolve to Unknown instead of erroring
+        self.permissive = permissive
+
+    def __repr__(self) -> str:
+        return f"<module {self.name}>"
+
+
+class ModelFn(_Pinned):
+    """A callable implemented by the analyzer.
+
+    ``fn(interp, args, kwargs, node) -> value``
+    """
+
+    def __init__(self, name: str, fn: Callable):
+        self.name = name
+        self.fn = fn
+
+    def __repr__(self) -> str:
+        return f"<model {self.name}>"
+
+
+# ---------------------------------------------------------------------------
+# trace events
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Ev:
+    idx: int = field(init=False, default=-1)
+    path: str
+    line: int
+    conditional: bool
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+
+@dataclass
+class SendEv(Ev):
+    ctx: str
+    src: int
+    dst: Any                     # int | Unknown
+    tag: Any                     # int | Unknown
+    sig: tuple                   # (base, total units | None)
+    nbytes: Optional[int]
+    mode: str                    # standard | ssend | bsend | rsend
+    blocking: bool
+    bid: Optional[int] = None
+    span: Optional[tuple] = None
+    rid: Optional[int] = None
+    pair: Optional[int] = None   # shared id for Sendrecv halves
+
+
+@dataclass
+class RecvEv(Ev):
+    ctx: str
+    src: Any                     # int | ANY_SOURCE | Unknown
+    dst: int
+    tag: Any                     # int | ANY_TAG | Unknown
+    sig: tuple
+    blocking: bool
+    bid: Optional[int] = None
+    span: Optional[tuple] = None
+    rid: Optional[int] = None
+    pair: Optional[int] = None
+
+
+@dataclass
+class CollEv(Ev):
+    ctx: str
+    name: str
+    root: Any                    # int | None | Unknown
+    sig: tuple                   # () for Barrier / comm management
+    op: Optional[str]
+    blocking: bool
+    rid: Optional[int] = None
+    #: (bid, span, "r"|"w") buffers pinned while the operation runs
+    bufs: tuple = ()
+
+
+@dataclass
+class ProbeEv(Ev):
+    ctx: str
+    src: Any
+    dst: int
+    tag: Any
+    blocking: bool
+
+
+@dataclass
+class WaitEv(Ev):
+    rids: tuple
+    kind: str                    # wait | waitall | test | waitany | ...
+
+
+@dataclass
+class WriteEv(Ev):
+    bid: int
+    span: Optional[tuple]
+
+
+@dataclass
+class FinalizeEv(Ev):
+    pass
+
+
+class RankTrace:
+    """Everything one rank's execution produced."""
+
+    def __init__(self, rank: int, nprocs: int):
+        self.rank = rank
+        self.nprocs = nprocs
+        self.events: list[Ev] = []
+        self.exact = True
+        self.notes: list[str] = []
+        self.requests: list[RequestV] = []
+        self.datatypes: list[DatatypeV] = []
+        self.finalized = False
+        #: contexts whose membership/numbering the analysis cannot pin
+        #: down (Split, Create, intercomms): exempt from exact matching
+        self.inexact_ctxs: set[str] = set()
+
+    def mark_inexact(self, why: str) -> None:
+        self.exact = False
+        if why not in self.notes:
+            self.notes.append(why)
+
+    def add(self, ev: Ev) -> Ev:
+        ev.idx = len(self.events)
+        self.events.append(ev)
+        return ev
+
+
+# ---------------------------------------------------------------------------
+# control-flow signals
+# ---------------------------------------------------------------------------
+
+class _Signal(Exception):
+    pass
+
+
+class BreakSignal(_Signal):
+    pass
+
+
+class ContinueSignal(_Signal):
+    pass
+
+
+class ReturnSignal(_Signal):
+    def __init__(self, value: Any):
+        self.value = value
+
+
+class UnknownCond(Exception):
+    """Truthiness of an Unknown was required."""
+
+
+class DynamicRegion(Exception):
+    """Control flow diverged on unknown data; precision is lost from
+    here to the nearest enclosing loop (or function)."""
+
+    def __init__(self, why: str):
+        self.why = why
+
+
+class BudgetExceeded(Exception):
+    def __init__(self, why: str):
+        self.why = why
+
+
+class Env:
+    """A lexical scope: name -> abstract value, chained to its parent."""
+
+    __slots__ = ("vars", "parent")
+
+    def __init__(self, parent: Optional["Env"] = None):
+        self.vars: dict[str, Any] = {}
+        self.parent = parent
+
+    def lookup(self, name: str) -> Any:
+        env: Optional[Env] = self
+        while env is not None:
+            if name in env.vars:
+                return env.vars[name]
+            env = env.parent
+        raise KeyError(name)
+
+    def assign(self, name: str, value: Any) -> None:
+        """Python closure semantics without ``nonlocal``: writes bind in
+        the *current* scope, unless an enclosing scope already binds the
+        name and the current frame has only read it so far (good enough
+        for the read-mostly closures SPMD kernels use)."""
+        self.vars[name] = value
+
+    def chain(self) -> list["Env"]:
+        out, env = [], self
+        while env is not None:
+            out.append(env)
+            env = env.parent
+        return out
+
+
+@dataclass
+class Limits:
+    max_steps: int = 2_000_000
+    max_events: int = 100_000
+    max_depth: int = 48
+
+
+# ---------------------------------------------------------------------------
+# program container
+# ---------------------------------------------------------------------------
+
+class Program:
+    """A parsed user program: entry function + module source tree."""
+
+    def __init__(self, path: str, source: str, entry: str,
+                 display_path: Optional[str] = None):
+        self.path = path
+        self.display_path = display_path or path
+        self.source = source
+        self.entry = entry
+        self.tree = ast.parse(source, filename=path)
+
+    @classmethod
+    def from_file(cls, path: str, entry: str,
+                  display_path: Optional[str] = None) -> "Program":
+        p = Path(path)
+        text = p.read_text(encoding="utf-8")
+        if display_path is None:
+            try:
+                display_path = str(p.resolve().relative_to(Path.cwd()))
+            except ValueError:
+                display_path = str(p)
+        return cls(str(p), text, entry, display_path=display_path)
+
+
+def run_program(program: Program, nprocs: int, args: tuple = (),
+                limits: Optional[Limits] = None) -> list[RankTrace]:
+    """Execute ``program.entry`` once per rank; return all traces."""
+    limits = limits or Limits()
+    traces = []
+    for rank in range(nprocs):
+        interp = Interpreter(program, rank, nprocs, limits)
+        traces.append(interp.run(args))
+    return traces
+
+
+# ---------------------------------------------------------------------------
+# the interpreter
+# ---------------------------------------------------------------------------
+
+_BINOPS = {
+    ast.Add: operator.add, ast.Sub: operator.sub, ast.Mult: operator.mul,
+    ast.Div: operator.truediv, ast.FloorDiv: operator.floordiv,
+    ast.Mod: operator.mod, ast.Pow: operator.pow,
+    ast.LShift: operator.lshift, ast.RShift: operator.rshift,
+    ast.BitOr: operator.or_, ast.BitAnd: operator.and_,
+    ast.BitXor: operator.xor, ast.MatMult: operator.matmul,
+}
+
+_CMPOPS = {
+    ast.Eq: operator.eq, ast.NotEq: operator.ne, ast.Lt: operator.lt,
+    ast.LtE: operator.le, ast.Gt: operator.gt, ast.GtE: operator.ge,
+}
+
+_CONCRETE = (int, float, bool, str, bytes, complex, type(None), range)
+
+
+class Interpreter:
+    def __init__(self, program: Program, rank: int, nprocs: int,
+                 limits: Limits):
+        self.program = program
+        self.rank = rank
+        self.nprocs = nprocs
+        self.limits = limits
+        self.trace = RankTrace(rank, nprocs)
+        self.steps = 0
+        self.depth = 0
+        self.cond_depth = 0
+        self.current_path = program.display_path
+        self.env = Env()                   # module scope (parent: builtins)
+        self.env.vars.update(self._builtins())
+        self._comm_seq = 0
+        self._pair_seq = 0
+        self._module_cache: dict[str, ModuleV] = {}
+
+    # -- entry --------------------------------------------------------------
+    def run(self, args: tuple = ()) -> RankTrace:
+        try:
+            self._exec_module_body()
+            try:
+                entry = self.env.lookup(self.program.entry)
+            except KeyError:
+                self.trace.mark_inexact(
+                    f"entry function {self.program.entry!r} not found")
+                return self.trace
+            if not isinstance(entry, FuncV):
+                self.trace.mark_inexact(
+                    f"entry {self.program.entry!r} is not a plain function")
+                return self.trace
+            self.call_function(entry, list(args), {})
+        except BudgetExceeded as exc:
+            self.trace.mark_inexact(f"analysis budget exceeded: {exc.why}")
+        except DynamicRegion as exc:
+            self.trace.mark_inexact(f"dynamic control flow: {exc.why}")
+        except Exception as exc:   # a modelling gap must degrade, not crash
+            self.trace.mark_inexact(
+                f"abstract interpretation stopped: "
+                f"{type(exc).__name__}: {exc}")
+        return self.trace
+
+    def _exec_module_body(self) -> None:
+        module_env = self.env
+        for st in self.program.tree.body:
+            # skip the `if __name__ == "__main__":` launcher block
+            if isinstance(st, ast.If) and _is_main_guard(st.test):
+                continue
+            self.exec_stmt(st, module_env)
+
+    # -- statements ---------------------------------------------------------
+    def _tick(self) -> None:
+        self.steps += 1
+        if self.steps > self.limits.max_steps:
+            raise BudgetExceeded(f"{self.limits.max_steps} steps")
+        if len(self.trace.events) > self.limits.max_events:
+            raise BudgetExceeded(f"{self.limits.max_events} events")
+
+    def exec_block(self, stmts: list[ast.stmt], env: Env) -> None:
+        for st in stmts:
+            self.exec_stmt(st, env)
+
+    def exec_stmt(self, st: ast.stmt, env: Env) -> None:
+        self._tick()
+        if isinstance(st, ast.Expr):
+            self.eval(st.value, env)
+        elif isinstance(st, ast.Assign):
+            value = self.eval(st.value, env)
+            for target in st.targets:
+                self.assign_target(target, value, env)
+        elif isinstance(st, ast.AugAssign):
+            cur = self.eval_target_read(st.target, env)
+            rhs = self.eval(st.value, env)
+            value = self.binop(type(st.op), cur, rhs)
+            self.assign_target(st.target, value, env)
+        elif isinstance(st, ast.AnnAssign):
+            if st.value is not None:
+                self.assign_target(st.target, self.eval(st.value, env), env)
+        elif isinstance(st, ast.If):
+            self.exec_if(st, env)
+        elif isinstance(st, ast.While):
+            self.exec_while(st, env)
+        elif isinstance(st, ast.For):
+            self.exec_for(st, env)
+        elif isinstance(st, ast.FunctionDef):
+            fv = FuncV(st, env, self.current_path)
+            fv.defaults = [self.eval(d, env) for d in st.args.defaults]
+            env.assign(st.name, fv)
+        elif isinstance(st, ast.Return):
+            raise ReturnSignal(
+                self.eval(st.value, env) if st.value else None)
+        elif isinstance(st, ast.Break):
+            raise BreakSignal()
+        elif isinstance(st, ast.Continue):
+            raise ContinueSignal()
+        elif isinstance(st, ast.Pass):
+            pass
+        elif isinstance(st, (ast.Import, ast.ImportFrom)):
+            self.exec_import(st, env)
+        elif isinstance(st, ast.Assert):
+            try:
+                ok = self.truth(self.eval(st.test, env))
+            except UnknownCond:
+                return          # data-dependent assert: assume it passes
+            if not ok:
+                raise DynamicRegion(
+                    f"assert fails statically at line {st.lineno}")
+        elif isinstance(st, (ast.With, ast.AsyncWith)):
+            for item in st.items:
+                val = self.eval(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self.assign_target(item.optional_vars, val, env)
+            self.exec_block(st.body, env)
+        elif isinstance(st, ast.Try):
+            # assume the happy path: handlers model exceptional flow the
+            # static matcher does not follow
+            self.exec_block(st.body, env)
+            self.exec_block(st.finalbody, env)
+        elif isinstance(st, ast.Raise):
+            raise DynamicRegion(f"raise at line {st.lineno}")
+        elif isinstance(st, ast.Delete):
+            for t in st.targets:
+                if isinstance(t, ast.Name):
+                    env.vars.pop(t.id, None)
+        elif isinstance(st, (ast.Global, ast.Nonlocal, ast.ClassDef,
+                             ast.AsyncFunctionDef)):
+            if isinstance(st, (ast.ClassDef, ast.AsyncFunctionDef)):
+                env.assign(st.name, Unknown(f"unmodeled {st.name}"))
+        else:
+            pass
+
+    # -- assignment targets --------------------------------------------------
+    def assign_target(self, target: ast.expr, value: Any, env: Env) -> None:
+        if isinstance(target, ast.Name):
+            env.assign(target.id, value)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            self._assign_sequence(target, value, env)
+        elif isinstance(target, ast.Subscript):
+            self._assign_subscript(target, value, env)
+        elif isinstance(target, ast.Attribute):
+            obj = self.eval(target.value, env)
+            if isinstance(obj, ObjV):
+                obj.attrs[target.attr] = value
+            # attribute writes on other model objects are ignored
+        elif isinstance(target, ast.Starred):
+            self.assign_target(target.value, Unknown("starred"), env)
+
+    def _assign_sequence(self, target, value: Any, env: Env) -> None:
+        elts = target.elts
+        if isinstance(value, (tuple, list)) and \
+                not any(isinstance(e, ast.Starred) for e in elts) and \
+                len(value) == len(elts):
+            for t, v in zip(elts, value):
+                self.assign_target(t, v, env)
+            return
+        if isinstance(value, Buffer) and value.shape is not None \
+                and len(value.shape) >= 1 and value.shape[0] == len(elts):
+            for t in elts:
+                self.assign_target(t, Unknown("unpacked array"), env)
+            return
+        for t in elts:
+            t2 = t.value if isinstance(t, ast.Starred) else t
+            self.assign_target(t2, Unknown("unpacked"), env)
+
+    def _assign_subscript(self, target: ast.Subscript, value: Any,
+                          env: Env) -> None:
+        obj = self.eval(target.value, env)
+        key = self.eval_slice(target.slice, env)
+        if isinstance(obj, Buffer):
+            span = _subscript_span(key, obj)
+            self.record(WriteEv(self.program.display_path, target.lineno,
+                                self.cond_depth > 0, bid=obj.bid,
+                                span=span))
+            return
+        if isinstance(obj, (list, dict)) and not is_unknown(key):
+            try:
+                obj[key] = value
+                return
+            except Exception:
+                pass
+        if isinstance(obj, list):
+            # unknown index into a concrete list: contents degrade
+            for i in range(len(obj)):
+                obj[i] = Unknown("list store via unknown index")
+
+    def eval_target_read(self, target: ast.expr, env: Env) -> Any:
+        try:
+            return self.eval(target, env)
+        except Exception:
+            return Unknown("augassign read")
+
+    # -- control flow ---------------------------------------------------------
+    def truth(self, v: Any) -> bool:
+        if is_unknown(v):
+            raise UnknownCond()
+        if isinstance(v, Buffer):
+            raise UnknownCond()
+        if isinstance(v, (_Pinned,)):
+            return True
+        try:
+            return bool(v)
+        except Exception:
+            raise UnknownCond()
+
+    def exec_if(self, st: ast.If, env: Env) -> None:
+        try:
+            cond = self.truth(self.eval(st.test, env))
+        except UnknownCond:
+            self.fork_arms([st.body, st.orelse], env,
+                           why=f"branch on unknown data at line {st.lineno}")
+            return
+        self.exec_block(st.body if cond else st.orelse, env)
+
+    def exec_while(self, st: ast.While, env: Env) -> None:
+        while True:
+            self._tick()
+            try:
+                cond = self.truth(self.eval(st.test, env))
+            except UnknownCond:
+                self.run_dynamic_body(
+                    st.body, env,
+                    why=f"while condition unknown at line {st.lineno}")
+                return
+            if not cond:
+                break
+            try:
+                self.exec_block(st.body, env)
+            except BreakSignal:
+                return
+            except ContinueSignal:
+                continue
+            except DynamicRegion as exc:
+                self.trace.mark_inexact(exc.why)
+                return
+        if st.orelse:
+            self.exec_block(st.orelse, env)
+
+    def exec_for(self, st: ast.For, env: Env) -> None:
+        it = self.eval(st.iter, env)
+        items = _concrete_iter(it)
+        if items is None:
+            self.assign_target(st.target, Unknown("loop item"), env)
+            self.run_dynamic_body(
+                st.body, env,
+                why=f"for over unknown iterable at line {st.lineno}")
+            return
+        for item in items:
+            self._tick()
+            self.assign_target(st.target, item, env)
+            try:
+                self.exec_block(st.body, env)
+            except BreakSignal:
+                return
+            except ContinueSignal:
+                continue
+            except DynamicRegion as exc:
+                self.trace.mark_inexact(exc.why)
+                return
+        if st.orelse:
+            self.exec_block(st.orelse, env)
+
+    def fork_arms(self, arms: list[list[ast.stmt]], env: Env,
+                  why: str) -> None:
+        """Run every arm tentatively on a cloned scope; merge results.
+
+        Straight-line arms merge: variables that end up different become
+        Unknown.  Control divergence (an arm breaks/returns while another
+        does not) abandons precision via :class:`DynamicRegion`."""
+        clones, signals = [], []
+        for arm in arms:
+            clone = copy.deepcopy(env)
+            self.cond_depth += 1
+            sig: Any = None
+            try:
+                self.exec_block(arm, clone)
+            except (BreakSignal, ContinueSignal) as s:
+                sig = s
+            except ReturnSignal as s:
+                sig = s
+            except DynamicRegion as s:
+                sig = s
+            finally:
+                self.cond_depth -= 1
+            clones.append(clone)
+            signals.append(sig)
+        if all(isinstance(s, ReturnSignal) for s in signals):
+            vals = [s.value for s in signals]
+            merged = vals[0] if all(
+                _model_equal(vals[0], v) for v in vals[1:]) \
+                else Unknown("merge of diverging returns")
+            raise ReturnSignal(merged)
+        if any(s is not None for s in signals):
+            raise DynamicRegion(why)
+        _merge_envs(env, clones)
+
+    def run_dynamic_body(self, body: list[ast.stmt], env: Env,
+                         why: str) -> None:
+        """One tentative pass over an unknown-trip-count loop body."""
+        self.trace.mark_inexact(why)
+        clone = copy.deepcopy(env)
+        self.cond_depth += 1
+        try:
+            self.exec_block(body, clone)
+        except (_Signal, DynamicRegion):
+            pass
+        finally:
+            self.cond_depth -= 1
+        _merge_envs(env, [clone], force_unknown=True)
+
+    # -- function calls -------------------------------------------------------
+    def call_function(self, fv: FuncV, args: list, kwargs: dict) -> Any:
+        if self.depth >= self.limits.max_depth:
+            self.trace.mark_inexact(
+                f"call depth limit at {fv.node.name}")
+            return Unknown("deep recursion")
+        frame = Env(parent=fv.env)
+        a = fv.node.args
+        params = [p.arg for p in a.args]
+        # bind positionals, keywords, defaults; missing params -> Unknown
+        for name, value in zip(params, args):
+            frame.assign(name, value)
+        if a.vararg is not None:
+            frame.assign(a.vararg.arg, list(args[len(params):]))
+        for name, value in kwargs.items():
+            frame.assign(name, value)
+        ndefault = len(fv.defaults)
+        for i, name in enumerate(params):
+            if name in frame.vars:
+                continue
+            di = i - (len(params) - ndefault)
+            frame.assign(name, fv.defaults[di] if 0 <= di < ndefault
+                         else Unknown(f"param {name}"))
+        for p, d in zip(a.kwonlyargs, a.kw_defaults):
+            if p.arg not in frame.vars:
+                frame.assign(p.arg, self.eval(d, fv.env) if d is not None
+                             else Unknown(f"param {p.arg}"))
+        self.depth += 1
+        saved_path = self.current_path
+        self.current_path = fv.path
+        try:
+            self.exec_block(fv.node.body, frame)
+            return None
+        except ReturnSignal as r:
+            return r.value
+        except DynamicRegion as exc:
+            # divergence inside the callee truncates the callee only
+            self.trace.mark_inexact(exc.why)
+            return Unknown("diverged call")
+        finally:
+            self.depth -= 1
+            self.current_path = saved_path
+
+    # -- expressions ----------------------------------------------------------
+    def eval(self, node: Optional[ast.expr], env: Env) -> Any:
+        if node is None:
+            return None
+        self._tick()
+        meth = getattr(self, f"_eval_{type(node).__name__}", None)
+        if meth is None:
+            return Unknown(f"unmodeled expr {type(node).__name__}")
+        return meth(node, env)
+
+    def _eval_Constant(self, node: ast.Constant, env: Env) -> Any:
+        return node.value
+
+    def _eval_Name(self, node: ast.Name, env: Env) -> Any:
+        if node.id == "__name__":
+            return Path(self.program.path).stem
+        try:
+            return env.lookup(node.id)
+        except KeyError:
+            return Unknown(f"unbound name {node.id}")
+
+    def _eval_Tuple(self, node: ast.Tuple, env: Env) -> Any:
+        return tuple(self._eval_elts(node.elts, env))
+
+    def _eval_List(self, node: ast.List, env: Env) -> Any:
+        return self._eval_elts(node.elts, env)
+
+    def _eval_Set(self, node: ast.Set, env: Env) -> Any:
+        out = set()
+        for v in self._eval_elts(node.elts, env):
+            try:
+                out.add(v)
+            except TypeError:
+                out.add(Unknown("unhashable"))
+        return out
+
+    def _eval_elts(self, elts: list, env: Env) -> list:
+        out = []
+        for e in elts:
+            if isinstance(e, ast.Starred):
+                v = self.eval(e.value, env)
+                items = _concrete_iter(v)
+                if items is None:
+                    out.append(Unknown("starred"))
+                else:
+                    out.extend(items)
+            else:
+                out.append(self.eval(e, env))
+        return out
+
+    def _eval_Dict(self, node: ast.Dict, env: Env) -> Any:
+        out: dict = {}
+        for k, v in zip(node.keys, node.values):
+            if k is None:
+                merged = self.eval(v, env)
+                if isinstance(merged, dict):
+                    out.update(merged)
+                continue
+            key = self.eval(k, env)
+            val = self.eval(v, env)
+            try:
+                out[key] = val
+            except TypeError:
+                pass
+        return out
+
+    def _eval_JoinedStr(self, node: ast.JoinedStr, env: Env) -> Any:
+        parts = []
+        for v in node.values:
+            if isinstance(v, ast.Constant):
+                parts.append(str(v.value))
+            else:
+                val = self.eval(v.value, env)       # FormattedValue
+                if is_unknown(val) or isinstance(val, _Pinned) \
+                        or isinstance(val, Buffer):
+                    return Unknown("f-string of unknown")
+                parts.append(str(val))
+        return "".join(parts)
+
+    def _eval_BinOp(self, node: ast.BinOp, env: Env) -> Any:
+        left = self.eval(node.left, env)
+        right = self.eval(node.right, env)
+        return self.binop(type(node.op), left, right)
+
+    def binop(self, op: type, left: Any, right: Any) -> Any:
+        if isinstance(left, Buffer) or isinstance(right, Buffer):
+            buf = left if isinstance(left, Buffer) else right
+            other = right if buf is left else left
+            if isinstance(other, Buffer) and other.nelems != buf.nelems:
+                n = max(x for x in (buf.nelems, other.nelems)
+                        if x is not None) \
+                    if (buf.nelems is not None or other.nelems is not None) \
+                    else None
+                return Buffer(n)
+            return Buffer(buf.nelems, buf.shape)     # fresh result array
+        if is_unknown(left) or is_unknown(right):
+            return Unknown("arith on unknown")
+        fn = _BINOPS.get(op)
+        if fn is None:
+            return Unknown("operator")
+        try:
+            return fn(left, right)
+        except Exception:
+            return Unknown("operator failed")
+
+    def _eval_UnaryOp(self, node: ast.UnaryOp, env: Env) -> Any:
+        v = self.eval(node.operand, env)
+        if isinstance(node.op, ast.Not):
+            try:
+                return not self.truth(v)
+            except UnknownCond:
+                return Unknown("not unknown")
+        if is_unknown(v) or isinstance(v, Buffer):
+            return Unknown("unary on unknown") if not isinstance(v, Buffer) \
+                else Buffer(v.nelems, v.shape)
+        try:
+            if isinstance(node.op, ast.USub):
+                return -v
+            if isinstance(node.op, ast.UAdd):
+                return +v
+            if isinstance(node.op, ast.Invert):
+                return ~v
+        except Exception:
+            pass
+        return Unknown("unary")
+
+    def _eval_BoolOp(self, node: ast.BoolOp, env: Env) -> Any:
+        is_and = isinstance(node.op, ast.And)
+        result: Any = None
+        for v in node.values:
+            val = self.eval(v, env)
+            try:
+                t = self.truth(val)
+            except UnknownCond:
+                return Unknown("boolop on unknown")
+            result = val
+            if is_and and not t:
+                return val
+            if not is_and and t:
+                return val
+        return result
+
+    def _eval_Compare(self, node: ast.Compare, env: Env) -> Any:
+        left = self.eval(node.left, env)
+        for op, rhs in zip(node.ops, node.comparators):
+            right = self.eval(rhs, env)
+            res = self._compare_one(op, left, right)
+            if is_unknown(res):
+                return res
+            if not res:
+                return False
+            left = right
+        return True
+
+    def _compare_one(self, op: ast.cmpop, left: Any, right: Any) -> Any:
+        if isinstance(op, ast.Is):
+            return left is right
+        if isinstance(op, ast.IsNot):
+            return left is not right
+        if is_unknown(left) or is_unknown(right) \
+                or isinstance(left, Buffer) or isinstance(right, Buffer):
+            return Unknown("compare with unknown")
+        if isinstance(op, (ast.In, ast.NotIn)):
+            try:
+                res = left in right
+            except Exception:
+                return Unknown("membership")
+            return (not res) if isinstance(op, ast.NotIn) else res
+        fn = _CMPOPS.get(type(op))
+        if fn is None:
+            return Unknown("compare op")
+        if isinstance(left, _Pinned) or isinstance(right, _Pinned):
+            if type(op) in (ast.Eq, ast.NotEq):
+                same = left is right
+                return same if isinstance(op, ast.Eq) else not same
+            return Unknown("ordered compare of model values")
+        try:
+            return fn(left, right)
+        except Exception:
+            return Unknown("compare failed")
+
+    def _eval_IfExp(self, node: ast.IfExp, env: Env) -> Any:
+        try:
+            cond = self.truth(self.eval(node.test, env))
+        except UnknownCond:
+            a = self.eval(node.body, env)
+            b = self.eval(node.orelse, env)
+            return a if _model_equal(a, b) else Unknown("ternary on unknown")
+        return self.eval(node.body if cond else node.orelse, env)
+
+    def _eval_Lambda(self, node: ast.Lambda, env: Env) -> Any:
+        fn = ast.FunctionDef(
+            name="<lambda>", args=node.args,
+            body=[ast.Return(value=node.body)],
+            decorator_list=[], returns=None, type_comment=None,
+            type_params=[])
+        ast.copy_location(fn, node)
+        ast.fix_missing_locations(fn)
+        fv = FuncV(fn, env, self.program.display_path)
+        fv.defaults = [self.eval(d, env) for d in node.args.defaults]
+        return fv
+
+    def _eval_Starred(self, node: ast.Starred, env: Env) -> Any:
+        return self.eval(node.value, env)
+
+    def _eval_ListComp(self, node: ast.ListComp, env: Env) -> Any:
+        return self._comprehension(node.generators, env,
+                                   lambda e: self.eval(node.elt, e), [])
+
+    def _eval_GeneratorExp(self, node: ast.GeneratorExp, env: Env) -> Any:
+        return self._comprehension(node.generators, env,
+                                   lambda e: self.eval(node.elt, e), [])
+
+    def _eval_SetComp(self, node: ast.SetComp, env: Env) -> Any:
+        items = self._comprehension(node.generators, env,
+                                    lambda e: self.eval(node.elt, e), [])
+        if is_unknown(items):
+            return items
+        out = set()
+        for v in items:
+            try:
+                out.add(v)
+            except TypeError:
+                pass
+        return out
+
+    def _eval_DictComp(self, node: ast.DictComp, env: Env) -> Any:
+        pairs = self._comprehension(
+            node.generators, env,
+            lambda e: (self.eval(node.key, e), self.eval(node.value, e)), [])
+        if is_unknown(pairs):
+            return pairs
+        out = {}
+        for k, v in pairs:
+            try:
+                out[k] = v
+            except TypeError:
+                pass
+        return out
+
+    def _comprehension(self, gens, env: Env, produce, acc: list) -> Any:
+        scope = Env(parent=env)
+
+        def rec(i: int) -> bool:
+            if i == len(gens):
+                acc.append(produce(scope))
+                return True
+            gen = gens[i]
+            items = _concrete_iter(self.eval(gen.iter, scope))
+            if items is None:
+                return False
+            for item in items:
+                self._tick()
+                self.assign_target(gen.target, item, scope)
+                ok = True
+                for cond in gen.ifs:
+                    try:
+                        ok = self.truth(self.eval(cond, scope))
+                    except UnknownCond:
+                        return False
+                    if not ok:
+                        break
+                if ok and not rec(i + 1):
+                    return False
+            return True
+
+        if not rec(0):
+            return Unknown("comprehension over unknown")
+        return acc
+
+    def _eval_Subscript(self, node: ast.Subscript, env: Env) -> Any:
+        obj = self.eval(node.value, env)
+        key = self.eval_slice(node.slice, env)
+        return self.subscript(obj, key)
+
+    def eval_slice(self, node: ast.expr, env: Env) -> Any:
+        if isinstance(node, ast.Slice):
+            return slice(self.eval(node.lower, env),
+                         self.eval(node.upper, env),
+                         self.eval(node.step, env))
+        if isinstance(node, ast.Tuple):
+            return tuple(self.eval_slice(e, env) for e in node.elts)
+        return self.eval(node, env)
+
+    def subscript(self, obj: Any, key: Any) -> Any:
+        if isinstance(obj, Buffer):
+            return self._buffer_subscript(obj, key)
+        if is_unknown(obj):
+            return Unknown("subscript of unknown")
+        if isinstance(key, slice):
+            ck = _concrete_slice(key)
+            if ck is None:
+                return Unknown("slice with unknown bounds")
+            key = ck
+        elif is_unknown(key) or isinstance(key, tuple) and any(
+                is_unknown(k) or isinstance(k, slice) for k in key):
+            if isinstance(obj, dict):
+                return Unknown("dict get via unknown key")
+            return Unknown("subscript via unknown key")
+        try:
+            return obj[key]
+        except Exception:
+            return Unknown("subscript failed")
+
+    def _buffer_subscript(self, buf: Buffer, key: Any) -> Any:
+        # scalar index -> unknown element; slices -> view of same storage
+        if isinstance(key, int):
+            if buf.shape is not None and len(buf.shape) > 1:
+                return buf.view(tuple(buf.shape[1:]))
+            return Unknown("array element")
+        if isinstance(key, slice):
+            n = _slice_len(key, buf.nelems)
+            out = Buffer(n, base=buf)
+            return out
+        if isinstance(key, tuple):
+            return Buffer(None, base=buf)
+        if is_unknown(key) or isinstance(key, Buffer):
+            return Unknown("array fancy index")
+        return Unknown("array subscript")
+
+    def _eval_Attribute(self, node: ast.Attribute, env: Env) -> Any:
+        obj = self.eval(node.value, env)
+        return self.getattr_model(obj, node.attr, node)
+
+    def _eval_Call(self, node: ast.Call, env: Env) -> Any:
+        fn = self.eval(node.func, env)
+        args = []
+        for a in node.args:
+            if isinstance(a, ast.Starred):
+                v = self.eval(a.value, env)
+                items = _concrete_iter(v)
+                args.extend(items if items is not None
+                            else [Unknown("starred arg")])
+            else:
+                args.append(self.eval(a, env))
+        kwargs = {}
+        for kw in node.keywords:
+            if kw.arg is None:
+                v = self.eval(kw.value, env)
+                if isinstance(v, dict):
+                    kwargs.update({k: val for k, val in v.items()
+                                   if isinstance(k, str)})
+            else:
+                kwargs[kw.arg] = self.eval(kw.value, env)
+        return self.call(fn, args, kwargs, node)
+
+    def call(self, fn: Any, args: list, kwargs: dict,
+             node: ast.AST) -> Any:
+        if isinstance(fn, FuncV):
+            return self.call_function(fn, args, kwargs)
+        if isinstance(fn, ModelFn):
+            return fn.fn(self, args, kwargs, node)
+        if callable(fn) and not isinstance(fn, (_Pinned, Unknown)):
+            # mutating methods of concrete containers run even with
+            # abstract arguments (an Unknown stores fine in a list) —
+            # otherwise `workers.append(status.source)` would silently
+            # drop the append and derail an otherwise-exact loop
+            owner = getattr(fn, "__self__", None)
+            if isinstance(owner, (list, dict, set)):
+                try:
+                    return fn(*args, **kwargs)
+                except Exception:
+                    return Unknown("container method failed")
+            if all(_is_concrete(a) for a in args) \
+                    and all(_is_concrete(v) for v in kwargs.values()):
+                try:
+                    return fn(*args, **kwargs)
+                except Exception:
+                    return Unknown("builtin failed")
+            return Unknown("builtin on unknown args")
+        return Unknown("call of unknown")
+
+    # -- attribute modelling --------------------------------------------------
+    def getattr_model(self, obj: Any, attr: str, node: ast.AST) -> Any:
+        if isinstance(obj, ModuleV):
+            if attr in obj.attrs:
+                return obj.attrs[attr]
+            if obj.permissive:
+                return ModelFn(f"{obj.name}.{attr}",
+                               lambda i, a, k, n: Unknown(attr))
+            return Unknown(f"{obj.name}.{attr}")
+        if isinstance(obj, ObjV):
+            if attr in obj.attrs:
+                return obj.attrs[attr]
+            return Unknown(f"attr {attr}")
+        if isinstance(obj, StatusV):
+            if attr == "source":
+                return obj.source
+            if attr == "tag":
+                return obj.tag
+            if attr == "index":
+                return obj.index
+            if attr == "error":
+                return obj.error
+            if attr == "Get_count":
+                return ModelFn("Status.Get_count",
+                               lambda i, a, k, n: Unknown("count"))
+            return Unknown(f"Status.{attr}")
+        if isinstance(obj, CommV):
+            return self._comm_attr(obj, attr, node)
+        if isinstance(obj, DatatypeV):
+            return self._datatype_attr(obj, attr, node)
+        if isinstance(obj, RequestV):
+            return self._request_attr(obj, attr, node)
+        if isinstance(obj, Buffer):
+            return self._buffer_attr(obj, attr, node)
+        if isinstance(obj, _CONCRETE) or isinstance(obj, (list, dict,
+                                                          set, tuple)):
+            try:
+                return getattr(obj, attr)
+            except AttributeError:
+                return Unknown(f".{attr}")
+        if is_unknown(obj):
+            return Unknown(f"unknown.{attr}")
+        try:
+            return getattr(obj, attr)
+        except Exception:
+            return Unknown(f".{attr}")
+
+    def _buffer_attr(self, buf: Buffer, attr: str, node: ast.AST) -> Any:
+        line = getattr(node, "lineno", 0)
+        if attr == "copy":
+            return ModelFn("ndarray.copy",
+                           lambda i, a, k, n: Buffer(buf.nelems, buf.shape))
+        if attr == "astype":
+            return ModelFn("ndarray.astype",
+                           lambda i, a, k, n: Buffer(buf.nelems, buf.shape))
+        if attr == "reshape":
+            def _reshape(i, a, k, n):
+                dims = a[0] if len(a) == 1 and isinstance(a[0], tuple) \
+                    else tuple(a)
+                if all(isinstance(d, int) for d in dims):
+                    return buf.view(dims)
+                return buf.view()
+            return ModelFn("ndarray.reshape", _reshape)
+        if attr == "fill":
+            def _fill(i, a, k, n):
+                i.record(WriteEv(i.program.display_path, line,
+                                 i.cond_depth > 0, bid=buf.bid, span=None))
+                return None
+            return ModelFn("ndarray.fill", _fill)
+        if attr in ("any", "all", "max", "min", "sum", "mean", "std",
+                    "tobytes", "tolist", "item", "argmax", "argmin",
+                    "nonzero"):
+            return ModelFn(f"ndarray.{attr}",
+                           lambda i, a, k, n: Unknown(f"ndarray.{attr}"))
+        if attr == "size":
+            return buf.nelems if buf.nelems is not None \
+                else Unknown("size")
+        if attr == "shape":
+            return buf.shape if buf.shape is not None else Unknown("shape")
+        if attr == "dtype":
+            return Unknown("dtype")
+        if attr == "T":
+            return buf.view()
+        return ModelFn(f"ndarray.{attr}",
+                       lambda i, a, k, n: Unknown(f"ndarray.{attr}"))
+
+    # -- recording ------------------------------------------------------------
+    def record(self, ev: Ev) -> Ev:
+        return self.trace.add(ev)
+
+    def loc(self, node: ast.AST) -> tuple:
+        return (self.current_path, getattr(node, "lineno", 0))
+
+    def new_ctx(self, kind: str) -> str:
+        self._comm_seq += 1
+        return f"{kind}#{self._comm_seq}"
+
+    # -- imports --------------------------------------------------------------
+    def exec_import(self, st: ast.stmt, env: Env) -> None:
+        if isinstance(st, ast.Import):
+            for alias in st.names:
+                name = alias.name
+                env.assign(alias.asname or name.split(".")[0],
+                           self.load_module(name.split(".")[0])
+                           if "." not in name or alias.asname is None
+                           else self.load_module(name))
+            return
+        assert isinstance(st, ast.ImportFrom)
+        if st.module is None or st.level:
+            for alias in st.names:
+                env.assign(alias.asname or alias.name,
+                           Unknown(f"relative import {alias.name}"))
+            return
+        mod = self.load_module(st.module)
+        for alias in st.names:
+            if alias.name == "*":
+                if isinstance(mod, ModuleV):
+                    env.vars.update(mod.attrs)
+                continue
+            env.assign(alias.asname or alias.name,
+                       self.getattr_model(mod, alias.name, st))
+
+    def load_module(self, name: str) -> ModuleV:
+        if name in self._module_cache:
+            return self._module_cache[name]
+        if name.split(".")[0] in _MODEL_ROOTS:
+            mod: Optional[ModuleV] = build_model_module(name, self)
+        else:
+            # lockmodel-style cross-module resolution: interpret sibling
+            # user modules so helpers that wrap MPI calls still record
+            # events with their own file:line anchors
+            mod = self._load_user_module(name)
+            if mod is None:
+                mod = build_model_module(name, self)
+        self._module_cache[name] = mod
+        return mod
+
+    def _load_user_module(self, name: str) -> Optional[ModuleV]:
+        if "." in name:
+            return None
+        p = Path(self.program.path).parent / f"{name}.py"
+        try:
+            if not p.is_file():
+                return None
+            text = p.read_text(encoding="utf-8")
+            tree = ast.parse(text, filename=str(p))
+        except (OSError, SyntaxError):
+            return None
+        try:
+            display = str(p.resolve().relative_to(Path.cwd()))
+        except ValueError:
+            display = str(p)
+        env = Env()
+        env.vars.update(self._builtins())
+        saved = self.current_path
+        self.current_path = display
+        try:
+            for st in tree.body:
+                if isinstance(st, ast.If) and _is_main_guard(st.test):
+                    continue
+                try:
+                    self.exec_stmt(st, env)
+                except (_Signal, DynamicRegion):
+                    break
+        finally:
+            self.current_path = saved
+        return ModuleV(name, dict(env.vars), permissive=True)
+
+    # -- builtins -------------------------------------------------------------
+    def _builtins(self) -> dict:
+        def model(name, fn):
+            return ModelFn(name, fn)
+
+        def _len(i, a, k, n):
+            v = a[0] if a else Unknown("len")
+            if isinstance(v, Buffer):
+                return v.shape[0] if v.shape else (
+                    v.nelems if v.nelems is not None else Unknown("len"))
+            if isinstance(v, (list, tuple, dict, set, str, bytes, range)):
+                return len(v)
+            return Unknown("len")
+
+        def _print(i, a, k, n):
+            return None
+
+        def _sorted(i, a, k, n):
+            v = a[0] if a else []
+            items = _concrete_iter(v)
+            if items is None:
+                return Unknown("sorted")
+            try:
+                return sorted(items, **{kk: vv for kk, vv in k.items()
+                                        if _is_concrete(vv)})
+            except Exception:
+                return list(items)
+
+        def _isinstance(i, a, k, n):
+            return Unknown("isinstance")
+
+        env = {
+            "True": True, "False": False, "None": None,
+            "len": model("len", _len),
+            "print": model("print", _print),
+            "sorted": model("sorted", _sorted),
+            "isinstance": model("isinstance", _isinstance),
+            "range": range, "int": int, "float": float, "str": str,
+            "bool": bool, "abs": abs, "min": min, "max": max, "sum": sum,
+            "list": list, "tuple": tuple, "dict": dict, "set": set,
+            "enumerate": enumerate, "zip": zip, "reversed": reversed,
+            "any": any, "all": all, "divmod": divmod, "round": round,
+            "repr": repr, "format": format, "id": id, "hash": hash,
+            "iter": iter, "next": next, "frozenset": frozenset,
+            "ValueError": ValueError, "TypeError": TypeError,
+            "RuntimeError": RuntimeError, "KeyError": KeyError,
+            "AssertionError": AssertionError, "Exception": Exception,
+            "StopIteration": StopIteration, "NotImplementedError":
+                NotImplementedError,
+        }
+        return env
+
+    # -- communicator modelling -----------------------------------------------
+    def _comm_attr(self, comm: CommV, attr: str, node: ast.AST) -> Any:
+        from repro.check import mpimodel
+        return mpimodel.comm_attr(self, comm, attr, node)
+
+    def _datatype_attr(self, dt: DatatypeV, attr: str,
+                       node: ast.AST) -> Any:
+        from repro.check import mpimodel
+        return mpimodel.datatype_attr(self, dt, attr, node)
+
+    def _request_attr(self, req: RequestV, attr: str,
+                      node: ast.AST) -> Any:
+        from repro.check import mpimodel
+        return mpimodel.request_attr(self, req, attr, node)
+
+
+#: import roots always resolved by the model layer, never from disk
+_MODEL_ROOTS = frozenset({
+    "repro", "numpy", "np", "math", "sys", "os", "json", "time",
+    "pathlib", "pickle", "itertools", "functools", "collections",
+    "typing", "dataclasses", "argparse", "random", "struct", "array",
+})
+
+
+def build_model_module(name: str, interp: Interpreter) -> ModuleV:
+    from repro.check import mpimodel
+    return mpimodel.module_for(name, interp)
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+def _is_main_guard(test: ast.expr) -> bool:
+    return (isinstance(test, ast.Compare)
+            and isinstance(test.left, ast.Name)
+            and test.left.id == "__name__")
+
+
+def _is_concrete(v: Any) -> bool:
+    if isinstance(v, _CONCRETE):
+        return True
+    if isinstance(v, (list, tuple, set)):
+        return all(_is_concrete(x) for x in v)
+    if isinstance(v, dict):
+        return all(_is_concrete(k) and _is_concrete(x)
+                   for k, x in v.items())
+    return False
+
+
+def _concrete_iter(v: Any) -> Optional[list]:
+    """Materialize an iterable whose structure is known (items may be
+    abstract); None if the iteration count itself is unknown."""
+    if isinstance(v, (list, tuple, str, bytes)):
+        return list(v)
+    if isinstance(v, range):
+        return list(v[:100_000])
+    if isinstance(v, dict):
+        return list(v.keys())
+    if isinstance(v, set):
+        return list(v)
+    if isinstance(v, (zip, enumerate, reversed, map, filter)):
+        try:
+            return list(v)
+        except Exception:
+            return None
+    return None
+
+
+def _concrete_slice(s: slice) -> Optional[slice]:
+    for part in (s.start, s.stop, s.step):
+        if part is not None and not isinstance(part, int):
+            return None
+    return s
+
+
+def _slice_len(s: slice, n: Optional[int]) -> Optional[int]:
+    cs = _concrete_slice(s)
+    if cs is None or n is None:
+        return None
+    try:
+        return len(range(*cs.indices(n)))
+    except Exception:
+        return None
+
+
+def _subscript_span(key: Any, buf: Buffer) -> Optional[tuple]:
+    """(lo, hi) element span of a store, where computable (1-D only)."""
+    if buf.shape is not None and len(buf.shape) != 1:
+        return None
+    n = buf.nelems
+    if isinstance(key, int):
+        if n is not None and key < 0:
+            key += n
+        return (key, key + 1) if key >= 0 else None
+    if isinstance(key, slice):
+        cs = _concrete_slice(key)
+        if cs is None or n is None:
+            return None
+        idx = range(*cs.indices(n))
+        if len(idx) == 0:
+            return (0, 0)
+        lo, hi = min(idx[0], idx[-1]), max(idx[0], idx[-1]) + 1
+        return (lo, hi)
+    return None
+
+
+def _model_equal(a: Any, b: Any) -> bool:
+    if a is b:
+        return True
+    if isinstance(a, _Pinned) or isinstance(b, _Pinned):
+        return False
+    if is_unknown(a) or is_unknown(b):
+        return False
+    if isinstance(a, Buffer) or isinstance(b, Buffer):
+        return False
+    try:
+        return type(a) is type(b) and bool(a == b)
+    except Exception:
+        return False
+
+
+def _merge_envs(base: Env, clones: list[Env],
+                force_unknown: bool = False) -> None:
+    """Fold tentative-arm scopes back into ``base``.
+
+    A name bound to the same value in every clone keeps it; anything
+    that differs (or everything written, with ``force_unknown``) becomes
+    Unknown."""
+    base_chain = base.chain()
+    clone_chains = [c.chain() for c in clones]
+    for depth, benv in enumerate(base_chain):
+        keys: set[str] = set(benv.vars)
+        for chain in clone_chains:
+            if depth < len(chain):
+                keys |= set(chain[depth].vars)
+        for key in keys:
+            vals = []
+            for chain in clone_chains:
+                if depth < len(chain) and key in chain[depth].vars:
+                    vals.append(chain[depth].vars[key])
+                else:
+                    vals.append(Unknown("unbound in arm"))
+            orig = benv.vars.get(key, Unknown("unbound"))
+            if force_unknown:
+                if len(vals) == 1 and _model_equal(vals[0], orig):
+                    continue
+                if len(vals) == 1 and vals[0] is orig:
+                    continue
+                benv.vars[key] = Unknown(f"assigned in dynamic region")
+                continue
+            first = vals[0]
+            if all(_model_equal(first, v) or first is v for v in vals[1:]):
+                if not (_model_equal(first, orig) or first is orig):
+                    benv.vars[key] = first
+            else:
+                benv.vars[key] = Unknown("merge of diverging branches")

@@ -1,0 +1,206 @@
+"""``python -m repro.check.verify``: static cross-rank protocol verifier.
+
+Runs the per-rank symbolic executor (:mod:`repro.check.symexec`) over an
+SPMD entry point — the same ``path/to/file.py:func`` / ``module:func``
+targets ``repro.mpirun`` launches — once per rank, then cross-matches the
+extracted communication traces (:mod:`repro.check.protocol`) *before the
+program ever runs*::
+
+    python -m repro.check.verify examples/laplace2d.py:solve --nprocs 4
+    python -m repro.check.verify examples/pi_reduce.py:compute_pi \
+        --nprocs 2,4 --json report.json
+    python -m repro.check.verify 'examples/quickstart.py:main@2' \
+        examples/obs_smoke.py:body --nprocs 2,4
+
+``--nprocs`` takes a comma-separated list of job sizes; every target is
+verified at every size.  A ``@N`` suffix on a target pins it to one size
+regardless (``quickstart.py:main@2`` is written for exactly two ranks).
+
+Findings reuse the :mod:`repro.check.findings` machinery: ``file:line``
+anchors, error/warning/info severities, ``# repro: allow(<rule>)``
+suppressions on the offending line (or the line above), deterministic
+ordering, ``--json`` reports, ``--baseline`` filtering and ``--strict``.
+The rule catalog lives in :data:`repro.check.protocol.RULES`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import sys
+from pathlib import Path
+
+from repro.check.findings import (ERROR, WARNING, Finding, apply_baseline,
+                                  dump_json, is_suppressed, load_baseline,
+                                  parse_suppressions, render_report,
+                                  sort_findings)
+from repro.check.protocol import RULES, check_traces
+from repro.check.symexec import Limits, Program, run_program
+
+TOOL = "repro.check.verify"
+
+
+def _module_path(module: str) -> str:
+    """Source file of ``module`` without executing it."""
+    try:
+        spec = importlib.util.find_spec(module)
+    except (ImportError, ValueError) as exc:
+        raise SystemExit(f"{TOOL}: cannot locate module {module!r}: {exc}")
+    if spec is None or not spec.origin or spec.origin == "built-in":
+        raise SystemExit(f"{TOOL}: module {module!r} has no source file")
+    return spec.origin
+
+
+def resolve_program(target: str) -> tuple[Program, str]:
+    """Build a :class:`Program` from a mpirun-style target string."""
+    from repro.executor.procrunner import target_spec
+    try:
+        spec = target_spec(target)
+    except ValueError as exc:
+        raise SystemExit(f"{TOOL}: {exc}")
+    path = spec["file"] if "file" in spec else _module_path(spec["module"])
+    try:
+        rel = str(Path(path).resolve().relative_to(Path.cwd()))
+    except ValueError:
+        rel = path
+    try:
+        program = Program.from_file(path, spec["func"], display_path=rel)
+    except (OSError, SyntaxError) as exc:
+        raise SystemExit(f"{TOOL}: cannot load {target!r}: {exc}")
+    return program, spec["func"]
+
+
+def parse_targets(tokens: list[str]) -> list[tuple[str, int | None]]:
+    """Split optional ``@N`` nprocs pins off each target token."""
+    out: list[tuple[str, int | None]] = []
+    for tok in tokens:
+        base, sep, pin = tok.rpartition("@")
+        if sep and pin.isdigit():
+            out.append((base, int(pin)))
+        else:
+            out.append((tok, None))
+    return out
+
+
+def verify_target(target: str, nprocs_list: list[int],
+                  eager_limit: int | None = None,
+                  limits: Limits | None = None) -> list[Finding]:
+    """Verify one target at every requested job size; deduped findings."""
+    program, _func = resolve_program(target)
+    findings: list[Finding] = []
+    seen: set[tuple[str, str, int]] = set()
+    for nprocs in nprocs_list:
+        traces = run_program(program, nprocs, limits=limits)
+        kwargs = {}
+        if eager_limit is not None:
+            kwargs["eager_limit"] = eager_limit
+        for f in check_traces(traces, **kwargs):
+            key = (f.rule, f.path, f.line)
+            if key not in seen:
+                seen.add(key)
+                findings.append(f)
+    return findings
+
+
+def filter_suppressed(findings: list[Finding],
+                      ) -> tuple[list[Finding], int]:
+    """Apply ``# repro: allow(...)`` comments from the flagged files."""
+    allows: dict[str, dict[int, set[str]]] = {}
+    kept: list[Finding] = []
+    suppressed = 0
+    for f in findings:
+        if f.path not in allows:
+            try:
+                text = Path(f.path).read_text(encoding="utf-8")
+            except OSError:
+                text = ""
+            allows[f.path] = parse_suppressions(text)
+        if is_suppressed(f, allows[f.path]):
+            suppressed += 1
+        else:
+            kept.append(f)
+    return kept, suppressed
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog=f"python -m {TOOL}",
+        description="statically verify an SPMD program's communication "
+                    "protocol across ranks before running it")
+    ap.add_argument("targets", nargs="+",
+                    help="module:func or path/to/file.py:func (the same "
+                         "targets repro.mpirun launches); append @N to "
+                         "pin one target to a single job size")
+    ap.add_argument("--nprocs", default="2,4", metavar="N[,N...]",
+                    help="comma-separated job sizes to verify at "
+                         "(default: 2,4)")
+    ap.add_argument("--rules", default=None,
+                    help=f"comma-separated rules to report (default: all "
+                         f"of {', '.join(sorted(RULES))})")
+    ap.add_argument("--eager-limit", type=int, default=None,
+                    metavar="BYTES",
+                    help="eager/rendezvous threshold for the deadlock "
+                         "analysis (default: the transport's limit)")
+    ap.add_argument("--json", metavar="PATH", default=None,
+                    help="also write the findings as JSON")
+    ap.add_argument("--baseline", metavar="PATH", default=None,
+                    help="JSON report of known findings to filter out")
+    ap.add_argument("--strict", action="store_true",
+                    help="treat warnings as failures too")
+    args = ap.parse_args(argv)
+
+    try:
+        nprocs_list = sorted({int(tok) for tok in args.nprocs.split(",")
+                              if tok.strip()})
+    except ValueError:
+        ap.error(f"--nprocs must be a comma-separated list of integers, "
+                 f"got {args.nprocs!r}")
+    if not nprocs_list or min(nprocs_list) < 1:
+        ap.error("--nprocs needs at least one positive job size")
+
+    rules: tuple[str, ...] | None = None
+    if args.rules is not None:
+        rules = tuple(r.strip() for r in args.rules.split(",")
+                      if r.strip())
+        unknown = set(rules) - set(RULES)
+        if unknown:
+            ap.error(f"unknown rule(s): {', '.join(sorted(unknown))}")
+
+    eager = args.eager_limit
+    if eager is None:
+        from repro.transport.wire import eager_limit
+        eager = eager_limit()
+
+    findings: list[Finding] = []
+    for target, pin in parse_targets(args.targets):
+        sizes = [pin] if pin is not None else nprocs_list
+        findings.extend(verify_target(target, sizes, eager_limit=eager))
+    if rules is not None:
+        findings = [f for f in findings if f.rule in rules]
+    findings, suppressed = filter_suppressed(findings)
+    baselined = 0
+    if args.baseline:
+        findings, baselined = apply_baseline(findings,
+                                             load_baseline(args.baseline))
+    findings = sort_findings(findings)
+
+    print(render_report(findings, len(args.targets), tool=TOOL))
+    if suppressed:
+        print(f"{TOOL}: {suppressed} finding(s) suppressed by "
+              f"'# repro: allow(...)' comments")
+    if baselined:
+        print(f"{TOOL}: {baselined} known finding(s) filtered by "
+              f"the baseline")
+    if args.json:
+        Path(args.json).write_text(
+            dump_json(findings, len(args.targets), suppressed, tool=TOOL),
+            encoding="utf-8")
+    errors = sum(1 for f in findings if f.severity == ERROR)
+    warnings = sum(1 for f in findings if f.severity == WARNING)
+    if errors or (args.strict and warnings):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

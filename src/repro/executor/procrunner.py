@@ -102,6 +102,20 @@ def load_exception(report: dict) -> BaseException:
 
 # -- target resolution -------------------------------------------------------
 
+def parse_cli_literal(token: str) -> Any:
+    """Parse one CLI argument as a Python literal where possible.
+
+    Shared by every front door that takes ``module:func ARGS...``
+    (``repro.mpirun``, ``repro.check.verify``): ``100000`` -> int,
+    ``[1, 2]`` -> list, anything unparseable stays a string.
+    """
+    import ast
+    try:
+        return ast.literal_eval(token)
+    except (ValueError, SyntaxError):
+        return token
+
+
 def target_spec(target) -> dict:
     """What the child needs to re-resolve the SPMD entry point.
 

@@ -25,15 +25,7 @@ should not be imported.
 from __future__ import annotations
 
 import argparse
-import ast
 import sys
-
-
-def _parse_cli_arg(token: str):
-    try:
-        return ast.literal_eval(token)
-    except (ValueError, SyntaxError):
-        return token
 
 
 def main(argv=None) -> int:
@@ -57,7 +49,8 @@ def main(argv=None) -> int:
                     help="arguments passed to every rank (Python literals "
                          "where possible)")
     opts = ap.parse_args(argv)
-    call_args = tuple(_parse_cli_arg(a) for a in opts.args)
+    from repro.executor.procrunner import parse_cli_literal
+    call_args = tuple(parse_cli_literal(a) for a in opts.args)
 
     from repro.executor.runner import JobTimeoutError, RankFailure
     try:

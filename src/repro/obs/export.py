@@ -173,8 +173,9 @@ def read_rank_file(path: str) -> tuple[int, dict]:
 
 
 def find_rank_files(dir: str) -> list[str]:
-    names = [n for n in os.listdir(dir) if _RANK_FILE.match(n)]
-    names.sort(key=lambda n: int(_RANK_FILE.match(n).group(1)))
+    ranks = {n: int(m.group(1)) for n in os.listdir(dir)
+             if (m := _RANK_FILE.match(n))}
+    names = sorted(ranks, key=lambda n: ranks[n])
     return [os.path.join(dir, n) for n in names]
 
 

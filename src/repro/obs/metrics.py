@@ -70,7 +70,7 @@ class CounterGroup(Mapping):
     """
 
     def __init__(self, name: str, keys: Iterable[str] = (),
-                 registry: "MetricsRegistry | None" = None):
+                 registry: "MetricsRegistry | _NoRegistry | None" = None):
         self.name = name
         self._lock = threading.Lock()
         self._values: dict[str, int] = {k: 0 for k in keys}
@@ -182,7 +182,7 @@ class MetricsRegistry:
 class _NoRegistry:
     """Sentinel registry that indexes nothing (internal groups)."""
 
-    def register_group(self, group) -> str:
+    def register_group(self, group: "CounterGroup") -> str:
         return group.name
 
 

@@ -1,0 +1,20 @@
+"""Seeded bug: the send buffer is overwritten while the Isend that
+pinned it is still in flight."""
+
+import numpy as np
+
+from repro.mpijava import MPI
+
+
+def main():
+    MPI.Init([])
+    w = MPI.COMM_WORLD
+    rank = w.Rank()
+    buf = np.zeros(64, dtype=np.float64)
+    if rank == 0:
+        req = w.Isend(buf, 0, 64, MPI.DOUBLE, 1, 9)
+        buf[0] = 1.0                            # line flagged: in flight
+        req.Wait()
+    elif rank == 1:
+        w.Recv(buf, 0, 64, MPI.DOUBLE, 0, 9)
+    MPI.Finalize()

@@ -1,0 +1,19 @@
+"""Clean twin of buffer_race_bug: the write waits for completion."""
+
+import numpy as np
+
+from repro.mpijava import MPI
+
+
+def main():
+    MPI.Init([])
+    w = MPI.COMM_WORLD
+    rank = w.Rank()
+    buf = np.zeros(64, dtype=np.float64)
+    if rank == 0:
+        req = w.Isend(buf, 0, 64, MPI.DOUBLE, 1, 9)
+        req.Wait()
+        buf[0] = 1.0
+    elif rank == 1:
+        w.Recv(buf, 0, 64, MPI.DOUBLE, 0, 9)
+    MPI.Finalize()

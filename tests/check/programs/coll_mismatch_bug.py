@@ -1,0 +1,18 @@
+"""Seeded bug: rank-divergent collective sequence — rank 0 broadcasts
+while everyone else sits in a Barrier."""
+
+import numpy as np
+
+from repro.mpijava import MPI
+
+
+def main():
+    MPI.Init([])
+    w = MPI.COMM_WORLD
+    rank = w.Rank()
+    buf = np.zeros(16, dtype=np.float64)
+    if rank == 0:
+        w.Bcast(buf, 0, 16, MPI.DOUBLE, 0)
+    else:
+        w.Barrier()                             # line flagged: diverges
+    MPI.Finalize()

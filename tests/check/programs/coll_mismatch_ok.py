@@ -1,0 +1,14 @@
+"""Clean twin of coll_mismatch_bug: every rank runs the same sequence."""
+
+import numpy as np
+
+from repro.mpijava import MPI
+
+
+def main():
+    MPI.Init([])
+    w = MPI.COMM_WORLD
+    buf = np.zeros(16, dtype=np.float64)
+    w.Bcast(buf, 0, 16, MPI.DOUBLE, 0)
+    w.Barrier()
+    MPI.Finalize()

@@ -1,0 +1,18 @@
+"""Seeded bug: a receive cycle — each rank waits for the other's send,
+which sits *after* its own blocking receive."""
+
+import numpy as np
+
+from repro.mpijava import MPI
+
+
+def main():
+    MPI.Init([])
+    w = MPI.COMM_WORLD
+    rank = w.Rank()
+    buf = np.zeros(4, dtype=np.int32)
+    if rank < 2:
+        peer = 1 - rank
+        w.Recv(buf, 0, 4, MPI.INT, peer, 1)     # line flagged: cycle
+        w.Send(buf, 0, 4, MPI.INT, peer, 1)
+    MPI.Finalize()

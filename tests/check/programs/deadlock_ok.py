@@ -1,0 +1,19 @@
+"""Clean twin of deadlock_bug: rank 0 sends first (eager-sized)."""
+
+import numpy as np
+
+from repro.mpijava import MPI
+
+
+def main():
+    MPI.Init([])
+    w = MPI.COMM_WORLD
+    rank = w.Rank()
+    buf = np.zeros(4, dtype=np.int32)
+    if rank == 0:
+        w.Send(buf, 0, 4, MPI.INT, 1, 1)
+        w.Recv(buf, 0, 4, MPI.INT, 1, 1)
+    elif rank == 1:
+        w.Recv(buf, 0, 4, MPI.INT, 0, 1)
+        w.Send(buf, 0, 4, MPI.INT, 0, 1)
+    MPI.Finalize()

@@ -1,0 +1,17 @@
+"""Seeded bug: a nonblocking send whose request is never completed."""
+
+import numpy as np
+
+from repro.mpijava import MPI
+
+
+def main():
+    MPI.Init([])
+    w = MPI.COMM_WORLD
+    rank = w.Rank()
+    buf = np.zeros(8, dtype=np.float64)
+    if rank == 0:
+        w.Isend(buf, 0, 8, MPI.DOUBLE, 1, 2)    # line flagged: no Wait
+    elif rank == 1:
+        w.Recv(buf, 0, 8, MPI.DOUBLE, 0, 2)
+    MPI.Finalize()

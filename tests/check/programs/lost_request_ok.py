@@ -1,0 +1,18 @@
+"""Clean twin of lost_request_bug: the request is waited on."""
+
+import numpy as np
+
+from repro.mpijava import MPI
+
+
+def main():
+    MPI.Init([])
+    w = MPI.COMM_WORLD
+    rank = w.Rank()
+    buf = np.zeros(8, dtype=np.float64)
+    if rank == 0:
+        req = w.Isend(buf, 0, 8, MPI.DOUBLE, 1, 2)
+        req.Wait()
+    elif rank == 1:
+        w.Recv(buf, 0, 8, MPI.DOUBLE, 0, 2)
+    MPI.Finalize()

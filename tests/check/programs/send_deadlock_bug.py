@@ -1,0 +1,25 @@
+"""Seeded bug: head-to-head blocking sends above the eager limit.
+
+Both ranks enter a rendezvous Send before either posts its Recv — the
+classic exchange deadlock that "works" for small messages and hangs the
+day the payload crosses the eager threshold.
+"""
+
+import numpy as np
+
+from repro.mpijava import MPI
+
+N = 2 * 1024 * 1024        # 2 MiB of bytes: rendezvous territory
+
+
+def main():
+    MPI.Init([])
+    w = MPI.COMM_WORLD
+    rank = w.Rank()
+    sbuf = np.zeros(N, dtype=np.int8)
+    rbuf = np.zeros(N, dtype=np.int8)
+    if rank < 2:
+        peer = 1 - rank
+        w.Send(sbuf, 0, N, MPI.BYTE, peer, 3)   # line flagged: both block
+        w.Recv(rbuf, 0, N, MPI.BYTE, peer, 3)
+    MPI.Finalize()

@@ -1,0 +1,22 @@
+"""Clean twin of send_deadlock_bug: even/odd ordering breaks the cycle."""
+
+import numpy as np
+
+from repro.mpijava import MPI
+
+N = 2 * 1024 * 1024
+
+
+def main():
+    MPI.Init([])
+    w = MPI.COMM_WORLD
+    rank = w.Rank()
+    sbuf = np.zeros(N, dtype=np.int8)
+    rbuf = np.zeros(N, dtype=np.int8)
+    if rank == 0:
+        w.Send(sbuf, 0, N, MPI.BYTE, 1, 3)
+        w.Recv(rbuf, 0, N, MPI.BYTE, 1, 3)
+    elif rank == 1:
+        w.Recv(rbuf, 0, N, MPI.BYTE, 0, 3)
+        w.Send(sbuf, 0, N, MPI.BYTE, 0, 3)
+    MPI.Finalize()

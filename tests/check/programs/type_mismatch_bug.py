@@ -1,0 +1,19 @@
+"""Seeded bug: the receive reads the matched message as a different
+primitive type than it was sent with."""
+
+import numpy as np
+
+from repro.mpijava import MPI
+
+
+def main():
+    MPI.Init([])
+    w = MPI.COMM_WORLD
+    rank = w.Rank()
+    if rank == 0:
+        sbuf = np.zeros(4, dtype=np.float64)
+        w.Send(sbuf, 0, 4, MPI.DOUBLE, 1, 5)
+    elif rank == 1:
+        rbuf = np.zeros(4, dtype=np.int32)
+        w.Recv(rbuf, 0, 4, MPI.INT, 0, 5)       # line flagged: INT != DOUBLE
+    MPI.Finalize()

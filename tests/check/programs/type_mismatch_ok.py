@@ -1,0 +1,17 @@
+"""Clean twin of type_mismatch_bug: both sides agree on DOUBLE."""
+
+import numpy as np
+
+from repro.mpijava import MPI
+
+
+def main():
+    MPI.Init([])
+    w = MPI.COMM_WORLD
+    rank = w.Rank()
+    buf = np.zeros(4, dtype=np.float64)
+    if rank == 0:
+        w.Send(buf, 0, 4, MPI.DOUBLE, 1, 5)
+    elif rank == 1:
+        w.Recv(buf, 0, 4, MPI.DOUBLE, 0, 5)
+    MPI.Finalize()

@@ -1,0 +1,19 @@
+"""Seeded leak: a committed derived datatype is never freed."""
+
+import numpy as np
+
+from repro.mpijava import MPI
+
+
+def main():
+    MPI.Init([])
+    w = MPI.COMM_WORLD
+    rank = w.Rank()
+    col = MPI.DOUBLE.Vector(4, 1, 8)            # line flagged: no Free
+    col.Commit()
+    buf = np.zeros(32, dtype=np.float64)
+    if rank == 0:
+        w.Send(buf, 0, 1, col, 1, 6)
+    elif rank == 1:
+        w.Recv(buf, 0, 1, col, 0, 6)
+    MPI.Finalize()

@@ -1,0 +1,20 @@
+"""Clean twin of unfreed_datatype_bug: the datatype is freed."""
+
+import numpy as np
+
+from repro.mpijava import MPI
+
+
+def main():
+    MPI.Init([])
+    w = MPI.COMM_WORLD
+    rank = w.Rank()
+    col = MPI.DOUBLE.Vector(4, 1, 8)
+    col.Commit()
+    buf = np.zeros(32, dtype=np.float64)
+    if rank == 0:
+        w.Send(buf, 0, 1, col, 1, 6)
+    elif rank == 1:
+        w.Recv(buf, 0, 1, col, 0, 6)
+    col.Free()
+    MPI.Finalize()

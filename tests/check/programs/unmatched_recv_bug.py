@@ -1,0 +1,15 @@
+"""Seeded bug: rank 1 waits for a message rank 0 never sends."""
+
+import numpy as np
+
+from repro.mpijava import MPI
+
+
+def main():
+    MPI.Init([])
+    w = MPI.COMM_WORLD
+    rank = w.Rank()
+    buf = np.zeros(8, dtype=np.float64)
+    if rank == 1:
+        w.Recv(buf, 0, 8, MPI.DOUBLE, 0, 7)     # line flagged: no sender
+    MPI.Finalize()

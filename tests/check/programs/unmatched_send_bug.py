@@ -1,0 +1,15 @@
+"""Seeded bug: rank 0 sends a message rank 1 never receives."""
+
+import numpy as np
+
+from repro.mpijava import MPI
+
+
+def main():
+    MPI.Init([])
+    w = MPI.COMM_WORLD
+    rank = w.Rank()
+    buf = np.zeros(8, dtype=np.float64)
+    if rank == 0:
+        w.Send(buf, 0, 8, MPI.DOUBLE, 1, 7)     # line flagged: no receiver
+    MPI.Finalize()

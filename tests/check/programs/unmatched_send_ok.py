@@ -1,0 +1,17 @@
+"""Clean twin of unmatched_send_bug: the receive exists."""
+
+import numpy as np
+
+from repro.mpijava import MPI
+
+
+def main():
+    MPI.Init([])
+    w = MPI.COMM_WORLD
+    rank = w.Rank()
+    buf = np.zeros(8, dtype=np.float64)
+    if rank == 0:
+        w.Send(buf, 0, 8, MPI.DOUBLE, 1, 7)
+    elif rank == 1:
+        w.Recv(buf, 0, 8, MPI.DOUBLE, 0, 7)
+    MPI.Finalize()

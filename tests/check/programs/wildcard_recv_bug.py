@@ -1,0 +1,19 @@
+"""Seeded nondeterminism: an ANY_SOURCE receive, so message order (and
+the matcher's precision) depends on arrival timing."""
+
+import numpy as np
+
+from repro.mpijava import MPI
+
+
+def main():
+    MPI.Init([])
+    w = MPI.COMM_WORLD
+    rank = w.Rank()
+    buf = np.zeros(8, dtype=np.float64)
+    if rank == 0:
+        w.Recv(buf, 0, 8, MPI.DOUBLE,           # line flagged: wildcard
+               MPI.ANY_SOURCE, 4)
+    elif rank == 1:
+        w.Send(buf, 0, 8, MPI.DOUBLE, 0, 4)
+    MPI.Finalize()

@@ -1,0 +1,59 @@
+"""Every shipped example must verify clean: the static protocol
+verifier is only trustworthy if its ERROR/WARNING tiers stay silent on
+the programs we tell users to run.  INFO findings (wildcard receives,
+long-lived derived datatypes) are advisory and allowed.
+
+``quickstart`` and ``pingpong_bench`` are written for exactly two
+ranks, so they are pinned to nprocs=2 — the CLI spells that
+``examples/quickstart.py:main@2``.  As a positive control, the last
+test checks the verifier *does* object when quickstart is forced to
+four ranks, proving the clean results above are not vacuous.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.check.findings import ERROR, WARNING
+from repro.check.verify import verify_target
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+EAGER = 1024 * 1024
+
+#: (example file, SPMD entry function, nprocs sizes to verify at)
+TARGETS = [
+    ("laplace2d.py", "solve", (2, 4)),
+    ("laplace2d_overlap.py", "solve_overlap", (2, 4)),
+    ("matvec_allgather.py", "matvec", (2, 4)),
+    ("object_taskfarm.py", "farm", (2, 4)),
+    ("obs_smoke.py", "body", (2, 4)),
+    ("pi_reduce.py", "compute_pi", (2, 4)),
+    ("pingpong_bench.py", "main", (2,)),
+    ("quickstart.py", "main", (2,)),
+]
+
+
+def test_target_table_covers_every_example():
+    assert {name for name, _, _ in TARGETS} == \
+        {p.name for p in EXAMPLES.glob("*.py")}
+
+
+@pytest.mark.parametrize("name,func,sizes", TARGETS,
+                         ids=[t[0] for t in TARGETS])
+def test_example_verifies_clean(name, func, sizes):
+    target = f"{EXAMPLES / name}:{func}"
+    findings = verify_target(target, list(sizes), eager_limit=EAGER)
+    serious = [f for f in findings if f.severity in (ERROR, WARNING)]
+    assert serious == [], [f.render() for f in serious]
+
+
+def test_wrong_nprocs_is_caught():
+    # quickstart's rank-0/rank-1 exchange leaves ranks 2..3 hanging at
+    # four ranks; the verifier must say so rather than stay silent.
+    target = f"{EXAMPLES / 'quickstart.py'}:main"
+    findings = verify_target(target, [4], eager_limit=EAGER)
+    assert any(f.severity == ERROR for f in findings), \
+        [f.render() for f in findings]

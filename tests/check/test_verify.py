@@ -1,0 +1,197 @@
+"""Tests for ``repro.check.verify``: every protocol rule fires on its
+seeded-bug fixture (right rule, right file, right line), every clean
+twin verifies silently, and the CLI's exit codes / JSON / baseline /
+suppression plumbing behave.
+
+The fixtures under ``tests/check/programs/`` mark the exact line each
+rule must anchor to with a ``# line flagged`` comment, so these tests
+never hard-code line numbers that drift when a fixture is edited.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.check.findings import ERROR, INFO, WARNING
+from repro.check.protocol import RULES
+from repro.check.verify import (filter_suppressed, main, parse_targets,
+                                verify_target)
+
+PROGRAMS = Path(__file__).parent / "programs"
+
+#: deterministic eager/rendezvous threshold for every test (1 MiB) —
+#: keeps results independent of the REPRO_EAGER_LIMIT environment.
+EAGER = 1024 * 1024
+
+#: fixture stem -> (rule, severity) it must trigger at nprocs=2
+SEEDED = {
+    "buffer_race": ("buffer-race", ERROR),
+    "coll_mismatch": ("coll-mismatch", ERROR),
+    "deadlock": ("deadlock", ERROR),
+    "lost_request": ("lost-request", WARNING),
+    "send_deadlock": ("send-deadlock", ERROR),
+    "type_mismatch": ("type-mismatch", WARNING),
+    "unfreed_datatype": ("unfreed-datatype", INFO),
+    "unmatched_recv": ("unmatched-recv", ERROR),
+    "unmatched_send": ("unmatched-send", ERROR),
+    "wildcard_recv": ("wildcard-recv", INFO),
+}
+
+
+def flagged_line(path: Path) -> int:
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if "# line flagged" in line:
+            return lineno
+    raise AssertionError(f"{path} has no '# line flagged' marker")
+
+
+def bug_target(stem: str) -> str:
+    return f"{PROGRAMS / (stem + '_bug.py')}:main"
+
+
+def test_every_rule_has_a_fixture_pair():
+    assert set(SEEDED) == {p.stem[:-len("_bug")]
+                           for p in PROGRAMS.glob("*_bug.py")}
+    assert {f"{s}_ok" for s in SEEDED} == {p.stem
+                                           for p in PROGRAMS.glob("*_ok.py")}
+    assert set(SEEDED[s][0] for s in SEEDED) == set(RULES)
+
+
+@pytest.mark.parametrize("stem", sorted(SEEDED))
+def test_seeded_bug_is_flagged(stem):
+    rule, severity = SEEDED[stem]
+    path = PROGRAMS / f"{stem}_bug.py"
+    findings = verify_target(bug_target(stem), [2], eager_limit=EAGER)
+    hits = [f for f in findings if f.rule == rule]
+    assert hits, (f"{rule} did not fire on {path.name}; "
+                  f"got {[f.render() for f in findings]}")
+    f = hits[0]
+    assert f.severity == severity
+    assert f.path.endswith(f"{stem}_bug.py")
+    assert f.line == flagged_line(path)
+
+
+@pytest.mark.parametrize("stem", sorted(SEEDED))
+def test_clean_twin_verifies_silently(stem):
+    target = f"{PROGRAMS / (stem + '_ok.py')}:main"
+    findings = verify_target(target, [2], eager_limit=EAGER)
+    assert findings == [], [f.render() for f in findings]
+
+
+def test_parse_targets_pins():
+    assert parse_targets(["a.py:f@4", "m:g", "x.py:h@2x"]) == [
+        ("a.py:f", 4), ("m:g", None), ("x.py:h@2x", None)]
+
+
+def test_module_target_resolves_without_running(tmp_path, monkeypatch):
+    (tmp_path / "vfixmod.py").write_text(
+        "import sys\n"
+        "sys.exit('import side effect ran')\n"
+        "def main():\n"
+        "    pass\n")
+    monkeypatch.syspath_prepend(str(tmp_path))
+    import importlib
+    importlib.invalidate_caches()
+    # resolution reads the source; it must never import/execute it
+    findings = verify_target("vfixmod:main", [2], eager_limit=EAGER)
+    assert findings == []
+
+
+def test_cli_error_fixture_exits_nonzero(capsys):
+    rc = main([bug_target("unmatched_send"), "--nprocs", "2",
+               "--eager-limit", str(EAGER)])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "[unmatched-send]" in out
+
+
+def test_cli_warning_needs_strict(capsys):
+    argv = [bug_target("lost_request"), "--nprocs", "2",
+            "--eager-limit", str(EAGER)]
+    assert main(argv) == 0
+    assert main(argv + ["--strict"]) == 1
+    capsys.readouterr()
+
+
+def test_cli_info_never_fails(capsys):
+    argv = [bug_target("wildcard_recv"), "--nprocs", "2",
+            "--eager-limit", str(EAGER), "--strict"]
+    assert main(argv) == 0
+    capsys.readouterr()
+
+
+def test_cli_rules_filter(capsys):
+    rc = main([bug_target("unmatched_send"), "--nprocs", "2",
+               "--eager-limit", str(EAGER),
+               "--rules", "wildcard-recv"])
+    assert rc == 0
+    assert "[unmatched-send]" not in capsys.readouterr().out
+
+
+def test_cli_rejects_unknown_rule(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["x.py:f", "--rules", "no-such-rule"])
+    assert exc.value.code == 2
+    capsys.readouterr()
+
+
+def test_cli_json_is_deterministic(tmp_path, capsys):
+    argv = [bug_target("type_mismatch"), bug_target("coll_mismatch"),
+            "--nprocs", "2", "--eager-limit", str(EAGER)]
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    main(argv + ["--json", str(a)])
+    main(argv + ["--json", str(b)])
+    capsys.readouterr()
+    assert a.read_bytes() == b.read_bytes()
+    report = json.loads(a.read_text())
+    assert report["tool"] == "repro.check.verify"
+    keys = [(f["path"], f["line"], f["rule"])
+            for f in report["findings"]]
+    assert keys == sorted(keys)
+
+
+def test_cli_baseline_filters_known_findings(tmp_path, capsys):
+    argv = [bug_target("unmatched_recv"), "--nprocs", "2",
+            "--eager-limit", str(EAGER)]
+    base = tmp_path / "baseline.json"
+    assert main(argv + ["--json", str(base)]) == 1
+    rc = main(argv + ["--baseline", str(base)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "filtered by the baseline" in out
+
+
+def test_allow_comment_suppresses(tmp_path, capsys):
+    src = PROGRAMS / "unmatched_send_bug.py"
+    dst = tmp_path / "suppressed.py"
+    lines = src.read_text().splitlines()
+    flag = flagged_line(src)
+    indent = lines[flag - 1][:len(lines[flag - 1])
+                             - len(lines[flag - 1].lstrip())]
+    lines.insert(flag - 1, f"{indent}# repro: allow(unmatched-send)")
+    dst.write_text("\n".join(lines) + "\n")
+    rc = main([f"{dst}:main", "--nprocs", "2",
+               "--eager-limit", str(EAGER)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "suppressed" in out
+
+
+def test_filter_suppressed_reads_flagged_file(tmp_path):
+    src = PROGRAMS / "wildcard_recv_bug.py"
+    dst = tmp_path / "wc.py"
+    shutil.copy(src, dst)
+    findings = verify_target(f"{dst}:main", [2], eager_limit=EAGER)
+    assert findings
+    kept, suppressed = filter_suppressed(findings)
+    assert suppressed == 0 and kept == findings
+    lines = dst.read_text().splitlines()
+    lines.insert(flagged_line(dst) - 1, "        # repro: allow(all)")
+    dst.write_text("\n".join(lines) + "\n")
+    findings = verify_target(f"{dst}:main", [2], eager_limit=EAGER)
+    kept, suppressed = filter_suppressed(findings)
+    assert suppressed == len(findings) and kept == []
