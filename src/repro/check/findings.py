@@ -129,13 +129,22 @@ def baseline_key(finding: Finding) -> tuple[str, str, int]:
     return (finding.rule, finding.path, finding.line)
 
 
-def load_baseline(path: str) -> set[tuple[str, str, int]]:
+def load_baseline(path: str,
+                  tool: str = "repro.check") -> set[tuple[str, str, int]]:
     """Known-finding keys from a previous ``--json`` report (or any JSON
     file with a ``findings`` list of ``{rule, path, line}`` objects)."""
-    with open(path, encoding="utf-8") as fh:
-        data = json.load(fh)
-    entries = data["findings"] if isinstance(data, dict) else data
-    return {(e["rule"], e["path"], int(e["line"])) for e in entries}
+    try:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+        entries = data["findings"] if isinstance(data, dict) else data
+        return {(e["rule"], e["path"], int(e["line"])) for e in entries}
+    except OSError as exc:
+        raise SystemExit(f"{tool}: cannot read baseline {path}: "
+                         f"{exc}") from exc
+    except (json.JSONDecodeError, KeyError, TypeError,
+            ValueError) as exc:
+        raise SystemExit(f"{tool}: invalid baseline {path}: "
+                         f"{exc}") from exc
 
 
 def apply_baseline(findings: list[Finding],

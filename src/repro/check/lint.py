@@ -512,8 +512,9 @@ def main(argv: list[str] | None = None) -> int:
                                             rules)
     baselined = 0
     if args.baseline:
-        findings, baselined = apply_baseline(findings,
-                                             load_baseline(args.baseline))
+        findings, baselined = apply_baseline(
+            findings, load_baseline(args.baseline,
+                                    tool="repro.check.lint"))
     print(render_report(findings, nfiles))
     if suppressed:
         print(f"repro.check.lint: {suppressed} finding(s) suppressed by "

@@ -601,14 +601,34 @@ class _Simulator:
             for rid in list(self.pending_isend):
                 self._try_match_isend(rid)
             return self._advance(rank, ev)
-        # blocking: channel first (FIFO per (src, dst)), then a peer
-        # stuck in a matching rendezvous send
+        # blocking: deliverable messages first — eager messages already
+        # in the channel and in-flight rendezvous Isends, merged by
+        # posting order so the per-(src, dst) FIFO holds — then a peer
+        # stuck in a matching blocking rendezvous send
         fifo = self.chan.get((ev.ctx, src, rank), [])
+        chan_hit: Optional[tuple[int, int]] = None       # (idx, pos)
         for i, sev in enumerate(fifo):
             if _tag_compatible(sev.tag, ev.tag):
-                fifo.pop(i)
-                self.matched_pairs.append((sev, ev, src, rank))
-                return self._advance(rank, ev)
+                chan_hit = (sev.idx, i)
+                break                    # fifo is in posting order
+        isend_hit: Optional[tuple[int, int]] = None      # (idx, rid)
+        for rid, (srank, sev) in self.pending_isend.items():
+            if srank == src and sev.ctx == ev.ctx \
+                    and _conc(sev.dst) == rank \
+                    and _tag_compatible(sev.tag, ev.tag) \
+                    and (isend_hit is None or sev.idx < isend_hit[0]):
+                isend_hit = (sev.idx, rid)
+        if chan_hit is not None and (isend_hit is None
+                                     or chan_hit[0] < isend_hit[0]):
+            sev = fifo.pop(chan_hit[1])
+            self.matched_pairs.append((sev, ev, src, rank))
+            return self._advance(rank, ev)
+        if isend_hit is not None:
+            rid = isend_hit[1]
+            _srank, sev = self.pending_isend.pop(rid)
+            self.rid_done.add(rid)
+            self.matched_pairs.append((sev, ev, src, rank))
+            return self._advance(rank, ev)
         sev = self._blocked_rendezvous_offer(src, rank, ev)
         if sev is not None:
             self.done[src].add(sev.idx)

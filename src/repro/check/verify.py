@@ -180,8 +180,8 @@ def main(argv: list[str] | None = None) -> int:
     findings, suppressed = filter_suppressed(findings)
     baselined = 0
     if args.baseline:
-        findings, baselined = apply_baseline(findings,
-                                             load_baseline(args.baseline))
+        findings, baselined = apply_baseline(
+            findings, load_baseline(args.baseline, tool=TOOL))
     findings = sort_findings(findings)
 
     print(render_report(findings, len(args.targets), tool=TOOL))

@@ -1,0 +1,30 @@
+"""Regression: a rendezvous Isend completed by a *blocking* Recv.
+
+Rank 0 sends an eager message, posts a rendezvous-sized Isend, and sits
+in Wait; rank 1 drains both with blocking Recvs.  The exact-schedule
+simulator must match the in-flight Isend against the blocked Recv (not
+just against posted Irecvs) or this correct program is reported as a
+deadlock.
+"""
+
+import numpy as np
+
+from repro.mpijava import MPI
+
+N = 2 * 1024 * 1024
+
+
+def main():
+    MPI.Init([])
+    w = MPI.COMM_WORLD
+    rank = w.Rank()
+    small = np.zeros(4, dtype=np.int8)
+    big = np.zeros(N, dtype=np.int8)
+    if rank == 0:
+        w.Send(small, 0, 4, MPI.BYTE, 1, 0)
+        req = w.Isend(big, 0, N, MPI.BYTE, 1, 1)
+        req.Wait()
+    elif rank == 1:
+        w.Recv(small, 0, 4, MPI.BYTE, 0, 0)
+        w.Recv(big, 0, N, MPI.BYTE, 0, 1)
+    MPI.Finalize()

@@ -82,6 +82,15 @@ def test_clean_twin_verifies_silently(stem):
     assert findings == [], [f.render() for f in findings]
 
 
+def test_rendezvous_isend_completed_by_blocking_recv():
+    # regression: an in-flight rendezvous Isend must match a peer's
+    # blocking Recv (not only posted Irecvs) — this correct program was
+    # once reported as a deadlock
+    target = f"{PROGRAMS / 'rendezvous_isend_clean.py'}:main"
+    findings = verify_target(target, [2], eager_limit=EAGER)
+    assert findings == [], [f.render() for f in findings]
+
+
 def test_parse_targets_pins():
     assert parse_targets(["a.py:f@4", "m:g", "x.py:h@2x"]) == [
         ("a.py:f", 4), ("m:g", None), ("x.py:h@2x", None)]
@@ -163,6 +172,22 @@ def test_cli_baseline_filters_known_findings(tmp_path, capsys):
     out = capsys.readouterr().out
     assert rc == 0
     assert "filtered by the baseline" in out
+
+
+@pytest.mark.parametrize("content", [
+    "not json at all",
+    '{"findings": [{"rule": "x"}]}',
+    '{"findings": [{"rule": "x", "path": "p", "line": "NaN"}]}',
+    '{"findings": 7}',
+])
+def test_cli_rejects_malformed_baseline(tmp_path, capsys, content):
+    bad = tmp_path / "baseline.json"
+    bad.write_text(content)
+    with pytest.raises(SystemExit) as exc:
+        main([bug_target("unmatched_recv"), "--nprocs", "2",
+              "--eager-limit", str(EAGER), "--baseline", str(bad)])
+    assert "invalid baseline" in str(exc.value)
+    capsys.readouterr()
 
 
 def test_allow_comment_suppresses(tmp_path, capsys):
