@@ -37,14 +37,16 @@ _PRIMITIVES = ("BYTE", "CHAR", "SHORT", "BOOLEAN", "INT", "LONG", "FLOAT",
 _OPS = ("MAX", "MIN", "SUM", "PROD", "LAND", "LOR", "LXOR", "BAND", "BOR",
         "BXOR", "MAXLOC", "MINLOC")
 
-#: Comm methods that neither communicate nor affect matching.
+#: Comm methods that neither communicate nor affect matching.  Revoke
+#: is here on purpose: ULFM revocation is asynchronous, never blocks,
+#: and any subset of survivors may call it — it is *not* a collective.
 _HARMLESS_COMM = {
     "Errhandler_set": None, "Attr_put": None, "Attr_delete": None,
-    "Abort": None,
+    "Abort": None, "Revoke": None,
 }
 _HARMLESS_COMM_UNKNOWN = (
     "Errhandler_get", "Attr_get", "Topo_test", "Pack", "Unpack",
-    "Pack_size", "Group", "Compare", "Test_inter",
+    "Pack_size", "Group", "Compare", "Test_inter", "Is_revoked",
 )
 
 
@@ -370,6 +372,25 @@ def comm_attr(i: Interpreter, comm: CommV, attr: str, node: ast.AST) -> Any:
             i.trace.inexact_ctxs.add(ctx)
             return new
         return ModelFn(attr, split_fn)
+    # ULFM fault tolerance: Shrink and Agree are collectives over the
+    # survivors — every live member must call them, so a rank-divergent
+    # recovery path is a coll-mismatch like any other.  The shrunken
+    # communicator's membership only exists at runtime (it depends on
+    # which ranks died), so the result is inexact.
+    if attr == "Shrink":
+        def shrink_fn(i, a, k, n):
+            ctx = i.new_ctx("shrink")
+            _do_coll(i, comm, n, "Shrink", None, (ctx,), None, True)
+            new = CommV(ctx, Unknown("size"), Unknown("rank"), None,
+                        exact=False)
+            i.trace.inexact_ctxs.add(ctx)
+            return new
+        return ModelFn("Shrink", shrink_fn)
+    if attr == "Agree":
+        def agree_fn(i, a, k, n):
+            _do_coll(i, comm, n, "Agree", None, ("flag",), "band", True)
+            return Unknown("Agree")
+        return ModelFn("Agree", agree_fn)
     if attr == "Create_cart":
         def cart_fn(i, a, k, n):
             dims, periods = _arg(a, 0, "dims"), _arg(a, 1, "periods")

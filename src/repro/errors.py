@@ -33,7 +33,10 @@ ERR_OTHER = 16
 ERR_INTERN = 17
 ERR_PENDING = 18
 ERR_IN_STATUS = 19
-ERR_LASTCODE = 19
+# --- ULFM fault-tolerance error classes (MPI Forum FT proposal) -------------
+ERR_PROC_FAILED = 20
+ERR_REVOKED = 21
+ERR_LASTCODE = 21
 
 _ERROR_STRINGS = {
     SUCCESS: "no error",
@@ -56,6 +59,8 @@ _ERROR_STRINGS = {
     ERR_INTERN: "internal MPI (implementation) error",
     ERR_PENDING: "pending request",
     ERR_IN_STATUS: "error code is in status",
+    ERR_PROC_FAILED: "process failed",
+    ERR_REVOKED: "communicator revoked",
 }
 
 
@@ -125,3 +130,41 @@ class AbortException(MPIException):
         # the cause is serialized separately by the abort wire protocol
         # (pickle drops __cause__); errorcode/origin must round-trip
         return (type(self), (self.abort_code, self.origin_rank))
+
+
+class ProcFailedException(MPIException):
+    """A peer process died; the operation could not complete (ULFM).
+
+    Unlike :class:`AbortException` this is *recoverable*: under
+    ``ERRORS_RETURN`` it surfaces to the caller, who may ``Revoke`` the
+    communicator and ``Shrink`` to the survivors.  ``failed_rank`` is the
+    world rank of the dead peer (-1 when more than one or unknown).
+    """
+
+    def __init__(self, failed_rank: int = -1, message: str = ""):
+        if not message:
+            message = (f"rank {failed_rank} failed" if failed_rank >= 0
+                       else "a peer process failed")
+        super().__init__(ERR_PROC_FAILED, message)
+        self.failed_rank = int(failed_rank)
+
+    def __reduce__(self):
+        return (type(self), (self.failed_rank, self.message))
+
+
+class RevokedException(MPIException):
+    """The communicator was revoked (``Comm.Revoke``) — ULFM semantics.
+
+    Every pending and future operation on a revoked communicator
+    completes with this error, except the fault-tolerant trio
+    ``Shrink`` / ``Agree`` / ``Is_revoked`` (and ``Free``).
+    """
+
+    def __init__(self, context: int = -1, message: str = ""):
+        if not message:
+            message = f"communicator (context {context}) was revoked"
+        super().__init__(ERR_REVOKED, message)
+        self.context = int(context)
+
+    def __reduce__(self):
+        return (type(self), (self.context, self.message))

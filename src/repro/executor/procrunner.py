@@ -21,13 +21,25 @@ Bootstrap rendezvous and control plane (all over loopback TCP):
 5. the launcher's final ``exit`` message is the wire-level finalize
    barrier: no child tears its mesh down until every rank has reported.
 
-Faults: a rank failure poisons the job *through the mesh* (KIND_ABORT
-frames carrying errorcode + origin + pickled cause — shared memory is not
-available, so the envelope is the only carrier); a child that dies without
-reporting is detected by control-connection EOF and the launcher aborts
-the survivors; a launcher timeout aborts the job with ``origin_rank=-1``
-and reports hung ranks *and* pre-deadline failures via
-:class:`~repro.executor.runner.JobTimeoutError`.
+Faults: a rank that *raises* poisons the job *through the mesh*
+(KIND_ABORT frames carrying errorcode + origin + pickled cause — shared
+memory is not available, so the envelope is the only carrier).  A rank
+that *dies* (hard kill, segfault) is detected by control-connection EOF,
+or — for a rank that wedged without dropping its sockets — by missed
+heartbeats: every worker beats a ``hb`` frame home each
+``REPRO_HEARTBEAT_MS`` (default 100, 0 disables), and a rank silent for
+``REPRO_HEARTBEAT_MISS`` intervals (default 20) is SIGKILLed and
+declared dead.  Either way the launcher broadcasts a ``peerfail``
+notice, feeding the death into the survivors' ULFM failure plane:
+under ``ERRORS_RETURN`` they see ``ERR_PROC_FAILED`` and may
+Revoke/Shrink and continue; under ``ERRORS_ARE_FATAL`` (the default)
+their next operation on the dead rank poisons the job, folding the
+failure back to the dead rank exactly as before.  A launcher timeout
+aborts the job with ``origin_rank=-1`` and reports hung ranks *and*
+pre-deadline failures via
+:class:`~repro.executor.runner.JobTimeoutError`.  Detection latency
+(seconds past the last heartbeat's implied liveness window) is exported
+through :mod:`repro.obs.metrics` as the ``proc.ft`` counter group.
 
 The control plane pickles between coordinating processes of one user on
 one machine (same trust domain as ``multiprocessing``); it is not a
@@ -49,6 +61,7 @@ from typing import Any, Callable, Sequence
 
 from repro.executor.runner import JobTimeoutError, RankFailure
 from repro.obs import export as obs_export
+from repro.obs.metrics import REGISTRY
 from repro.runtime.envelope import (dump_exception_chain,
                                     load_exception_chain)
 from repro.transport.socket_tcp import BOOTSTRAP_TIMEOUT, _recv_exact
@@ -58,6 +71,28 @@ _LEN = struct.Struct("!I")
 
 #: grace between "the job is over" (abort/exit sent) and SIGKILL
 KILL_GRACE = 5.0
+
+
+def heartbeat_interval() -> float:
+    """Worker heartbeat period in seconds (``REPRO_HEARTBEAT_MS``,
+    default 100 ms; 0 disables the heartbeat plane)."""
+    try:
+        ms = float(os.environ.get("REPRO_HEARTBEAT_MS", "100"))
+    except ValueError:
+        ms = 100.0
+    return max(0.0, ms) / 1000.0
+
+
+def _heartbeat_miss_intervals() -> int:
+    """How many silent heartbeat intervals before a rank is declared
+    dead (``REPRO_HEARTBEAT_MISS``).  Generous by default: a false
+    positive kills a healthy job, while EOF detection already catches
+    actual process death instantly — this threshold only rules on ranks
+    that wedged with their sockets still open."""
+    try:
+        return max(2, int(os.environ.get("REPRO_HEARTBEAT_MISS", "20")))
+    except ValueError:
+        return 20
 
 
 # -- control-plane framing (length-prefixed pickles) -------------------------
@@ -306,21 +341,36 @@ class ProcExecutor:
 
     # -- bootstrap ---------------------------------------------------------
     def _rendezvous(self, listener, procs, deadline, timeout):
-        """Accept one control connection per rank (bounded wait)."""
+        """Accept one control connection per rank (bounded wait).
+
+        Fails *fast* on a child that dies before registering: the accept
+        loop polls the children between short accept attempts, so a rank
+        killed mid-bootstrap surfaces in milliseconds — naming the dead
+        rank(s) and exit codes — instead of burning the whole step
+        timeout waiting for a connection that can never come.
+        """
         conns: dict[int, socket.socket] = {}
-        for _ in range(self.nprocs):
-            listener.settimeout(self._step_timeout(deadline))
-            try:
-                conn, _addr = listener.accept()
-            except socket.timeout:
+        phase_deadline = deadline if deadline is not None \
+            else time.monotonic() + BOOTSTRAP_TIMEOUT
+        while len(conns) < self.nprocs:
+            dead = {r: procs[r].poll() for r in range(self.nprocs)
+                    if r not in conns and procs[r].poll() is not None}
+            if dead:
+                raise RankFailure(
+                    {r: RuntimeError(f"rank {r} process exited during "
+                                     f"bootstrap (exit code {rc})")
+                     for r, rc in dead.items()})
+            left = phase_deadline - time.monotonic()
+            if left <= 0:
                 missing = [r for r in range(self.nprocs) if r not in conns]
                 raise JobTimeoutError(
                     timeout if timeout is not None else BOOTSTRAP_TIMEOUT,
-                    missing,
-                    {r: RuntimeError(
-                        f"rank {r} process exited during bootstrap "
-                        f"(code {procs[r].poll()})")
-                     for r in missing if procs[r].poll() is not None})
+                    missing, {})
+            listener.settimeout(max(0.05, min(0.2, left)))
+            try:
+                conn, _addr = listener.accept()
+            except socket.timeout:
+                continue   # poll children, re-check the deadline
             # control frames are tiny and latency-sensitive (abort/exit
             # must not sit in Nagle's buffer behind nothing)
             set_nodelay(conn)
@@ -352,23 +402,38 @@ class ProcExecutor:
 
     # -- result collection -------------------------------------------------
     def _collect(self, conns, procs, deadline, timeout):
-        """Read every rank's report; abort survivors on a dead child."""
+        """Read every rank's report; declare dead children to survivors.
+
+        Two failure detectors feed the same declaration path: control
+        connection EOF (a process that actually died) and heartbeat
+        silence (a process that wedged with its sockets open — SIGSTOP,
+        runaway C code holding the GIL).  A silent rank is SIGKILLed
+        first so the declaration is *true*, then every survivor gets a
+        ``peerfail`` notice for its failure plane.
+        """
         sel = selectors.DefaultSelector()
         for rank, conn in conns.items():
             sel.register(conn, selectors.EVENT_READ, rank)
         pending = set(conns)
         reports: dict[int, dict] = {}
         failures: dict[int, BaseException] = {}
+        hb = heartbeat_interval()
+        silent_after = hb * _heartbeat_miss_intervals() if hb > 0 else None
+        now = time.monotonic()
+        last_hb = {rank: now for rank in conns}
+        # ranks that have beaten at least once: until then a generous
+        # grace applies (the first beat waits on mesh build + universe
+        # setup, which a tight test threshold must not misread as death)
+        seen_hb: set[int] = set()
         try:
             while pending:
+                wait = 0.5 if silent_after is None else min(0.5, hb)
                 if deadline is not None:
                     left = deadline - time.monotonic()
                     if left <= 0:
                         self._timeout(conns, procs, pending, reports,
                                       failures, timeout)
-                    wait = max(0.0, min(0.5, left))
-                else:
-                    wait = 0.5
+                    wait = max(0.0, min(wait, left))
                 for key, _ in sel.select(timeout=wait):
                     rank = key.data
                     try:
@@ -376,21 +441,70 @@ class ProcExecutor:
                     except (ConnectionError, OSError, pickle.PickleError,
                             EOFError):
                         msg = None
+                    if msg is not None and msg.get("cmd") == "hb":
+                        last_hb[rank] = time.monotonic()
+                        seen_hb.add(rank)
+                        continue
                     sel.unregister(key.fileobj)
                     pending.discard(rank)
                     if msg is None:
-                        rc = procs[rank].poll()
-                        failures[rank] = RuntimeError(
-                            f"rank {rank} process died before reporting "
-                            f"(exit code {rc})")
-                        # survivors blocked on the dead rank must unwind
-                        self._broadcast_abort(conns, origin=rank,
-                                              skip={rank})
+                        try:   # EOF usually precedes the exit by a hair
+                            rc = procs[rank].wait(timeout=0.2)
+                        except subprocess.TimeoutExpired:
+                            rc = None
+                        self._declare_dead(
+                            rank, RuntimeError(
+                                f"rank {rank} process died before "
+                                f"reporting (exit code {rc})"),
+                            conns, procs, failures, last_hb, hb)
                     else:
                         reports[rank] = msg
+                if silent_after is None:
+                    continue
+                now = time.monotonic()
+                for rank in sorted(pending):
+                    allowed = silent_after if rank in seen_hb \
+                        else max(silent_after, BOOTSTRAP_TIMEOUT)
+                    if now - last_hb[rank] <= allowed:
+                        continue
+                    sel.unregister(conns[rank])
+                    pending.discard(rank)
+                    misses = _heartbeat_miss_intervals()
+                    self._declare_dead(
+                        rank, RuntimeError(
+                            f"rank {rank} missed {misses} heartbeats "
+                            f"({silent_after:.2f}s silent); killed and "
+                            f"declared failed"),
+                        conns, procs, failures, last_hb, hb)
         finally:
             sel.close()
         return reports, failures
+
+    def _declare_dead(self, rank, cause, conns, procs, failures,
+                      last_hb, hb_interval) -> None:
+        """One rank is gone: make it true, record it, tell the others.
+
+        SIGKILL closes a wedged rank's mesh sockets too, so a survivor
+        blocked *writing* to it (no failure listener can preempt a
+        ``sendall``) unwinds on the reset.
+        """
+        if procs[rank].poll() is None:
+            procs[rank].kill()
+        # seconds past the end of the last heartbeat's liveness window;
+        # ~0 when EOF beat the heartbeat plane to the detection
+        latency = max(0.0, time.monotonic() - last_hb[rank] - hb_interval)
+        REGISTRY.counter("proc.ft").inc(failures_detected=1)
+        REGISTRY.gauge("proc.ft.detect_latency_s").set(latency)
+        failures[rank] = cause
+        # survivors feed this into the ULFM failure plane: recoverable
+        # under ERRORS_RETURN, job-fatal (folded to this rank) otherwise
+        for peer, conn in conns.items():
+            if peer == rank or peer in failures:
+                continue
+            try:
+                send_msg(conn, {"cmd": "peerfail", "rank": rank})
+            except OSError:
+                pass  # that child is already gone too
 
     def _timeout(self, conns, procs, pending, reports, failures, timeout):
         """Deadline hit with ranks outstanding: abort, reap, report.

@@ -8,9 +8,12 @@ result (or exception) home over the control connection.
 
 A dedicated control thread listens for launcher commands for the whole
 job lifetime: ``abort`` poisons the local universe (and, through the mesh
-broadcast, every peer), ``exit`` is the wire finalize barrier, and EOF —
-the launcher itself dying — tears the job down rather than orphaning the
-rank.
+broadcast, every peer), ``peerfail`` feeds a single dead rank into the
+ULFM failure plane (survivable under ``ERRORS_RETURN``), ``exit`` is the
+wire finalize barrier, and EOF — the launcher itself dying — tears the
+job down rather than orphaning the rank.  A second thread beats a
+``hb`` frame home every ``REPRO_HEARTBEAT_MS`` so the launcher can
+detect a rank that wedged without dropping its sockets.
 """
 
 from __future__ import annotations
@@ -22,14 +25,15 @@ import sys
 import threading
 
 from repro.errors import AbortException
-from repro.executor.procrunner import (dump_exception, recv_msg,
-                                       resolve_target, send_msg)
+from repro.executor.procrunner import (dump_exception, heartbeat_interval,
+                                       recv_msg, resolve_target, send_msg)
 from repro.obs.trace import TRACE
 from repro.runtime.engine import RankRuntime, Universe, bind_thread, \
     unbind_thread
 from repro.transport.socket_tcp import (BOOTSTRAP_TIMEOUT, TCPMeshTransport,
                                         build_mesh, mesh_listener)
 from repro.transport.wire import set_nodelay
+from repro.util import faultinject
 
 
 def _control_loop(ctl: socket.socket, universe: Universe,
@@ -52,8 +56,36 @@ def _control_loop(ctl: socket.socket, universe: Universe,
         if cmd == "abort":
             universe.poison(msg.get("origin", -1),
                             msg.get("errorcode", 1))
+        elif cmd == "peerfail":
+            # launcher-detected single-rank death: failure plane, not
+            # abort plane — survivors under ERRORS_RETURN keep running
+            dead = msg.get("rank", -1)
+            universe.note_peer_failure(dead, cause=ConnectionError(
+                f"rank {dead} declared failed by the launcher"))
         elif cmd == "exit":
             exit_evt.set()
+            return
+
+
+def _heartbeat_loop(ctl: socket.socket, rank: int, interval: float,
+                    exit_evt: threading.Event,
+                    lock: threading.Lock) -> None:
+    """Beat ``hb`` frames home until the job ends or the launcher dies.
+
+    ``lock`` keeps heartbeat frames atomic against the final report
+    (both write the control stream; an interleaved frame would corrupt
+    the length-prefixed protocol).
+    """
+    while True:
+        # beat first: the launcher applies a generous grace until a
+        # rank's first heartbeat, so the sooner it lands the sooner the
+        # tight steady-state miss threshold protects this rank's peers
+        try:
+            with lock:
+                send_msg(ctl, {"cmd": "hb", "rank": rank})
+        except OSError:
+            return   # launcher gone; the control loop handles teardown
+        if exit_evt.wait(interval):
             return
 
 
@@ -64,6 +96,11 @@ def main(argv=None) -> int:
     ap.add_argument("--nprocs", type=int, required=True)
     opts = ap.parse_args(argv)
     host, _, port = opts.connect.rpartition(":")
+
+    # in a worker process an injected fault is a *real* death (os._exit:
+    # no report, no finally blocks, just EOF on the control connection)
+    faultinject.set_hard_kill(True)
+    faultinject.maybe_fail("bootstrap", opts.rank)
 
     ctl = socket.create_connection((host, int(port)),
                                    timeout=BOOTSTRAP_TIMEOUT)
@@ -90,13 +127,21 @@ def main(argv=None) -> int:
         listener.close()
         ctl.close()
         return 1
+    exit_evt = threading.Event()
+    ctl_lock = threading.Lock()
+    hb = heartbeat_interval()
+    if hb > 0:
+        # start beating before the (potentially slow) mesh build so the
+        # launcher sees this rank alive as early as possible
+        threading.Thread(target=_heartbeat_loop,
+                         args=(ctl, opts.rank, hb, exit_evt, ctl_lock),
+                         name="repro-proc-heartbeat", daemon=True).start()
     peers = build_mesh(opts.rank, opts.nprocs, listener, msg["book"])
 
     transport = TCPMeshTransport(opts.nprocs, opts.rank, peers)
     universe = Universe(opts.nprocs, transport=transport,
                         local_ranks=(opts.rank,))
     ctl.settimeout(None)
-    exit_evt = threading.Event()
     threading.Thread(target=_control_loop, args=(ctl, universe, exit_evt),
                      name="repro-proc-control", daemon=True).start()
 
@@ -132,7 +177,11 @@ def main(argv=None) -> int:
         except Exception:  # noqa: BLE001 - tracing never fails the job
             pass
     try:
-        send_msg(ctl, report)
+        # the lock is the point: a heartbeat frame interleaved into the
+        # length-prefixed report would corrupt the control stream, and
+        # the beat thread never holds the lock longer than one frame
+        with ctl_lock:
+            send_msg(ctl, report)  # repro: allow(blocking-under-lock)
     except OSError:
         pass  # launcher died; the control loop poisons and exits
     # Wire finalize barrier: keep the mesh open until every rank has

@@ -28,6 +28,8 @@ from repro.obs import export as obs_export
 from repro.obs.trace import TRACE
 from repro.runtime.engine import (RankRuntime, Universe, bind_thread,
                                   unbind_thread)
+from repro.util.faultinject import SimulatedRankDeath, reset as \
+    _faultinject_reset
 
 
 class RankFailure(Exception):
@@ -108,6 +110,7 @@ class MPIExecutor:
         results: list = [None] * self.nprocs
         failures: dict[int, BaseException] = {}
         lock = threading.Lock()
+        _faultinject_reset()   # fault-spec hit counts are per job
 
         def entry(rank: int) -> None:
             rt = RankRuntime(self.universe, rank)
@@ -129,6 +132,13 @@ class MPIExecutor:
                         failures.setdefault(origin, root)
                     else:
                         failures.setdefault(rank, root)
+            except SimulatedRankDeath as exc:
+                # An injected rank death must look like a *peer loss*,
+                # not a clean error: feed the failure plane (survivable
+                # under ERRORS_RETURN) instead of poisoning the job.
+                with lock:
+                    failures[rank] = exc
+                self.universe.note_peer_failure(rank, cause=exc)
             except BaseException as exc:  # noqa: BLE001 - reported to caller
                 with lock:
                     failures[rank] = exc

@@ -720,6 +720,31 @@ def mpi_comm_free(comm) -> None:
     t.comms.release(comm)
 
 
+# -- fault tolerance (ULFM-style, MPI 4.x §11.1 spirit) -----------------------
+
+def mpi_comm_revoke(comm) -> None:
+    """``MPIX_Comm_revoke``: poison this communicator (and only it) on
+    every member, reliably, without requiring collective participation."""
+    _ctx()[1].comms.lookup(comm).revoke()
+
+
+def mpi_comm_is_revoked(comm) -> bool:
+    return _ctx()[1].comms.lookup(comm).is_revoked()
+
+
+def mpi_comm_shrink(comm) -> int:
+    """``MPIX_Comm_shrink``: survivors agree on a new communicator
+    excluding every failed rank."""
+    t = _ctx()[1]
+    return t.comms.register(t.comms.lookup(comm).shrink())
+
+
+def mpi_comm_agree(comm, flag: int) -> int:
+    """``MPIX_Comm_agree``: fault-tolerant agreement — the bitwise AND
+    of every live member's contribution, identical on all survivors."""
+    return _ctx()[1].comms.lookup(comm).agree(flag)
+
+
 def mpi_intercomm_create(local_comm, local_leader, peer_comm,
                          remote_leader, tag) -> int:
     t = _ctx()[1]

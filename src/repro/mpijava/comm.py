@@ -269,6 +269,28 @@ class Comm:
     def Abort(self, errorcode: int) -> None:
         capi.mpi_abort(self._handle, errorcode)
 
+    # -- fault tolerance (ULFM-style extensions) ----------------------------
+    def Revoke(self) -> None:
+        """Revoke this communicator on every member (ULFM
+        ``MPIX_Comm_revoke``): pending and future operations on it
+        complete with ``ERR_REVOKED`` everywhere, reliably, even if
+        this rank dies mid-broadcast."""
+        self._guard(capi.mpi_comm_revoke, self._handle)
+
+    def Is_revoked(self) -> bool:
+        return self._guard(capi.mpi_comm_is_revoked, self._handle)
+
+    def Shrink(self) -> "Comm":
+        """A new communicator over the surviving members (ULFM
+        ``MPIX_Comm_shrink``); works on a revoked communicator."""
+        return type(self)(self._guard(capi.mpi_comm_shrink, self._handle))
+
+    def Agree(self, flag: int) -> int:
+        """Fault-tolerant agreement (ULFM ``MPIX_Comm_agree``): the
+        bitwise AND of every surviving member's ``flag``, identical on
+        all survivors even across failures during the call."""
+        return self._guard(capi.mpi_comm_agree, self._handle, flag)
+
     # -- error handlers -----------------------------------------------------
     def Errhandler_set(self, errhandler: Errhandler) -> None:
         capi.mpi_errhandler_set(self._handle, errhandler._handle)

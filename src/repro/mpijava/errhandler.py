@@ -50,7 +50,12 @@ def guarded_call(errhandler_of: Callable[[], int], fn, *args):
         if errhandler_of() == H.ERRORS_RETURN:
             raise
         rt = current_runtime()
-        raise rt.universe.poison(rt.world_rank, exc.error_code, cause=exc)
+        # a peer-failure error is the *peer's* fault: poison with the dead
+        # rank as origin so the executor folds victims' aborts back to it
+        origin = getattr(exc, "failed_rank", -1)
+        if origin < 0:
+            origin = rt.world_rank
+        raise rt.universe.poison(origin, exc.error_code, cause=exc)
     except Exception as exc:
         if errhandler_of() == H.ERRORS_RETURN:
             raise MPIException(

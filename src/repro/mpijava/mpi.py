@@ -114,6 +114,8 @@ class MPI(metaclass=_MPIMeta):
     ERR_INTERN = _errors.ERR_INTERN
     ERR_PENDING = _errors.ERR_PENDING
     ERR_IN_STATUS = _errors.ERR_IN_STATUS
+    ERR_PROC_FAILED = _errors.ERR_PROC_FAILED
+    ERR_REVOKED = _errors.ERR_REVOKED
     ERR_LASTCODE = _errors.ERR_LASTCODE
 
     # error handlers

@@ -18,7 +18,8 @@ import threading
 from typing import Optional
 
 from repro.errors import (MPIException, SUCCESS, ERR_ARG, ERR_COMM,
-                          ERR_INTERN, ERR_OTHER, ERR_RANK, ERR_TAG)
+                          ERR_INTERN, ERR_OTHER, ERR_PROC_FAILED, ERR_RANK,
+                          ERR_TAG)
 from repro.datatypes.base import DatatypeImpl
 from repro.runtime.buffers import extract_send_payload, land_payload, \
     recv_byte_views, validate_buffer
@@ -35,6 +36,9 @@ from repro.runtime.topology import CartTopology, GraphTopology
 TAG_CTX_AGREE = 1
 TAG_OBJ_COLL = 2
 TAG_INTERCOMM_HANDSHAKE = 3
+# ULFM fault-tolerant management traffic (Shrink / Agree leader protocols)
+TAG_FT_SHRINK = 4
+TAG_FT_AGREE = 5
 
 #: collective-schedule tags live above the management tags; each collective
 #: call on a communicator draws a fresh tag from this window, so traffic of
@@ -157,6 +161,27 @@ class CommImpl:
         if self.my_rank == UNDEFINED:
             raise MPIException(ERR_COMM,
                                f"calling rank is not a member of {self.name}")
+        # ULFM: every non-fault-tolerance operation on a revoked
+        # communicator fails with ERR_REVOKED (Shrink/Agree/Is_revoked
+        # deliberately do not come through here)
+        self.universe.check_revoked(self.ctx_pt2pt)
+
+    def _check_not_freed(self) -> None:
+        """Liveness check for the FT trio, which must work when revoked."""
+        if self.freed:
+            raise MPIException(ERR_COMM, f"{self.name} was freed")
+        if self.my_rank == UNDEFINED:
+            raise MPIException(ERR_COMM,
+                               f"calling rank is not a member of {self.name}")
+
+    def _ft_peer_scope(self, world: int) -> tuple:
+        """Peers whose death should fail an op matched to ``world``."""
+        if world == ANY_SOURCE:
+            return tuple(w for w in self._peer_group().ranks
+                         if w != self.rt.world_rank)
+        if world == self.rt.world_rank:
+            return ()
+        return (world,)
 
     def compare(self, other: "CommImpl") -> int:
         """``MPI_Comm_compare``."""
@@ -258,6 +283,12 @@ class CommImpl:
                                       tag, "Ssend")
         elif zero_copy:
             env.on_flushed = req.complete
+        if (mode == MODE_SYNCHRONOUS or zero_copy) \
+                and dest_world != rt.world_rank:
+            # this send can block on the peer (ACK wait / rendezvous
+            # CTS): a dead peer or a revoked context must complete it
+            # with the matching ULFM error instead of hanging
+            req.arm_failure_scope(contexts=(ctx,), peers=(dest_world,))
         try:
             transport.send(env)
         finally:
@@ -304,6 +335,8 @@ class CommImpl:
             req.complete()
             return req
         dest_world = self._dest_world(dest)
+        if self.universe.is_failed(dest_world):
+            raise self.universe.peer_failure(dest_world)
         zero_copy = self._send_takes_view(count, datatype, dest_world, mode)
         san = self.universe.sanitizer
         verify = san.snapshot_send(buf, offset, count, datatype) \
@@ -358,6 +391,9 @@ class CommImpl:
         self.rt.mailbox.post_recv(req, source_world, tag,
                                   self.ctx_pt2pt, land,
                                   recv_views=recv_views)
+        req.arm_failure_scope(contexts=(self.ctx_pt2pt,),
+                              peers=self._ft_peer_scope(source_world),
+                              mailbox=self.rt.mailbox)
         return req
 
     def recv(self, buf, offset, count, datatype, source, tag) -> RequestImpl:
@@ -520,6 +556,9 @@ class CommImpl:
         src_world = (ANY_SOURCE if src_comm_rank == ANY_SOURCE
                      else self.group.world_rank(src_comm_rank))
         self.rt.mailbox.post_recv(req, src_world, tag, self.ctx_coll, land)
+        req.arm_failure_scope(contexts=(self.ctx_coll,),
+                              peers=self._ft_peer_scope(src_world),
+                              mailbox=self.rt.mailbox)
         return req
 
     def obj_send(self, obj, dest_comm_rank: int, tag: int,
@@ -544,9 +583,12 @@ class CommImpl:
 
         src_world = (world_src if world_src is not None
                      else self.group.world_rank(src_comm_rank))
-        self.rt.mailbox.post_recv(req, src_world, tag,
-                                  self.ctx_coll if ctx is None else ctx,
-                                  land)
+        use_ctx = self.ctx_coll if ctx is None else ctx
+        self.rt.mailbox.post_recv(req, src_world, tag, use_ctx, land)
+        # management traffic must not hang on a dead peer either: a
+        # failure mid-split/dup surfaces as ERR_PROC_FAILED to the caller
+        req.arm_failure_scope(peers=self._ft_peer_scope(src_world),
+                              mailbox=self.rt.mailbox)
         req.wait()
         return pickle.loads(bytes(box["env"].payload))
 
@@ -680,6 +722,168 @@ class CommImpl:
         for keyval in list(self.attributes):
             self._run_delete_callback(keyval)
         self.freed = True
+
+    # ======================================================================
+    # ULFM fault tolerance: Revoke / Shrink / Agree
+    # ======================================================================
+    def revoke(self) -> None:
+        """``MPIX_Comm_revoke``: invalidate this communicator everywhere.
+
+        Not collective — any member may call it (typically after an
+        operation failed with ``ERR_PROC_FAILED``).  The revoke token is
+        reliably broadcast: every receiver re-floods tokens it has not
+        seen, so the revocation survives the originator dying mid-send.
+        Every pending and future non-FT operation on the communicator
+        then completes with ``ERR_REVOKED`` on every member.
+        """
+        self._check_not_freed()
+        self.universe.note_revoked((self.ctx_pt2pt, self.ctx_coll),
+                                   origin_rank=self.rt.world_rank)
+
+    def is_revoked(self) -> bool:
+        return self.ctx_pt2pt in self.universe.revoked_contexts
+
+    def _ft_obj_send(self, obj, world_dest: int, tag: int) -> None:
+        """obj_send for the FT protocols: never blocks on a dead peer,
+        never trips the revocation check."""
+        if self.universe.is_failed(world_dest):
+            raise self.universe.peer_failure(world_dest)
+        blob = pickle.dumps(obj, protocol=4)
+        self._isend_raw(blob, 1, True, world_dest, tag,
+                        self.ctx_coll).wait()
+
+    def _ft_obj_recv(self, world_src: int, tag: int):
+        """obj_recv for the FT protocols: completes with
+        ``ERR_PROC_FAILED`` if the peer dies, ignores revocation."""
+        box: dict[str, Envelope] = {}
+        req = RequestImpl(self.universe, RequestImpl.KIND_RECV)
+
+        def land(env):
+            box["env"] = env.claim()
+            return env.nelems, SUCCESS, ""
+
+        self.rt.mailbox.post_recv(req, world_src, tag, self.ctx_coll, land)
+        req.arm_failure_scope(peers=(world_src,), mailbox=self.rt.mailbox)
+        req.wait()
+        return pickle.loads(bytes(box["env"].payload))
+
+    def shrink(self) -> Optional["CommImpl"]:
+        """``MPIX_Comm_shrink``: a new communicator of the survivors.
+
+        Collective over the surviving members (works on a revoked
+        communicator — that is its purpose).  Leader-based agreement on
+        the existing context-floor machinery: the lowest surviving rank
+        gathers each survivor's context floor and failure knowledge,
+        allocates a fresh context pair above every floor, and scatters
+        the (contexts, survivor-list) plan.  If a leader dies mid-round,
+        everyone retries with the next surviving candidate (messages to
+        distinct leaders cannot cross-match, and per-pair FIFO keeps
+        rounds ordered).
+        """
+        self._require_intra("Comm.Shrink")
+        self._check_not_freed()
+        me = self.rt.world_rank
+        plan = None
+        for leader in self.group.ranks:
+            if self.universe.is_failed(leader):
+                continue
+            try:
+                plan = self._shrink_round(leader, me)
+                break
+            except MPIException as exc:
+                if exc.error_code != ERR_PROC_FAILED:
+                    raise
+                # this leader died mid-round; retry with the next one
+        if plan is None:
+            raise MPIException(ERR_OTHER,
+                               f"Shrink found no surviving leader in "
+                               f"{self.name}")
+        ctxs, world_ranks = plan
+        self.universe.note_context_ids(*ctxs)
+        return self._new_comm(GroupImpl(world_ranks), tuple(ctxs),
+                              name=f"{self.name}+shrink")
+
+    def _shrink_round(self, leader: int, me: int):
+        if me != leader:
+            self._ft_obj_send(
+                (self.universe.ctx_floor,
+                 sorted(self.universe.failed_ranks)),
+                leader, TAG_FT_SHRINK)
+            return self._ft_obj_recv(leader, TAG_FT_SHRINK)
+        failed = set(self.universe.failed_ranks)
+        floors = [self.universe.ctx_floor]
+        heard = []
+        for w in self.group.ranks:
+            if w == me or w in failed:
+                continue
+            try:
+                floor, their_failed = self._ft_obj_recv(w, TAG_FT_SHRINK)
+            except MPIException as exc:
+                if exc.error_code != ERR_PROC_FAILED:
+                    raise
+                failed.add(w)
+                continue
+            floors.append(floor)
+            failed.update(their_failed)
+            heard.append(w)
+        survivors = [w for w in self.group.ranks
+                     if w == me or (w in heard and w not in failed)]
+        self.universe.raise_ctx_floor(max(floors))
+        ctxs = self.universe.alloc_context_pair()
+        plan = (ctxs, survivors)
+        for w in heard:
+            try:
+                self._ft_obj_send(plan, w, TAG_FT_SHRINK)
+            except MPIException as exc:
+                if exc.error_code != ERR_PROC_FAILED:
+                    raise
+        return plan
+
+    def agree(self, flag: int) -> int:
+        """``MPIX_Comm_agree``: fault-tolerant agreement.
+
+        Returns the bitwise AND of every surviving member's ``flag``;
+        completes even with failed members or a revoked communicator.
+        Same leader-retry discipline as :meth:`shrink`.
+        """
+        self._require_intra("Comm.Agree")
+        self._check_not_freed()
+        me = self.rt.world_rank
+        for leader in self.group.ranks:
+            if self.universe.is_failed(leader):
+                continue
+            try:
+                return self._agree_round(leader, me, int(flag))
+            except MPIException as exc:
+                if exc.error_code != ERR_PROC_FAILED:
+                    raise
+        raise MPIException(ERR_OTHER,
+                           f"Agree found no surviving leader in "
+                           f"{self.name}")
+
+    def _agree_round(self, leader: int, me: int, flag: int) -> int:
+        if me != leader:
+            self._ft_obj_send(flag, leader, TAG_FT_AGREE)
+            return int(self._ft_obj_recv(leader, TAG_FT_AGREE))
+        out = flag
+        heard = []
+        for w in self.group.ranks:
+            if w == me or self.universe.is_failed(w):
+                continue
+            try:
+                out &= int(self._ft_obj_recv(w, TAG_FT_AGREE))
+            except MPIException as exc:
+                if exc.error_code != ERR_PROC_FAILED:
+                    raise
+                continue
+            heard.append(w)
+        for w in heard:
+            try:
+                self._ft_obj_send(out, w, TAG_FT_AGREE)
+            except MPIException as exc:
+                if exc.error_code != ERR_PROC_FAILED:
+                    raise
+        return out
 
     # -- attribute caching -------------------------------------------------------
     def attr_put(self, keyval: int, value) -> None:

@@ -14,11 +14,13 @@ import os
 import threading
 from typing import Callable, Iterable, Optional
 
-from repro.errors import AbortException, MPIException, ERR_INTERN, ERR_OTHER
+from repro.errors import (AbortException, MPIException, ProcFailedException,
+                          RevokedException, ERR_INTERN, ERR_OTHER)
 from repro.obs.trace import TRACE
 from repro.runtime.bsend_pool import BsendPool
 from repro.runtime.envelope import (Envelope, decode_abort_env,
-                                    encode_abort_env)
+                                    encode_abort_env, encode_peerfail_env,
+                                    encode_revoke_env)
 from repro.runtime.groups import GroupImpl
 from repro.runtime.mailbox import Mailbox
 from repro.transport import make_transport
@@ -103,6 +105,18 @@ class Universe:
         #: blocked wait registers one, which is what makes abort delivery
         #: event-driven (no poll ticks anywhere on the wait paths)
         self._abort_listeners: list[Callable[[], None]] = []
+        # -- ULFM failure plane (beside, not inside, the abort plane) ----
+        self._fail_lock = threading.Lock()
+        #: world rank -> classified cause, for every peer known dead
+        self.failed_ranks: dict[int, BaseException | None] = {}
+        #: context ids of revoked communicators (pt2pt and coll ids both)
+        self.revoked_contexts: set[int] = set()
+        #: persistent callbacks fired on *every* failure-plane event (a
+        #: newly dead peer or a newly revoked context).  Unlike abort
+        #: listeners these are not one-shot: blocked requests register
+        #: affectedness checks that decide per event whether to complete
+        #: with ERR_PROC_FAILED / ERR_REVOKED.
+        self._failure_listeners: list[Callable[[], None]] = []
         self._closed = False
         #: indexed by world rank; None for ranks hosted in other processes.
         #: Wired (and the transport started) only after the abort state
@@ -255,6 +269,108 @@ class Universe:
     def abort_exception(self) -> AbortException | None:
         return self._abort
 
+    # -- ULFM failure plane --------------------------------------------------
+    def note_peer_failure(self, rank: int,
+                          cause: BaseException | None = None,
+                          broadcast: bool = False) -> None:
+        """Record a dead peer and wake affected waiters; never raises.
+
+        This is the *recoverable* counterpart of :meth:`poison`:
+        idempotent per rank, it marks ``rank`` failed, notifies every
+        mailbox (probes re-check), and fires the persistent failure
+        listeners — each blocked request decides for itself whether the
+        loss affects it and, if so, completes with ``ERR_PROC_FAILED``.
+        The job as a whole keeps running.
+        """
+        rank = int(rank)
+        with self._fail_lock:
+            if rank in self.failed_ranks:
+                return
+            self.failed_ranks[rank] = cause
+            listeners = list(self._failure_listeners)
+        if broadcast:
+            try:
+                self.transport.broadcast_control(
+                    encode_peerfail_env(rank, cause))
+            except Exception:
+                pass  # peers learn via their own transport EOF
+        self._fire_failure_event(listeners)
+
+    def note_revoked(self, contexts: Iterable[int], origin_rank: int = -1,
+                     broadcast: bool = True) -> None:
+        """Record revoked context ids; re-broadcast any that are news.
+
+        Reliable broadcast in the ULFM sense: every receiver of a revoke
+        token forwards tokens it has not seen before, so a revoke
+        initiated by a rank that dies mid-broadcast still reaches every
+        survivor (any one delivery suffices to re-flood).  Termination
+        is guaranteed because already-known contexts are never
+        re-forwarded.
+        """
+        contexts = tuple(int(c) for c in contexts)
+        with self._fail_lock:
+            fresh = [c for c in contexts if c not in self.revoked_contexts]
+            if fresh:
+                self.revoked_contexts.update(fresh)
+            listeners = list(self._failure_listeners)
+        if not fresh:
+            return
+        if broadcast:
+            try:
+                self.transport.broadcast_control(
+                    encode_revoke_env(origin_rank, contexts))
+            except Exception:
+                pass
+        self._fire_failure_event(listeners)
+
+    def _fire_failure_event(self, listeners) -> None:
+        for mb in self.mailboxes:
+            if mb is not None:
+                mb.on_failure_event()
+        for fn in listeners:
+            try:
+                fn()
+            except Exception:  # pragma: no cover - listeners don't raise
+                pass
+
+    def add_failure_listener(self, fn: Callable[[], None]) -> bool:
+        """Register a persistent failure-event callback.
+
+        Fired on every subsequent failure-plane event; fired once
+        immediately (returning True) if any failure or revocation is
+        already on record, so registration after the event still sees it.
+        """
+        with self._fail_lock:
+            self._failure_listeners.append(fn)
+            pending = bool(self.failed_ranks or self.revoked_contexts)
+        if pending:
+            fn()
+        return pending
+
+    def remove_failure_listener(self, fn: Callable[[], None]) -> None:
+        with self._fail_lock:
+            try:
+                self._failure_listeners.remove(fn)
+            except ValueError:
+                pass
+
+    def is_failed(self, rank: int) -> bool:
+        return rank in self.failed_ranks
+
+    def peer_failure(self, rank: int) -> ProcFailedException:
+        """Build the ERR_PROC_FAILED exception for a recorded dead peer."""
+        exc = ProcFailedException(rank)
+        cause = self.failed_ranks.get(rank)
+        if cause is not None:
+            exc.__cause__ = cause
+        return exc
+
+    def check_revoked(self, *contexts: int) -> None:
+        """Raise :class:`RevokedException` if any context is revoked."""
+        for ctx in contexts:
+            if ctx in self.revoked_contexts:
+                raise RevokedException(ctx)
+
     # -- cost-model hooks (modeled benchmark mode) -----------------------------
     def charge_wrapper(self, nbytes: int) -> None:
         """Charge the OO-binding per-call overhead to a virtual clock."""
@@ -331,9 +447,21 @@ class RankRuntime:
             raise MPIException(ERR_OTHER, "MPI.Finalize before Init")
         if self.finalized:
             raise MPIException(ERR_OTHER, "MPI.Finalize called twice")
-        # the standard requires Finalize to behave like a barrier
+        # fault point: after the target's last real operation, before
+        # the Finalize barrier — peers already inside Finalize must
+        # still unwind
+        from repro.util import faultinject
+        faultinject.maybe_fail("finalize", self.world_rank)
+        # the standard requires Finalize to behave like a barrier — but a
+        # barrier over dead peers can never complete, and ULFM requires
+        # Finalize to succeed on survivors regardless of failures
+        from repro.errors import ERR_PROC_FAILED, ERR_REVOKED
         from repro.runtime.collective import barrier
-        barrier.barrier(self.comm_world)
+        try:
+            barrier.barrier(self.comm_world)
+        except MPIException as exc:
+            if exc.error_code not in (ERR_PROC_FAILED, ERR_REVOKED):
+                raise
         if self.universe.sanitizer is not None:
             # after the barrier: every rank is in Finalize, so leftover
             # queue/request/handle state is a real leak, not a race

@@ -22,6 +22,8 @@ KIND_RTS = 3        # rendezvous request-to-send (header only, no payload)
 KIND_CTS = 4        # rendezvous clear-to-send (receiver matched a recv)
 KIND_RNDV_DATA = 5  # rendezvous payload frame, routed by (src, seq)
 KIND_SANITIZE = 6   # sanitizer deadlock-probe (REPRO_SANITIZE=1 only)
+KIND_REVOKE = 7     # ULFM communicator-revoke token (reliable broadcast)
+KIND_PEERFAIL = 8   # peer-loss notification (transport/launcher classified)
 
 # --- communication modes (MPI 1.1 §3.4) --------------------------------------
 MODE_STANDARD = 0
@@ -282,6 +284,48 @@ def decode_abort_env(env: Envelope) \
         # a corrupt cause must not mask the abort itself
         cause = load_exception_chain(payload)
     return env.src, env.tag, cause
+
+
+# --- fault-tolerance control envelopes -----------------------------------------
+#
+# ULFM failure events ride the data plane like aborts do, so process
+# isolation never matters: a KIND_PEERFAIL carries the dead rank in
+# ``src`` and its classified cause chain in the payload; a KIND_REVOKE
+# carries the revoking rank in ``src`` and the revoked communicator's
+# context ids (pickled) in the payload, so every receiver can mark the
+# same contexts dead without sharing any in-memory state.
+
+def encode_peerfail_env(failed_rank: int,
+                        cause: BaseException | None = None) -> Envelope:
+    """Build the KIND_PEERFAIL control envelope for a classified peer loss."""
+    payload = b"" if cause is None else dump_exception_chain(cause)
+    return Envelope(kind=KIND_PEERFAIL, src=int(failed_rank),
+                    payload=payload, is_object=True)
+
+
+def decode_peerfail_env(env: Envelope) -> tuple[int, BaseException | None]:
+    """(failed_rank, cause) from a KIND_PEERFAIL envelope."""
+    cause = None
+    payload = env.payload
+    if payload is not None and len(payload):
+        cause = load_exception_chain(payload)
+    return env.src, cause
+
+
+def encode_revoke_env(origin_rank: int, contexts) -> Envelope:
+    """Build the KIND_REVOKE token naming the revoked context ids."""
+    payload = pickle.dumps(tuple(int(c) for c in contexts), protocol=4)
+    return Envelope(kind=KIND_REVOKE, src=int(origin_rank),
+                    payload=payload, is_object=True)
+
+
+def decode_revoke_env(env: Envelope) -> tuple[int, tuple]:
+    """(origin_rank, context_ids) from a KIND_REVOKE envelope."""
+    try:
+        contexts = tuple(pickle.loads(bytes(env.payload)))
+    except Exception:
+        contexts = ()
+    return env.src, contexts
 
 
 def decode(header: bytes, body) -> Envelope:

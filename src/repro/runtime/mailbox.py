@@ -39,8 +39,9 @@ from repro.obs.metrics import CounterGroup
 from repro.obs.trace import TRACE
 from repro.runtime.consts import ANY_SOURCE, ANY_TAG
 from repro.runtime.envelope import (Envelope, KIND_ABORT, KIND_ACK,
-                                    KIND_DATA, KIND_RTS, KIND_SANITIZE,
-                                    MODE_READY)
+                                    KIND_DATA, KIND_PEERFAIL, KIND_REVOKE,
+                                    KIND_RTS, KIND_SANITIZE, MODE_READY,
+                                    decode_peerfail_env, decode_revoke_env)
 from repro.runtime.requests import RequestImpl
 
 #: process-wide match counters (all mailboxes): how often the receive
@@ -149,6 +150,14 @@ class Mailbox:
             san = getattr(self.universe, "sanitizer", None)
             if san is not None:
                 san.on_deliver(env)
+            return
+        if env.kind == KIND_PEERFAIL:
+            rank, cause = decode_peerfail_env(env)
+            self.universe.note_peer_failure(rank, cause)
+            return
+        if env.kind == KIND_REVOKE:
+            origin, contexts = decode_revoke_env(env)
+            self.universe.note_revoked(contexts, origin_rank=origin)
             return
         assert env.kind in (KIND_DATA, KIND_RTS)
         with self._lock:
@@ -321,6 +330,14 @@ class Mailbox:
 
     def cancel_recv(self, req: RequestImpl) -> bool:
         """Remove a posted receive; True if it was still pending."""
+        if not self.discard_posted(req):
+            return False
+        req.complete_cancelled()
+        return True
+
+    def discard_posted(self, req: RequestImpl) -> bool:
+        """Silently remove ``req``'s posted receive (failure plane /
+        cancellation); True if it was still in a queue."""
         with self._lock:
             for dq in self._posted_exact.values():
                 for p in dq:
@@ -339,7 +356,6 @@ class Mailbox:
                         break
                 else:
                     return False
-        req.complete_cancelled()
         return True
 
     # -- probe -------------------------------------------------------------------
@@ -362,6 +378,10 @@ class Mailbox:
         with self._arrival:
             while True:
                 self.universe.check_abort()
+                self.universe.check_revoked(context)
+                if source_world >= 0 \
+                        and self.universe.is_failed(source_world):
+                    raise self.universe.peer_failure(source_world)
                 _, dq = self._find_unexpected(probe)
                 if dq is not None:
                     return dq[0][1]
@@ -369,6 +389,11 @@ class Mailbox:
 
     def on_abort(self) -> None:
         """Wake every thread blocked on this mailbox (job poisoned)."""
+        with self._arrival:
+            self._arrival.notify_all()
+
+    def on_failure_event(self) -> None:
+        """Wake blocked probes so they re-check the failure plane."""
         with self._arrival:
             self._arrival.notify_all()
 

@@ -35,6 +35,7 @@ from repro.obs.trace import TRACE
 from repro.runtime.collective.common import contrib_from_env, send_contrib
 from repro.runtime.requests import RequestImpl
 from repro.runtime.nbc.schedule import Compute, Recv, Schedule, Send
+from repro.util import faultinject
 
 _cascade = threading.local()
 
@@ -95,6 +96,16 @@ class CollRequestImpl(RequestImpl):
         self.universe.add_abort_listener(self._abort_fail)
         self.add_listener(
             lambda: self.universe.remove_abort_listener(self._abort_fail))
+        # ULFM failure scope: a collective depends (transitively) on every
+        # member, so any member's death — or a revocation — fails the
+        # whole schedule with ERR_PROC_FAILED / ERR_REVOKED.  Armed before
+        # the first round posts its receives, so this listener fires ahead
+        # of the sub-receives' and the cascade sees ``done`` and stops.
+        comm = self.comm
+        self.arm_failure_scope(
+            contexts=(comm.ctx_coll,),
+            peers=tuple(w for w in comm.group.ranks
+                        if w != comm.rt.world_rank))
         if not self.done:
             _trampoline(self._step)
         return self
@@ -110,6 +121,11 @@ class CollRequestImpl(RequestImpl):
             if self._round >= len(rounds):
                 self.complete()
                 return
+            # fault point: between schedule rounds — peers already hold
+            # this rank's earlier contributions but will starve waiting
+            # on the next round's
+            faultinject.maybe_fail("coll.round", self._trace_rank,
+                                   own_thread_only=True)
             rnd = rounds[self._round]
             if TRACE.enabled:
                 self._t_round = TRACE.now()
@@ -160,6 +176,11 @@ class CollRequestImpl(RequestImpl):
         escaping into the sender's stack.  Returns False if the request
         errored out.
         """
+        if self.done:
+            # failed (peer death / revoke / abort) while this round was
+            # in flight: its receives were completed-with-error without
+            # landing, so there is nothing to decode
+            return False
         try:
             for op in rnd:
                 if isinstance(op, Recv):
@@ -185,7 +206,9 @@ class CollRequestImpl(RequestImpl):
         ``ZeroDivisionError`` surfaces it unchanged — the same contract
         the inline blocking collectives had.
         """
-        self._exc = exc
+        with self._plock:
+            if self._exc is None:
+                self._exc = exc
         code = exc.error_code if isinstance(exc, MPIException) \
             else ERR_INTERN
         self.complete(error=code,

@@ -13,7 +13,9 @@ from __future__ import annotations
 import threading
 from typing import Callable, Optional
 
-from repro.errors import (MPIException, ERR_PENDING, ERR_REQUEST, SUCCESS)
+from repro.errors import (MPIException, ProcFailedException,
+                          RevokedException, ERR_PENDING, ERR_PROC_FAILED,
+                          ERR_REQUEST, ERR_REVOKED, SUCCESS)
 
 
 class RequestImpl:
@@ -43,6 +45,12 @@ class RequestImpl:
         self.persistent_inner: Optional["RequestImpl"] = None
         # recv-side landing zone, set by the engine
         self._recv_sink = None
+        # ULFM failure scope (see arm_failure_scope)
+        self._ft_contexts: tuple = ()
+        self._ft_peers: tuple = ()
+        self._ft_mailbox = None
+        self.ft_failed_rank = -1
+        self.ft_revoked_context = -1
         san = getattr(universe, "sanitizer", None)
         if san is not None:
             san.note_request(self)
@@ -84,6 +92,54 @@ class RequestImpl:
                 return False
         fn()
         return True
+
+    # -- ULFM failure scope ----------------------------------------------------
+    def arm_failure_scope(self, contexts=(), peers=(),
+                          mailbox=None) -> None:
+        """Fail this request if a watched peer dies or context is revoked.
+
+        ``peers`` are the world ranks whose death makes the operation
+        undeliverable (the matched source, or every other group member
+        for ``ANY_SOURCE`` / collectives); ``contexts`` are the context
+        ids whose revocation cancels it.  The check runs once now (the
+        event may predate the request) and again on every failure-plane
+        event; an affected request *completes with the error code*, so
+        the normal Wait/Test path surfaces ``ERR_PROC_FAILED`` /
+        ``ERR_REVOKED`` through the communicator's error handler.
+        """
+        self._ft_contexts = tuple(contexts)
+        self._ft_peers = tuple(peers)
+        if mailbox is not None:
+            self._ft_mailbox = mailbox
+        listener = self._fail_if_affected
+        self.universe.add_failure_listener(listener)
+        self.add_listener(
+            lambda: self.universe.remove_failure_listener(listener))
+
+    def _fail_if_affected(self) -> None:
+        if self.done:
+            return
+        u = self.universe
+        for ctx in self._ft_contexts:
+            if ctx in u.revoked_contexts:
+                self.ft_revoked_context = ctx
+                self._fail_now(ERR_REVOKED,
+                               f"communicator (context {ctx}) was revoked")
+                return
+        for peer in self._ft_peers:
+            if peer in u.failed_ranks:
+                self.ft_failed_rank = peer
+                self._fail_now(ERR_PROC_FAILED, f"rank {peer} failed")
+                return
+
+    def _fail_now(self, error: int, message: str) -> None:
+        # a failed receive leaves its PostedRecv behind: pull it out of
+        # the matching queues so it cannot consume a later message (and
+        # the Finalize audit doesn't see a phantom leak)
+        mb = self._ft_mailbox
+        if mb is not None:
+            mb.discard_posted(self)
+        self.complete(error=error, error_message=message)
 
     # -- waiting --------------------------------------------------------------
     def wait(self) -> None:
@@ -134,6 +190,16 @@ class RequestImpl:
 
     def raise_if_error(self) -> None:
         if self.error != SUCCESS:
+            if self.error == ERR_PROC_FAILED:
+                exc = ProcFailedException(self.ft_failed_rank,
+                                          self.error_message)
+                cause = self.universe.failed_ranks.get(self.ft_failed_rank)
+                if cause is not None:
+                    exc.__cause__ = cause
+                raise exc
+            if self.error == ERR_REVOKED:
+                raise RevokedException(self.ft_revoked_context,
+                                       self.error_message)
             raise MPIException(self.error, self.error_message)
 
     # -- persistent requests ----------------------------------------------------
@@ -157,6 +223,9 @@ class RequestImpl:
             self.error_message = ""
             self._event.clear()
             self.active = True
+        if self._ft_contexts or self._ft_peers:
+            # completion dropped the failure listener; watch again
+            self.arm_failure_scope(self._ft_contexts, self._ft_peers)
         self._restart()
 
     def deactivate(self) -> None:

@@ -30,6 +30,7 @@ import selectors
 import socket
 import struct
 import threading
+import time
 
 from repro.runtime import envelope as ev
 from repro.runtime.envelope import Envelope
@@ -179,6 +180,33 @@ def mesh_listener(host: str = "127.0.0.1") -> socket.socket:
     return socket.create_server((host, 0), backlog=64)
 
 
+def _dial(host: str, port: int, timeout: float) -> socket.socket:
+    """Dial a mesh peer with retry + exponential backoff within ``timeout``.
+
+    The address book guarantees the listener *exists*, but under load its
+    accept backlog can overflow (every rank dials every lower rank at
+    once) and a refused or reset dial is transient — retrying with
+    backoff rides it out instead of failing the whole bootstrap.
+    """
+    deadline = time.monotonic() + timeout
+    delay = 0.05
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise socket.timeout(f"dial {host}:{port} timed out")
+        try:
+            return socket.create_connection((host, port),
+                                            timeout=remaining)
+        except socket.timeout:
+            raise
+        except OSError as exc:
+            if time.monotonic() + delay >= deadline:
+                raise socket.timeout(
+                    f"dial {host}:{port} kept failing: {exc}") from exc
+            time.sleep(delay)
+            delay = min(delay * 2, 1.0)
+
+
 def build_mesh(rank: int, nprocs: int, listener: socket.socket,
                book: dict[int, tuple[str, int]],
                timeout: float = BOOTSTRAP_TIMEOUT) \
@@ -194,7 +222,7 @@ def build_mesh(rank: int, nprocs: int, listener: socket.socket,
     try:
         for peer in range(rank):
             host, port = book[peer]
-            s = socket.create_connection((host, port), timeout=timeout)
+            s = _dial(host, port, timeout)
             set_nodelay(s)
             s.sendall(MESH_HELLO.pack(rank))
             s.settimeout(None)
@@ -230,9 +258,10 @@ class TCPMeshTransport(WireProtocol, Transport):
     thread, the pump control path, the rendezvous writer and the abort
     broadcast may write concurrently); the single pump thread drains
     frames from every peer into the local mailbox.  A peer connection
-    dying outside teardown is converted into a synthetic KIND_ABORT
-    delivery, so a hard-killed process unblocks its peers just like an
-    explicit abort.
+    dying outside teardown is classified as a KIND_PEERFAIL delivery:
+    the failure plane marks the rank dead and fails exactly the
+    operations that depended on it, so a hard-killed process unblocks
+    its peers without poisoning the whole job.
     """
 
     mode = "DM"
@@ -322,10 +351,18 @@ class TCPMeshTransport(WireProtocol, Transport):
             sel.close()
 
     def _peer_lost(self, peer: int) -> None:
-        """Peer connection died outside teardown: deliver a synthetic
-        abort so the local rank unblocks instead of hanging forever."""
-        env = ev.encode_abort_env(
-            peer, 1, ConnectionError(f"rank {peer} connection lost"))
+        """Peer connection died outside teardown: classified peer loss.
+
+        Delivered as a KIND_PEERFAIL envelope — the failure plane marks
+        the rank dead and completes exactly the operations that depended
+        on it with ERR_PROC_FAILED — instead of the synthetic
+        universe-wide abort this used to be.  Under ``ERRORS_ARE_FATAL``
+        the first affected operation still poisons the job through its
+        error handler (fast fatal unwind preserved); under
+        ``ERRORS_RETURN`` the survivors keep running (ULFM).
+        """
+        env = ev.encode_peerfail_env(
+            peer, ConnectionError(f"rank {peer} connection lost"))
         env.dst = self.rank
         deliver = self._deliver[self.rank]
         if deliver is not None:

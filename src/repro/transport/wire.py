@@ -53,6 +53,7 @@ from repro.obs.metrics import CounterGroup
 from repro.obs.trace import TRACE
 from repro.runtime import envelope as ev
 from repro.runtime.envelope import Envelope
+from repro.util import faultinject
 
 #: default eager/rendezvous switchover (bytes); messages >= this size
 #: take the RTS/CTS handshake.  Below it, eager frames still land
@@ -296,6 +297,10 @@ class WireProtocol:
                     st.t0[env.seq] = TRACE.now()
             header = ev.encode_rts(env)
             self._framed_send(env.src, env.dst, header)
+            # fault point: the RTS is on the wire, the payload is parked
+            # — a death here leaves the receiver matched to a sender
+            # that will never answer its CTS
+            faultinject.maybe_fail("rendezvous.cts", env.src)
             self._count(rts_frames=1, tx_frames=1, tx_bytes=len(header))
             if TRACE.enabled:
                 TRACE.instant(env.src, "wire.rts", "wire",

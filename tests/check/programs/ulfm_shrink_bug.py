@@ -1,0 +1,18 @@
+"""Seeded bug: rank-divergent ULFM recovery — rank 0 Shrinks the
+revoked world while everyone else sits in a Barrier, so the shrink
+collective can never complete."""
+
+from repro.mpijava import MPI
+
+
+def main():
+    MPI.Init([])
+    w = MPI.COMM_WORLD
+    w.Errhandler_set(MPI.ERRORS_RETURN)
+    w.Revoke()
+    if w.Rank() == 0:
+        s = w.Shrink()
+        s.Agree(1)
+    else:
+        w.Barrier()                             # line flagged: diverges
+    MPI.Finalize()

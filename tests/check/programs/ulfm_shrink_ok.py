@@ -1,0 +1,15 @@
+"""Clean twin of ulfm_shrink_bug: every survivor runs the same
+Revoke -> Shrink -> Agree recovery sequence.  Revoke itself is *not*
+collective (any subset may call it), but Shrink and Agree are."""
+
+from repro.mpijava import MPI
+
+
+def main():
+    MPI.Init([])
+    w = MPI.COMM_WORLD
+    w.Errhandler_set(MPI.ERRORS_RETURN)
+    w.Revoke()
+    s = w.Shrink()
+    s.Agree(1)
+    MPI.Finalize()

@@ -35,6 +35,7 @@ SEEDED = {
     "lost_request": ("lost-request", WARNING),
     "send_deadlock": ("send-deadlock", ERROR),
     "type_mismatch": ("type-mismatch", WARNING),
+    "ulfm_shrink": ("coll-mismatch", ERROR),
     "unfreed_datatype": ("unfreed-datatype", INFO),
     "unmatched_recv": ("unmatched-recv", ERROR),
     "unmatched_send": ("unmatched-send", ERROR),

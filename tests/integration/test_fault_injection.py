@@ -13,6 +13,13 @@ Either way peers unwind with ``AbortException`` in milliseconds — the
 wall-clock bounds here are far below both the old 50 ms abort-poll tick
 granularity and the executor timeout, proving the wakeups are
 event-driven.
+
+The process-backend classes at the bottom drive the deterministic
+``REPRO_FAULT`` harness instead of raising from user code: the named
+rank is *hard-killed* (``os._exit``, no report, no finally blocks) at a
+protocol edge — mid-bootstrap, mid-rendezvous handshake, between
+collective schedule rounds, inside Finalize — and the launcher plus
+survivors must converge on the right verdict fast.
 """
 
 import time
@@ -20,7 +27,7 @@ import time
 import numpy as np
 import pytest
 
-from repro import mpirun
+from repro import mpirun, procrun
 from repro.errors import AbortException, MPIException
 from repro.executor.runner import RankFailure
 from repro.mpijava import MPI
@@ -232,3 +239,120 @@ class TestPointToPointAndProbeUnblock:
         failures, _ = run_expect_failure(2, body)
         assert set(failures) == {0}
         assert isinstance(failures[0], ValueError)
+
+
+# --- process-backend hard kills at protocol edges -----------------------------
+#
+# SPMD bodies must be module-level (they cross the process boundary by
+# reference).  All timing bounds are measured *inside* the victims where
+# possible — the whole-job bound includes ~0.5 s of interpreter spawn.
+
+PROC_NPROCS = 4
+PROC_TIMEOUT = 60.0
+
+
+def proc_plain_body():
+    MPI.Init([])
+    w = MPI.COMM_WORLD
+    sb = np.array([1.0])
+    rb = np.zeros(1)
+    w.Allreduce(sb, 0, rb, 0, 1, MPI.DOUBLE, MPI.SUM)
+    MPI.Finalize()
+    return "done"
+
+
+def proc_rendezvous_body():
+    """A >= eager-limit Send takes the RTS/CTS handshake; the sender is
+    killed right after shipping the RTS, leaving the receiver matched to
+    a dead sender — only peer-loss classification can free it."""
+    MPI.Init([])
+    w = MPI.COMM_WORLD
+    n = (2 * 1024 * 1024) // 8   # 2 MiB of doubles: well past eager
+    if w.Rank() == 0:
+        buf = np.ones(n)
+        w.Send(buf, 0, n, MPI.DOUBLE, 1, 5)
+        return "unreachable"
+    if w.Rank() == 1:
+        buf = np.zeros(n)
+        t0 = time.monotonic()
+        try:
+            w.Recv(buf, 0, n, MPI.DOUBLE, 0, 5)
+        except AbortException:
+            raise RuntimeError("unwound %.3f" % (time.monotonic() - t0))
+        return "unreachable"
+    # bystanders park in a collective that includes the dead rank
+    w.Barrier()
+    return "unreachable"
+
+
+def proc_segmented_bcast_body():
+    """A large Bcast runs the segmented pipeline (many schedule rounds);
+    the root is killed between rounds, mid-pipeline."""
+    MPI.Init([])
+    w = MPI.COMM_WORLD
+    n = (2 * 1024 * 1024) // 8
+    buf = np.ones(n) if w.Rank() == 0 else np.zeros(n)
+    t0 = time.monotonic()
+    try:
+        w.Bcast(buf, 0, n, MPI.DOUBLE, 0)
+    except AbortException:
+        raise RuntimeError("unwound %.3f" % (time.monotonic() - t0))
+    return "unreachable"
+
+
+class TestProcHardKills:
+    """Hard kills (os._exit on the worker) at each instrumented site."""
+
+    def _assert_prompt_victims(self, failures, dead):
+        assert dead in failures, failures
+        for rank, failure in failures.items():
+            if rank == dead or not isinstance(failure, RuntimeError) \
+                    or "unwound" not in str(failure):
+                continue
+            dt = float(str(failure).split()[-1])
+            assert dt < PROMPT, \
+                f"rank {rank} took {dt:.2f}s to unwind after the kill"
+
+    def test_kill_during_bootstrap_fails_fast_naming_rank(self,
+                                                          monkeypatch):
+        """Satellite: a worker dying before rendezvous must fail the job
+        promptly, naming the dead rank — not wait out the 30 s
+        bootstrap timeout."""
+        monkeypatch.setenv("REPRO_FAULT", "bootstrap:1")
+        t0 = time.monotonic()
+        with pytest.raises(RankFailure) as ei:
+            procrun(PROC_NPROCS, proc_plain_body, timeout=PROC_TIMEOUT)
+        dt = time.monotonic() - t0
+        assert dt < 10.0, f"bootstrap death took {dt:.1f}s to surface"
+        failures = ei.value.failures
+        assert 1 in failures, failures
+        assert "bootstrap" in str(failures[1]), failures
+
+    def test_kill_mid_rendezvous_unblocks_matched_receiver(self,
+                                                           monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT", "rendezvous.cts:0")
+        with pytest.raises(RankFailure) as ei:
+            procrun(PROC_NPROCS, proc_rendezvous_body,
+                    timeout=PROC_TIMEOUT)
+        self._assert_prompt_victims(ei.value.failures, dead=0)
+
+    def test_kill_mid_segmented_bcast(self, monkeypatch):
+        # hit 2: the root survives the first inter-round edge, dies on
+        # the next — peers already hold segment 0 and wait for more
+        monkeypatch.setenv("REPRO_FAULT", "coll.round:0:2")
+        with pytest.raises(RankFailure) as ei:
+            procrun(PROC_NPROCS, proc_segmented_bcast_body,
+                    timeout=PROC_TIMEOUT)
+        self._assert_prompt_victims(ei.value.failures, dead=0)
+
+    def test_kill_during_finalize(self, monkeypatch):
+        """A rank dying inside Finalize must not wedge the barrier: the
+        survivors' finalize tolerates the classified peer loss and the
+        launcher reports exactly the dead rank."""
+        monkeypatch.setenv("REPRO_FAULT", "finalize:2")
+        t0 = time.monotonic()
+        with pytest.raises(RankFailure) as ei:
+            procrun(PROC_NPROCS, proc_plain_body, timeout=PROC_TIMEOUT)
+        dt = time.monotonic() - t0
+        assert dt < 15.0, f"finalize death took {dt:.1f}s to surface"
+        assert set(ei.value.failures) == {2}, ei.value.failures

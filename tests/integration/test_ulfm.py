@@ -1,0 +1,200 @@
+"""ULFM-style fault tolerance: detect, Revoke, Shrink, Agree, continue.
+
+The acceptance demo of the robustness issue, as a test matrix over all
+three backends: a rank is killed mid-collective by the deterministic
+fault harness (``REPRO_FAULT``), survivors under ``ERRORS_RETURN`` see
+``ERR_PROC_FAILED`` (or ``ERR_REVOKED`` — a faster survivor's Revoke can
+legitimately land before this rank's own failure detection; both are
+correct ULFM outcomes), Revoke the world, Shrink to a working (n-1)
+communicator, complete an Allreduce on it, Agree, and Finalize.
+
+The process backend additionally asserts the *detection* plane: the
+launcher's exported counters must show the failure was noticed within
+2x the heartbeat interval, and a SIGSTOP'd rank — whose sockets stay
+open, so EOF never fires — must still be declared dead by heartbeat
+silence.
+
+SPMD bodies are module-level so the process backend can import them by
+reference.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import mpirun, procrun
+from repro.errors import (ERR_PROC_FAILED, ERR_REVOKED, AbortException,
+                          MPIException)
+from repro.executor.runner import RankFailure
+from repro.mpijava import MPI
+from repro.obs.metrics import REGISTRY
+from repro.util.faultinject import SimulatedRankDeath
+
+NPROCS = 4
+DEAD = 2
+TIMEOUT = 60.0
+
+#: acceptance bound: survivors in fatal mode must unwind well under this
+FATAL_UNWIND_BOUND = 1.0
+
+
+# --- module-level SPMD bodies -------------------------------------------------
+
+def survivor_body():
+    """Detect -> Revoke -> Shrink -> continue on the shrunken world."""
+    MPI.Init([])
+    w = MPI.COMM_WORLD
+    w.Errhandler_set(MPI.ERRORS_RETURN)
+    me = w.Rank()
+    sb = np.array([1.0])
+    rb = np.zeros(1)
+    try:
+        w.Allreduce(sb, 0, rb, 0, 1, MPI.DOUBLE, MPI.SUM)
+        raise AssertionError(f"rank {me}: allreduce over a dead rank "
+                             "should have failed")
+    except MPIException as exc:
+        assert exc.error_code in (ERR_PROC_FAILED, ERR_REVOKED), repr(exc)
+    w.Revoke()
+    assert w.Is_revoked()
+    # anything else on the revoked communicator fails deterministically
+    try:
+        w.Barrier()
+        raise AssertionError("barrier on a revoked comm should fail")
+    except MPIException as exc:
+        assert exc.error_code in (ERR_REVOKED, ERR_PROC_FAILED), repr(exc)
+    s = w.Shrink()
+    assert s.Size() == NPROCS - 1, s.Size()
+    assert not s.Is_revoked()
+    s.Allreduce(sb, 0, rb, 0, 1, MPI.DOUBLE, MPI.SUM)
+    assert rb[0] == float(NPROCS - 1), rb
+    assert s.Agree(1) == 1
+    assert s.Agree(0 if s.Rank() == 0 else 1) == 0  # bitwise AND
+    MPI.Finalize()
+    return f"survivor-{me}"
+
+
+def fatal_mode_body():
+    """Default handler: peer death must *abort* survivors, fast."""
+    MPI.Init([])
+    w = MPI.COMM_WORLD
+    sb = np.array([1.0])
+    rb = np.zeros(1)
+    t0 = time.monotonic()
+    try:
+        w.Allreduce(sb, 0, rb, 0, 1, MPI.DOUBLE, MPI.SUM)
+    except AbortException as exc:
+        dt = time.monotonic() - t0
+        assert exc.origin_rank == DEAD, exc.origin_rank
+        raise RuntimeError("unwound %.3f" % dt)
+    return "unreachable"
+
+
+# --- survive-and-continue matrix ----------------------------------------------
+
+class TestSurviveRankDeath:
+    """The end-to-end acceptance demo on every backend."""
+
+    @pytest.mark.parametrize("transport", ["inproc", "socket"])
+    def test_thread_backends(self, transport, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT", f"coll.round:{DEAD}")
+        with pytest.raises(RankFailure) as ei:
+            mpirun(NPROCS, survivor_body, transport=transport,
+                   timeout=TIMEOUT)
+        failures = ei.value.failures
+        # only the injected death: every survivor finished Shrink+Agree
+        assert set(failures) == {DEAD}, failures
+        assert isinstance(failures[DEAD], SimulatedRankDeath), failures
+
+    def test_process_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT", f"coll.round:{DEAD}")
+        monkeypatch.setenv("REPRO_HEARTBEAT_MS", "100")
+        with pytest.raises(RankFailure) as ei:
+            procrun(NPROCS, survivor_body, timeout=TIMEOUT)
+        failures = ei.value.failures
+        assert set(failures) == {DEAD}, failures
+        # a hard kill surfaces as the launcher's classified death, with
+        # the exit code of the injected os._exit in the message
+        assert isinstance(failures[DEAD], RuntimeError), failures
+        assert "died" in str(failures[DEAD]) or \
+            "heartbeat" in str(failures[DEAD]), failures
+
+    def test_detection_latency_within_two_heartbeats(self, monkeypatch):
+        """Acceptance: detection latency <= 2x REPRO_HEARTBEAT_MS, read
+        back from the launcher's exported counters."""
+        hb_s = 0.1
+        monkeypatch.setenv("REPRO_FAULT", f"coll.round:{DEAD}")
+        monkeypatch.setenv("REPRO_HEARTBEAT_MS", str(int(hb_s * 1000)))
+        with pytest.raises(RankFailure):
+            procrun(NPROCS, survivor_body, timeout=TIMEOUT)
+        snap = REGISTRY.snapshot()
+        assert snap["counters"]["proc.ft"]["failures_detected"] >= 1, \
+            snap["counters"]
+        latency = snap["gauges"]["proc.ft.detect_latency_s"]
+        assert latency <= 2 * hb_s, \
+            f"detection took {latency:.3f}s, bound {2 * hb_s:.3f}s"
+
+    def test_sigstop_detected_by_heartbeat_silence(self, monkeypatch):
+        """A wedged (SIGSTOP'd) rank keeps its sockets open — EOF never
+        fires, only the heartbeat plane can declare it dead."""
+        monkeypatch.setenv("REPRO_FAULT", f"coll.round:{DEAD}:1:stop")
+        monkeypatch.setenv("REPRO_HEARTBEAT_MS", "50")
+        monkeypatch.setenv("REPRO_HEARTBEAT_MISS", "4")
+        t0 = time.monotonic()
+        with pytest.raises(RankFailure) as ei:
+            procrun(NPROCS, survivor_body, timeout=TIMEOUT)
+        dt = time.monotonic() - t0
+        failures = ei.value.failures
+        assert set(failures) == {DEAD}, failures
+        assert "heartbeat" in str(failures[DEAD]), failures
+        # 4 missed 50ms beats ~ 200ms; whole job (spawn included) must
+        # still finish promptly or the silence scan isn't working
+        assert dt < 10.0, f"SIGSTOP detection took {dt:.1f}s"
+
+
+class TestFatalModeUnwind:
+    """ERRORS_ARE_FATAL (the default): peer death aborts, in under 1s."""
+
+    @pytest.mark.parametrize("transport", ["inproc", "socket"])
+    def test_thread_backends(self, transport, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT", f"coll.round:{DEAD}")
+        with pytest.raises(RankFailure) as ei:
+            mpirun(NPROCS, fatal_mode_body, transport=transport,
+                   timeout=TIMEOUT)
+        self._check_unwind(ei.value.failures)
+
+    def test_process_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT", f"coll.round:{DEAD}")
+        monkeypatch.setenv("REPRO_HEARTBEAT_MS", "100")
+        with pytest.raises(RankFailure) as ei:
+            procrun(NPROCS, fatal_mode_body, timeout=TIMEOUT)
+        self._check_unwind(ei.value.failures)
+
+    @staticmethod
+    def _check_unwind(failures):
+        victims = {r: f for r, f in failures.items()
+                   if isinstance(f, RuntimeError) and "unwound" in str(f)}
+        assert victims, f"no timed victims in {failures!r}"
+        for rank, failure in victims.items():
+            dt = float(str(failure).split()[-1])
+            assert dt < FATAL_UNWIND_BOUND, \
+                f"rank {rank} took {dt:.3f}s to unwind after peer death"
+
+
+# --- fault-spec hygiene -------------------------------------------------------
+
+class TestFaultSpec:
+    def test_bad_spec_rejected(self, monkeypatch):
+        from repro.util import faultinject
+        monkeypatch.setenv("REPRO_FAULT", "no-such-site:0")
+        with pytest.raises(ValueError, match="site"):
+            faultinject.maybe_fail("coll.round", 0)
+
+    def test_hit_counts_reset_between_jobs(self, monkeypatch):
+        """The same executor must be able to run the fault twice."""
+        monkeypatch.setenv("REPRO_FAULT", f"coll.round:{DEAD}")
+        for _ in range(2):
+            with pytest.raises(RankFailure) as ei:
+                mpirun(NPROCS, survivor_body, timeout=TIMEOUT)
+            assert set(ei.value.failures) == {DEAD}

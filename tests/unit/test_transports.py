@@ -215,8 +215,10 @@ class TestTCPMesh:
             t0.close()
             t1.close()
 
-    def test_peer_death_delivers_synthetic_abort(self):
-        from repro.runtime.envelope import KIND_ABORT, decode_abort_env
+    def test_peer_death_delivers_peerfail(self):
+        """A peer dying outside teardown is a classified single-rank loss
+        (ULFM failure plane), not a whole-universe abort."""
+        from repro.runtime.envelope import KIND_PEERFAIL, decode_peerfail_env
         t0, t1 = self._make_pair()
         try:
             got = []
@@ -226,9 +228,9 @@ class TestTCPMesh:
             t1.close()  # rank 1 "hard-killed" outside teardown
             assert arrived.wait(timeout=5)
             env = got[-1]
-            assert env.kind == KIND_ABORT
-            origin, errorcode, cause = decode_abort_env(env)
-            assert origin == 1
+            assert env.kind == KIND_PEERFAIL
+            failed_rank, cause = decode_peerfail_env(env)
+            assert failed_rank == 1
             assert isinstance(cause, (ConnectionError, RuntimeError))
         finally:
             t0.close()
