@@ -6,8 +6,12 @@ sizes 8 B – 4 MB on the live backends:
 * ``threads-SM``  — ranks are threads, in-process handoff (no wire);
 * ``threads-DM``  — ranks are threads, kernel socketpairs
   (:class:`~repro.transport.socket_tcp.SocketTransport`);
-* ``procs-DM``    — ranks are OS processes over the TCP mesh
-  (:class:`~repro.executor.procrunner.ProcExecutor`).
+* ``procs-DM``    — ranks are OS processes
+  (:class:`~repro.executor.procrunner.ProcExecutor`), swept under
+  *both* intra-node carriers (the ``transport`` column): ``shm`` —
+  the shared-memory rings of :mod:`repro.transport.shm` — and ``tcp``
+  — loopback TCP, forced with ``REPRO_SHM=0``, which is the baseline
+  the shm path is measured against.
 
 The DM backends run under three protocol settings — ``auto`` (the default
 eager/rendezvous threshold), ``eager`` (threshold forced above every
@@ -23,7 +27,7 @@ Two buffer layouts are swept (the ``layout`` column):
   same zero-copy iovec send / direct-landing receive machinery as
   contiguous ones.
 
-Results land in ``BENCH_P2P.json`` (schema ``repro-p2p/2``); a committed
+Results land in ``BENCH_P2P.json`` (schema ``repro-p2p/3``); a committed
 copy at the repo root seeds the performance trajectory, and the CI bench
 smoke job regenerates a reduced sweep per push.  Usage::
 
@@ -43,7 +47,7 @@ import time
 
 import numpy as np
 
-SCHEMA = "repro-p2p/2"
+SCHEMA = "repro-p2p/3"
 
 #: full sweep: 8 B – 4 MB, dense around the eager/rendezvous band
 FULL_SIZES = (8, 32, 128, 512, 2048, 8192, 32768, 65536, 131072,
@@ -63,6 +67,12 @@ STRIDED_SIZES = (65536, 131072, 262144, 524288, 1048576, 2097152,
 STRIDED_QUICK_SIZES = (65536, 1048576)
 
 BACKENDS = ("threads-SM", "threads-DM", "procs-DM")
+
+#: the carrier under each row (the ``transport`` column): ``inproc`` —
+#: direct handoff (threads-SM), ``tcp`` — kernel sockets (threads-DM
+#: socketpairs, or the procs-DM loopback mesh under ``REPRO_SHM=0``),
+#: ``shm`` — the shared-memory rings (procs-DM default)
+TRANSPORT_KINDS = ("inproc", "tcp", "shm")
 
 #: protocol knob -> forced eager limit (None = leave the default)
 PROTOCOLS = {"auto": None, "eager": 1 << 62, "rendezvous": 1}
@@ -179,13 +189,21 @@ def _run_threads(sizes, reps_list, eager_limit, dm: bool,
 
 
 def _run_procs(sizes, reps_list, eager_limit, layout="contiguous",
-               timeout=300.0):
+               shm=True, timeout=300.0):
     from repro.executor.procrunner import ProcExecutor
-    with ProcExecutor(2) as ex:
-        return ex.run(_sweep_main,
-                      args=(tuple(sizes), tuple(reps_list), eager_limit,
-                            layout),
-                      timeout=timeout)[0]
+    prev = os.environ.get("REPRO_SHM")
+    os.environ["REPRO_SHM"] = "1" if shm else "0"
+    try:
+        with ProcExecutor(2) as ex:
+            return ex.run(_sweep_main,
+                          args=(tuple(sizes), tuple(reps_list),
+                                eager_limit, layout),
+                          timeout=timeout)[0]
+    finally:
+        if prev is None:
+            os.environ.pop("REPRO_SHM", None)
+        else:
+            os.environ["REPRO_SHM"] = prev
 
 
 def run_sweep(sizes=FULL_SIZES, backends=BACKENDS,
@@ -203,43 +221,74 @@ def run_sweep(sizes=FULL_SIZES, backends=BACKENDS,
         strided_sizes = STRIDED_QUICK_SIZES if quick else STRIDED_SIZES
     rows = []
     for backend in backends:
-        for layout in layouts:
-            # SM has no wire protocol: one pass, recorded as "auto";
-            # the strided sweep is auto-only by design
-            backend_protocols = ("auto",) \
-                if backend == "threads-SM" or layout == "strided" \
-                else protocols
-            lay_sizes = sizes if layout == "contiguous" else strided_sizes
-            for protocol in backend_protocols:
-                limit = PROTOCOLS[protocol]
-                reps_list = [reps_for(s, quick) for s in lay_sizes]
-                if backend == "threads-SM":
-                    got = _run_threads(lay_sizes, reps_list, limit,
-                                       dm=False, layout=layout)
-                elif backend == "threads-DM":
-                    got = _run_threads(lay_sizes, reps_list, limit,
-                                       dm=True, layout=layout)
-                else:
-                    got = _run_procs(lay_sizes, reps_list, limit,
-                                     layout=layout)
-                for (size, one_way), reps in zip(got, reps_list):
-                    rows.append({
-                        "backend": backend, "protocol": protocol,
-                        "layout": layout,
-                        "size_bytes": int(size), "reps": int(reps),
-                        "one_way_us": round(one_way * 1e6, 3),
-                        "bandwidth_MBps":
-                            round(size / one_way / 1e6, 2) if one_way > 0
-                            else 0.0,
-                    })
-                if log:
-                    peak = max(r["bandwidth_MBps"] for r in rows
-                               if r["backend"] == backend
-                               and r["protocol"] == protocol
-                               and r["layout"] == layout)
-                    log(f"  {backend:>10} / {layout:<10} / "
-                        f"{protocol:<10} peak {peak:9.1f} MB/s")
+        # procs-DM runs under both intra-node carriers: the shared
+        # rings, and loopback TCP (REPRO_SHM=0) as their baseline
+        if backend == "procs-DM":
+            transports = ("shm", "tcp")
+        elif backend == "threads-SM":
+            transports = ("inproc",)
+        else:
+            transports = ("tcp",)
+        for transport in transports:
+            for layout in layouts:
+                # SM has no wire protocol: one pass, recorded as
+                # "auto"; the strided sweep is auto-only by design
+                backend_protocols = ("auto",) \
+                    if backend == "threads-SM" or layout == "strided" \
+                    else protocols
+                lay_sizes = sizes if layout == "contiguous" \
+                    else strided_sizes
+                for protocol in backend_protocols:
+                    limit = PROTOCOLS[protocol]
+                    reps_list = [reps_for(s, quick) for s in lay_sizes]
+                    if backend == "threads-SM":
+                        got = _run_threads(lay_sizes, reps_list, limit,
+                                           dm=False, layout=layout)
+                    elif backend == "threads-DM":
+                        got = _run_threads(lay_sizes, reps_list, limit,
+                                           dm=True, layout=layout)
+                    else:
+                        got = _run_procs(lay_sizes, reps_list, limit,
+                                         layout=layout,
+                                         shm=(transport == "shm"))
+                    for (size, one_way), reps in zip(got, reps_list):
+                        rows.append({
+                            "backend": backend, "transport": transport,
+                            "protocol": protocol, "layout": layout,
+                            "size_bytes": int(size), "reps": int(reps),
+                            "one_way_us": round(one_way * 1e6, 3),
+                            "bandwidth_MBps":
+                                round(size / one_way / 1e6, 2)
+                                if one_way > 0 else 0.0,
+                        })
+                    if log:
+                        peak = max(r["bandwidth_MBps"] for r in rows
+                                   if r["backend"] == backend
+                                   and r["transport"] == transport
+                                   and r["protocol"] == protocol
+                                   and r["layout"] == layout)
+                        log(f"  {backend:>10} / {transport:<6} / "
+                            f"{layout:<10} / {protocol:<10} peak "
+                            f"{peak:9.1f} MB/s")
     return rows
+
+
+def shm_speedup_vs_tcp(rows) -> dict:
+    """Per-(layout, size) procs-DM bandwidth factors: shm over the
+    loopback-TCP baseline, ``auto`` protocol rows."""
+    tcp = {(r["layout"], r["size_bytes"]): r["bandwidth_MBps"]
+           for r in rows if r["backend"] == "procs-DM"
+           and r.get("transport") == "tcp" and r["protocol"] == "auto"}
+    out: dict[str, dict[str, float]] = {lay: {} for lay in LAYOUTS}
+    for r in rows:
+        if r["backend"] != "procs-DM" or r.get("transport") != "shm" \
+                or r["protocol"] != "auto":
+            continue
+        key = (r["layout"], r["size_bytes"])
+        if tcp.get(key):
+            out[r["layout"]][str(r["size_bytes"])] = round(
+                r["bandwidth_MBps"] / tcp[key], 2)
+    return out
 
 
 def carry_baseline(baseline: dict, rows) -> dict:
@@ -282,6 +331,9 @@ def build_report(rows, quick: bool = False,
         "eager_limit_default": eager_limit(),
         "results": rows,
     }
+    speedup = shm_speedup_vs_tcp(rows)
+    if any(speedup.values()):
+        report["shm_speedup_vs_procs_tcp"] = speedup
     if baseline is not None:
         report["baseline"] = baseline
     return report
@@ -303,8 +355,8 @@ def validate_report(report: dict) -> list[str]:
         problems.append("results must be a non-empty array")
         rows = []
     for i, row in enumerate(rows):
-        for field, typ in (("backend", str), ("protocol", str),
-                           ("layout", str),
+        for field, typ in (("backend", str), ("transport", str),
+                           ("protocol", str), ("layout", str),
                            ("size_bytes", int), ("reps", int),
                            ("one_way_us", (int, float)),
                            ("bandwidth_MBps", (int, float))):
@@ -315,6 +367,9 @@ def validate_report(report: dict) -> list[str]:
             if row["backend"] not in BACKENDS:
                 problems.append(f"results[{i}].backend unknown: "
                                 f"{row['backend']!r}")
+            if row["transport"] not in TRANSPORT_KINDS:
+                problems.append(f"results[{i}].transport unknown: "
+                                f"{row['transport']!r}")
             if row["protocol"] not in PROTOCOLS:
                 problems.append(f"results[{i}].protocol unknown: "
                                 f"{row['protocol']!r}")

@@ -1,6 +1,6 @@
 """Static lint over the reproduction's runtime: concurrency + API drift.
 
-Four rules, each emitting ``file:line`` findings (see
+Five rules, each emitting ``file:line`` findings (see
 :mod:`repro.check.findings` for severities, suppressions and JSON):
 
 ``lock-order``
@@ -27,6 +27,14 @@ Four rules, each emitting ``file:line`` findings (see
     agree: a reference to a missing stub is an error; a stub no OO-layer
     code references is a warning (dead API surface).
 
+``shm-ring-discipline``
+    In SPSC ring classes (any class addressing both ``self._head_off``
+    and ``self._tail_off``), producer-side methods (``write*``) may
+    store only the head counter and consumer-side methods (``read*``)
+    only the tail counter — each side reads the other's counter but
+    never writes it.  A cross-side store is an error; a counter store
+    from a method on neither side is a warning (unclassifiable role).
+
 Usage::
 
     python -m repro.check.lint src/repro [--json out.json] [--strict]
@@ -46,7 +54,7 @@ from repro.check.findings import (ERROR, WARNING, Finding, apply_baseline,
                                   sort_findings)
 
 RULES = ("lock-order", "blocking-under-lock", "trace-guard", "api-drift",
-         "stale-suppression")
+         "shm-ring-discipline", "stale-suppression")
 
 #: rules that produce findings a suppression could apply to
 _FINDING_RULES = tuple(r for r in RULES if r != "stale-suppression")
@@ -417,6 +425,92 @@ def check_api_drift(files: list[SourceFile]) -> list[Finding]:
 
 
 # ---------------------------------------------------------------------------
+# rule: shm-ring-discipline
+# ---------------------------------------------------------------------------
+
+#: method-name prefixes that classify a ring method's side
+RING_PRODUCER_PREFIX = "write"
+RING_CONSUMER_PREFIX = "read"
+
+#: counter-offset attributes that identify an SPSC ring class
+_RING_COUNTER_ATTRS = frozenset({"_head_off", "_tail_off"})
+
+
+def _self_attrs(node: ast.AST) -> set[str]:
+    return {n.attr for n in ast.walk(node)
+            if isinstance(n, ast.Attribute)
+            and isinstance(n.value, ast.Name) and n.value.id == "self"}
+
+
+def _counter_store_target(call: ast.Call) -> str | None:
+    """Which ring counter (if any) a call stores to: a ``_store``/
+    ``pack_into`` whose arguments mention a counter-offset attribute."""
+    fn = call.func
+    if not (isinstance(fn, ast.Attribute)
+            and fn.attr in ("_store", "pack_into")):
+        return None
+    for arg in call.args:
+        for n in ast.walk(arg):
+            if isinstance(n, ast.Attribute) \
+                    and n.attr in _RING_COUNTER_ATTRS:
+                return n.attr
+    return None
+
+
+def check_ring_discipline(files: list[SourceFile]) -> list[Finding]:
+    """SPSC index discipline: write* methods own head, read* own tail.
+
+    The ring's correctness argument (lock-free byte stream, monotonic
+    64-bit counters, TSO publish ordering) rests entirely on each
+    counter having exactly one writer; this rule keeps refactors from
+    quietly breaking that invariant.
+    """
+    findings: list[Finding] = []
+    for sf in files:
+        for cls in ast.walk(sf.tree):
+            if not isinstance(cls, ast.ClassDef) \
+                    or not _RING_COUNTER_ATTRS <= _self_attrs(cls):
+                continue
+            for fn in cls.body:
+                if not isinstance(fn, ast.FunctionDef) \
+                        or fn.name.startswith("__") \
+                        or fn.name in ("_store", "_load"):
+                    continue
+                if fn.name.startswith(RING_PRODUCER_PREFIX):
+                    side, forbidden = "producer", "_tail_off"
+                elif fn.name.startswith(RING_CONSUMER_PREFIX):
+                    side, forbidden = "consumer", "_head_off"
+                else:
+                    side, forbidden = None, None
+                for node in ast.walk(fn):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    target = _counter_store_target(node)
+                    if target is None:
+                        continue
+                    counter = target.strip("_").split("_")[0]
+                    if side is None:
+                        findings.append(Finding(
+                            "shm-ring-discipline", WARNING, sf.rel,
+                            node.lineno,
+                            f"{cls.name}.{fn.name} stores the ring "
+                            f"{counter} counter but is neither a "
+                            f"producer (write*) nor a consumer (read*) "
+                            f"method — its side is unclassifiable"))
+                    elif target == forbidden:
+                        owner = "consumer" if side == "producer" \
+                            else "producer"
+                        findings.append(Finding(
+                            "shm-ring-discipline", ERROR, sf.rel,
+                            node.lineno,
+                            f"{cls.name}.{fn.name} ({side} side) stores "
+                            f"the ring {counter} counter — SPSC "
+                            f"discipline: only the {owner} side may "
+                            f"advance {counter}"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # driver
 # ---------------------------------------------------------------------------
 
@@ -469,6 +563,8 @@ def run_lint(paths: list[str], rules: tuple[str, ...] = RULES):
         findings += check_trace_guard(files)
     if "api-drift" in rules:
         findings += check_api_drift(files)
+    if "shm-ring-discipline" in rules:
+        findings += check_ring_discipline(files)
     allows = {sf.rel: sf.allows for sf in files}
     kept, suppressed = [], 0
     used: set[tuple[str, int]] = set()

@@ -88,7 +88,13 @@ _COLL_ARGS: dict[str, tuple] = {
 
 
 class _BlockedWait:
-    """One rank's current blocking wait (at most one per rank thread)."""
+    """One rank's current blocking wait (at most one per rank thread).
+
+    ``req`` is None for *transport-level* waits (a sender stalled on a
+    full shm ring, a receiver stalled on ring data): there is no MPI
+    request to fail, so a confirmed cycle is reported rather than
+    completed-with-error.
+    """
 
     __slots__ = ("rank", "wait_id", "waiting_on", "ctx", "tag", "op",
                  "req")
@@ -103,6 +109,8 @@ class _BlockedWait:
         self.req = req
 
     def describe(self) -> str:
+        if self.req is None:
+            return f"{self.op}(peer={self.waiting_on})"
         return (f"{self.op}(source={self.waiting_on}, tag={self.tag}, "
                 f"ctx={self.ctx})")
 
@@ -243,6 +251,37 @@ class Sanitizer:
                     del self._blocked[rank]
                 self._inbox.pop(rank, None)
 
+    # -- transport-level waits (shm ring space / ring data) ------------------
+    def transport_wait_begin(self, rank: int, peer: int, what: str):
+        """A rank thread blocked *inside the transport* (e.g. on shm
+        ring space): register the wait-for edge so the cycle detector
+        sees through the transport layer.  Returns the wait token, or
+        None when the rank's wait slot is already taken (an MPI-level
+        wait owns the edge — it subsumes the transport stall)."""
+        wid = next(self._wait_ids)
+        bw = _BlockedWait(rank, wid, peer, -1, -1, f"shm.{what}", None)
+        with self._lock:
+            if rank in self._blocked:
+                return None
+            self._blocked[rank] = bw
+        return bw
+
+    def transport_wait_tick(self, bw) -> None:
+        """One probe round for a transport-level wait.  Probes go out of
+        band (``transport.send_oob``) — a rank stalled on a full ring
+        cannot push a probe through that same ring, and the channel lock
+        it holds makes the attempt a self-deadlock."""
+        if bw is not None and not self.universe.aborted:
+            self._tick(bw, oob=True)
+
+    def transport_wait_end(self, bw) -> None:
+        if bw is None:
+            return
+        with self._lock:
+            if self._blocked.get(bw.rank) is bw:
+                del self._blocked[bw.rank]
+                self._inbox.pop(bw.rank, None)
+
     def on_deliver(self, env: Envelope) -> None:
         """Transport delivered a probe (any thread, including pumps).
 
@@ -258,7 +297,7 @@ class Sanitizer:
                 return
             self._inbox.setdefault(env.dst, []).append(probe)
 
-    def _tick(self, bw: _BlockedWait) -> None:
+    def _tick(self, bw: _BlockedWait, oob: bool = False) -> None:
         """One probe round for a blocked rank: drain inbox, re-originate."""
         with self._lock:
             if self._blocked.get(bw.rank) is not bw:
@@ -278,12 +317,12 @@ class Sanitizer:
                 "pending": {**probe["pending"],
                             bw.rank: self._pending_of(bw.rank)},
             }
-            self._send_probe(fwd, bw.waiting_on, bw.rank)
+            self._send_probe(fwd, bw.waiting_on, bw.rank, oob)
         self._send_probe({
             "path": [(bw.rank, bw.wait_id)],
             "waits": {bw.rank: bw.describe()},
             "pending": {bw.rank: self._pending_of(bw.rank)},
-        }, bw.waiting_on, bw.rank)
+        }, bw.waiting_on, bw.rank, oob)
 
     def _returned(self, bw: _BlockedWait, probe: dict) -> None:
         """Initiator got its own probe back: confirm, then report."""
@@ -306,18 +345,34 @@ class Sanitizer:
         msg = (f"sanitizer: deadlock detected: cycle {cycle}; "
                f"{waits}; {pending}")
         self.deadlock_reports.append(msg)
+        if bw.req is None:
+            # transport-level wait: nothing to complete — name the cycle
+            # for whoever is watching (a peer's MPI-level wait in the
+            # same cycle fails its own request when its probe returns)
+            print(msg, file=sys.stderr)
+            return
         bw.req.complete(error=ERR_OTHER, error_message=msg)
 
     def _pending_of(self, rank: int) -> list[str]:
         mb = self.universe.mailboxes[rank]
         return mb.pending_summary() if mb is not None else []
 
-    def _send_probe(self, probe: dict, dst: int, src: int) -> None:
+    def _send_probe(self, probe: dict, dst: int, src: int,
+                    oob: bool = False) -> None:
         env = Envelope(kind=KIND_SANITIZE, src=src, dst=dst,
                        payload=pickle.dumps(probe, protocol=4),
                        is_object=True)
+        transport = self.universe.transport
+        send = transport.send
+        if oob:
+            # probes for transport-level waits must not ride the wedged
+            # data path; transports without an oob lane drop them (the
+            # probe re-originates every tick, so nothing is lost)
+            send = getattr(transport, "send_oob", None)
+            if send is None:
+                return
         try:
-            self.universe.transport.send(env)
+            send(env)
         except Exception:
             pass    # peer tearing down: the job is ending anyway
 

@@ -48,6 +48,7 @@ network-facing protocol.
 
 from __future__ import annotations
 
+import itertools
 import os
 import pickle
 import selectors
@@ -64,10 +65,15 @@ from repro.obs import export as obs_export
 from repro.obs.metrics import REGISTRY
 from repro.runtime.envelope import (dump_exception_chain,
                                     load_exception_chain)
+from repro.transport import shm as shm_transport
 from repro.transport.socket_tcp import BOOTSTRAP_TIMEOUT, _recv_exact
 from repro.transport.wire import set_nodelay
 
 _LEN = struct.Struct("!I")
+
+#: per-launcher-process sequence making shm nonces unique across the
+#: many jobs one test process launches back to back
+_SHM_RUN_SEQ = itertools.count(1)
 
 #: grace between "the job is over" (abort/exit sent) and SIGKILL
 KILL_GRACE = 5.0
@@ -262,6 +268,12 @@ class ProcExecutor:
         port = listener.getsockname()[1]
         procs: list[subprocess.Popen] = []
         conns: dict[int, socket.socket] = {}
+        # shm job identity: workers derive every segment name from this
+        # nonce, and the launcher sweeps those names on every exit path —
+        # fault-injected workers die by os._exit and unlink nothing
+        shm_nonce = None
+        if self.nprocs > 1 and shm_transport.shm_enabled():
+            shm_nonce = f"{os.getpid():x}j{next(_SHM_RUN_SEQ)}"
         try:
             env = _child_env()
             for rank in range(self.nprocs):
@@ -275,7 +287,7 @@ class ProcExecutor:
                 rank_args = tuple(args[rank]) if per_rank_args \
                     else tuple(args)
                 send_msg(conn, {"cmd": "job", "nprocs": self.nprocs,
-                                "target": spec,
+                                "target": spec, "shm_nonce": shm_nonce,
                                 "args": pickle.dumps(rank_args,
                                                      protocol=4)})
             # a rank that cannot even resolve the target reports *now*,
@@ -303,7 +315,12 @@ class ProcExecutor:
                         RuntimeError(f"rank {rank} died during bootstrap "
                                      f"(exit code {procs[rank].poll()})"))}
                 if "mesh_port" in msg:
-                    book[rank] = (self.host, msg["mesh_port"])
+                    # hierarchical address book: address plus the host
+                    # identity and shm availability the per-peer
+                    # transport selection reads (same-node + shm_ok
+                    # peers talk over shared rings, the rest over TCP)
+                    book[rank] = (self.host, msg["mesh_port"],
+                                  msg.get("node"), msg.get("shm", False))
                 else:
                     early_failures[rank] = load_exception(msg)
             if early_failures:
@@ -319,6 +336,16 @@ class ProcExecutor:
                     send_msg(conn, {"cmd": "exit"})
                 except OSError:
                     pass
+            # brief grace for voluntary exit: workers unmap and unlink
+            # their shm segments in universe.close(); the finally-block
+            # _reap would SIGKILL them mid-teardown (its job on failure
+            # paths) and leave that cleanup to the launcher sweep
+            t_grace = time.monotonic() + 2.0
+            for p in procs:
+                try:
+                    p.wait(timeout=max(0.0, t_grace - time.monotonic()))
+                except subprocess.TimeoutExpired:
+                    break   # wedged rank: _reap handles it
             self._write_traces(reports)
             return self._fold(reports, failures)
         finally:
@@ -329,6 +356,12 @@ class ProcExecutor:
                 except OSError:
                     pass
             self._reap(procs)
+            if shm_nonce is not None:
+                # every worker is dead now (reported + exit, or reaped):
+                # sweep the job's /dev/shm names.  Workers that finalized
+                # cleanly already unlinked their own — this catches hard
+                # kills, aborts, and declared-dead ranks.
+                shm_transport.unlink_job_segments(shm_nonce, self.nprocs)
 
     def close(self) -> None:
         """Stateless between runs; provided for executor-API symmetry."""

@@ -30,6 +30,9 @@ from repro.executor.procrunner import (dump_exception, heartbeat_interval,
 from repro.obs.trace import TRACE
 from repro.runtime.engine import RankRuntime, Universe, bind_thread, \
     unbind_thread
+from repro.transport import shm as shm_transport
+from repro.transport.shm import (HierarchicalTransport, ShmChannel,
+                                 ShmTransport)
 from repro.transport.socket_tcp import (BOOTSTRAP_TIMEOUT, TCPMeshTransport,
                                         build_mesh, mesh_listener)
 from repro.transport.wire import set_nodelay
@@ -89,6 +92,49 @@ def _heartbeat_loop(ctl: socket.socket, rank: int, interval: float,
             return
 
 
+def _hierarchical(tcp, rank: int, nprocs: int, nonce,
+                  inbound: dict, book: dict):
+    """Compose the per-peer transport stack from the address book.
+
+    A peer is an shm peer when the book says it shares this host's node
+    identity *and* its inbound segments exist.  Inbound segments for
+    non-shm peers (remote hosts, ranks whose /dev/shm failed) are
+    unlinked right here; any attach failure degrades this rank to pure
+    TCP rather than failing the job — the rings are an optimization,
+    the mesh is the contract.
+    """
+    if nonce is None or not inbound:
+        for seg in inbound.values():
+            seg.close()
+        return tcp
+    my_node = shm_transport.node_id()
+    shm_peers = set()
+    for peer, entry in book.items():
+        if peer == rank or len(entry) < 4:
+            continue
+        _, _, node, shm_ok = entry[:4]
+        if shm_ok and node == my_node:
+            shm_peers.add(peer)
+    channels = {}
+    for (src, dst), seg in list(inbound.items()):
+        if src in shm_peers:
+            channels[(src, dst)] = ShmChannel(seg, src, dst)
+        else:
+            seg.close()   # owner close unlinks the unused segment
+    try:
+        outbound = shm_transport.attach_outbound(nonce, rank, shm_peers)
+    except (OSError, ValueError):
+        for chan in channels.values():
+            chan.seg.close()
+        return tcp
+    for (src, dst), seg in outbound.items():
+        channels[(src, dst)] = ShmChannel(seg, src, dst)
+    if not channels:
+        return tcp
+    shm = ShmTransport(nprocs, (rank,), channels)
+    return HierarchicalTransport(nprocs, rank, tcp, shm)
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(prog="repro.executor.procworker")
     ap.add_argument("--connect", required=True, metavar="HOST:PORT")
@@ -120,10 +166,25 @@ def main(argv=None) -> int:
         return 1
 
     listener = mesh_listener(host=host or "127.0.0.1")
-    send_msg(ctl, {"mesh_port": listener.getsockname()[1]})
+    # Inbound shm segments are created *before* the port report: once
+    # the launcher gossips the book, every advertised segment already
+    # exists, so attachers never race creation.
+    shm_nonce = job.get("shm_nonce")
+    inbound = {}
+    if shm_nonce is not None:
+        try:
+            inbound = shm_transport.create_inbound(shm_nonce, opts.rank,
+                                                   opts.nprocs)
+        except OSError:
+            inbound = {}   # /dev/shm unavailable: this rank rides TCP
+    send_msg(ctl, {"mesh_port": listener.getsockname()[1],
+                   "node": shm_transport.node_id(),
+                   "shm": bool(inbound)})
     msg = recv_msg(ctl)
     if msg.get("cmd") != "book":
         # launcher cancelled the job (a peer failed before meshing up)
+        for seg in inbound.values():
+            seg.close()
         listener.close()
         ctl.close()
         return 1
@@ -138,7 +199,9 @@ def main(argv=None) -> int:
                          name="repro-proc-heartbeat", daemon=True).start()
     peers = build_mesh(opts.rank, opts.nprocs, listener, msg["book"])
 
-    transport = TCPMeshTransport(opts.nprocs, opts.rank, peers)
+    tcp = TCPMeshTransport(opts.nprocs, opts.rank, peers)
+    transport = _hierarchical(tcp, opts.rank, opts.nprocs, shm_nonce,
+                              inbound, msg["book"])
     universe = Universe(opts.nprocs, transport=transport,
                         local_ranks=(opts.rank,))
     ctl.settimeout(None)

@@ -14,6 +14,12 @@
 * :class:`~repro.transport.modeled.ModeledTransport` — charges a calibrated
   latency/bandwidth cost model to a virtual clock so the benchmark harness
   can regenerate the paper's published 1999 numbers deterministically.
+* :class:`~repro.transport.shm.ShmTransport` — intra-node shared memory:
+  per-pair SPSC rings over ``multiprocessing.shared_memory`` plus a
+  zero-copy rendezvous region (the paper's native-MPI intra-node path).
+* :class:`~repro.transport.shm.HierarchicalTransport` — per-peer
+  composite: shm within a host, the TCP mesh across hosts, selected
+  from the bootstrap address book.
 """
 
 from repro.transport.base import Transport
@@ -21,6 +27,7 @@ from repro.transport.inproc import InprocTransport
 from repro.transport.chunked import ChunkedTransport
 from repro.transport.socket_tcp import SocketTransport, TCPMeshTransport
 from repro.transport.modeled import ModeledTransport
+from repro.transport.shm import HierarchicalTransport, ShmTransport
 from repro.transport import netmodel
 
 TRANSPORTS = {
@@ -42,4 +49,5 @@ def make_transport(name: str, nprocs: int, **kwargs) -> Transport:
 
 __all__ = ["Transport", "InprocTransport", "ChunkedTransport",
            "SocketTransport", "TCPMeshTransport", "ModeledTransport",
+           "ShmTransport", "HierarchicalTransport",
            "make_transport", "netmodel", "TRANSPORTS"]

@@ -215,13 +215,16 @@ def build_mesh(rank: int, nprocs: int, listener: socket.socket,
 
     ``book`` maps every rank to its listener address (gossiped by the
     launcher once all ranks registered, so every listener exists before
-    anyone dials).  Dial lower ranks, accept from higher ranks: each
+    anyone dials).  Entries are ``(host, port)`` or longer tuples whose
+    first two fields are the address (the hierarchical bootstrap rides
+    extra per-rank facts — node identity, shm availability — in the
+    same book).  Dial lower ranks, accept from higher ranks: each
     unordered pair ends up with exactly one connection.
     """
     peers: dict[int, socket.socket] = {}
     try:
         for peer in range(rank):
-            host, port = book[peer]
+            host, port = book[peer][0], book[peer][1]
             s = _dial(host, port, timeout)
             set_nodelay(s)
             s.sendall(MESH_HELLO.pack(rank))

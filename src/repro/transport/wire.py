@@ -286,10 +286,16 @@ class WireProtocol:
     def _count(self, **deltas: int) -> None:
         self.wire_stats.inc(**deltas)
 
+    def _wants_rendezvous(self, env: Envelope) -> bool:
+        """Protocol choice for one envelope.  Transports can refine the
+        global threshold with carrier knowledge (the shm transport
+        keeps ring-sized frames eager: same copy count, no handshake)."""
+        return wants_rendezvous(env)
+
     # -- send side ---------------------------------------------------------
     def _wire_send(self, env: Envelope) -> None:
         """Ship one envelope src->dst (rank thread; never blocks on CTS)."""
-        if wants_rendezvous(env):
+        if self._wants_rendezvous(env):
             st = self._rndv[env.src]
             with st.lock:
                 st.out[env.seq] = env

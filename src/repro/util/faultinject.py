@@ -14,6 +14,9 @@ protocol edge, compiled out to one dict lookup when unarmed):
 * ``rendezvous.cts`` — a sender that just shipped an RTS and will never
   answer the CTS (the receiver is left matched to a dead sender);
 * ``coll.round`` — between rounds of an executing collective schedule;
+* ``shm.ring`` — mid-frame on the shared-memory ring: the header is in,
+  the body is not (process backend; the survivor's only signal is the
+  heartbeat plane — a dead peer produces no EOF on shared memory);
 * ``finalize`` — after the target returned, before the Finalize barrier.
 
 Two kill actions:
@@ -39,7 +42,8 @@ __all__ = ["SimulatedRankDeath", "maybe_fail", "reset", "set_hard_kill"]
 #: exit code of a hard-killed worker, distinguishable from crash-by-1
 HARD_EXIT_CODE = 86
 
-_SITES = ("bootstrap", "rendezvous.cts", "coll.round", "finalize")
+_SITES = ("bootstrap", "rendezvous.cts", "coll.round", "shm.ring",
+          "finalize")
 _ACTIONS = ("kill", "stop")
 
 _lock = threading.Lock()

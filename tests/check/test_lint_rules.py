@@ -340,6 +340,94 @@ class T:
     assert main([str(p), "--strict"]) == 1
 
 
+# ---------------------------------------------------------------------------
+# shm-ring-discipline
+# ---------------------------------------------------------------------------
+
+RING_TEMPLATE = """\
+import struct
+
+_SZ = struct.Struct("<Q")
+
+class Ring:
+    def __init__(self, ctrl, data):
+        self._ctrl = ctrl
+        self._head_off = 0
+        self._tail_off = 64
+        self._data = data
+
+    def _load(self, off):
+        return _SZ.unpack_from(self._ctrl, off)[0]
+
+    def _store(self, off, value):
+        _SZ.pack_into(self._ctrl, off, value)
+
+    def write(self, buf):
+        head = self._load(self._head_off)
+        self._store(self._head_off, head + len(buf))
+
+    def read_some(self, view):
+        tail = self._load(self._tail_off)
+        self._store({store_off}, tail + len(view))
+"""
+
+
+def test_ring_discipline_clean_on_good_ring(tmp_path):
+    findings, _ = lint_source(
+        tmp_path, RING_TEMPLATE.format(store_off="self._tail_off"))
+    assert "shm-ring-discipline" not in rules_of(findings)
+
+
+def test_ring_discipline_fires_on_cross_side_store(tmp_path):
+    # the consumer advancing head is the single-writer violation the
+    # ring's lock-free correctness argument cannot survive
+    findings, _ = lint_source(
+        tmp_path, RING_TEMPLATE.format(store_off="self._head_off"))
+    hits = [f for f in findings if f.rule == "shm-ring-discipline"]
+    assert len(hits) == 1
+    assert hits[0].severity == "error"
+    assert "read_some" in hits[0].message
+    assert "consumer" in hits[0].message and "head" in hits[0].message
+
+
+def test_ring_discipline_producer_storing_tail_fires(tmp_path):
+    src = RING_TEMPLATE.format(store_off="self._tail_off").replace(
+        "self._store(self._head_off, head + len(buf))",
+        "self._store(self._tail_off, head + len(buf))")
+    findings, _ = lint_source(tmp_path, src)
+    hits = [f for f in findings if f.rule == "shm-ring-discipline"]
+    assert len(hits) == 1
+    assert hits[0].severity == "error" and "write" in hits[0].message
+
+
+def test_ring_discipline_unclassified_method_warns(tmp_path):
+    src = RING_TEMPLATE.format(store_off="self._tail_off") + """\
+
+    def rewind(self):
+        self._store(self._head_off, 0)
+"""
+    findings, _ = lint_source(tmp_path, src)
+    hits = [f for f in findings if f.rule == "shm-ring-discipline"]
+    assert len(hits) == 1
+    assert hits[0].severity == "warning"
+    assert "rewind" in hits[0].message
+
+
+def test_ring_discipline_ignores_non_ring_classes(tmp_path):
+    src = """\
+import struct
+
+class NotARing:
+    def __init__(self):
+        self._head_off = 0   # no _tail_off: not an SPSC ring
+
+    def read_some(self):
+        struct.pack_into("<Q", b"", self._head_off, 1)
+"""
+    findings, _ = lint_source(tmp_path, src)
+    assert "shm-ring-discipline" not in rules_of(findings)
+
+
 def test_module_entrypoint_clean_on_tree():
     """The acceptance bar: the shipped tree lints clean."""
     repo = Path(__file__).resolve().parents[2]

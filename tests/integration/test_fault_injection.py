@@ -331,6 +331,10 @@ class TestProcHardKills:
     def test_kill_mid_rendezvous_unblocks_matched_receiver(self,
                                                            monkeypatch):
         monkeypatch.setenv("REPRO_FAULT", "rendezvous.cts:0")
+        # keep the frame ring smaller than the 2 MiB payload: the shm
+        # transport keeps ring-sized frames eager, and this kill site
+        # only exists on the RTS/CTS path
+        monkeypatch.setenv("REPRO_SHM_RING_BYTES", str(1024 * 1024))
         with pytest.raises(RankFailure) as ei:
             procrun(PROC_NPROCS, proc_rendezvous_body,
                     timeout=PROC_TIMEOUT)
@@ -344,6 +348,35 @@ class TestProcHardKills:
             procrun(PROC_NPROCS, proc_segmented_bcast_body,
                     timeout=PROC_TIMEOUT)
         self._assert_prompt_victims(ei.value.failures, dead=0)
+
+    def test_kill_mid_shm_ring_write_detected_and_swept(self,
+                                                        monkeypatch):
+        """Satellite: a rank hard-killed halfway through a shared-ring
+        frame write (header in, body never arrives) produces no EOF —
+        only the heartbeat/control plane can detect it.  Survivors must
+        converge on the dead rank, and the launcher's segment sweep
+        must leave nothing in ``/dev/shm`` (the victim's ``os._exit``
+        runs no cleanup at all)."""
+        import os
+
+        def shm_entries():
+            try:
+                return {n for n in os.listdir("/dev/shm")
+                        if n.startswith("repro_")}
+            except FileNotFoundError:  # pragma: no cover - non-Linux
+                return set()
+
+        monkeypatch.setenv("REPRO_SHM", "1")
+        monkeypatch.setenv("REPRO_FAULT", "shm.ring:1")
+        before = shm_entries()
+        t0 = time.monotonic()
+        with pytest.raises(RankFailure) as ei:
+            procrun(PROC_NPROCS, proc_plain_body, timeout=PROC_TIMEOUT)
+        dt = time.monotonic() - t0
+        assert dt < 15.0, f"shm-ring death took {dt:.1f}s to surface"
+        assert 1 in ei.value.failures, ei.value.failures
+        leaked = shm_entries() - before
+        assert not leaked, f"leaked /dev/shm segments: {sorted(leaked)}"
 
     def test_kill_during_finalize(self, monkeypatch):
         """A rank dying inside Finalize must not wedge the barrier: the

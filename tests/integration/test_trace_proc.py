@@ -52,6 +52,9 @@ def traced_body():
 def trace_dir(tmp_path, monkeypatch):
     d = tmp_path / "trace"
     monkeypatch.setenv("REPRO_TRACE", str(d))
+    # keep the frame ring smaller than BIG: the shm transport keeps
+    # ring-sized frames eager, and this acceptance needs a rendezvous
+    monkeypatch.setenv("REPRO_SHM_RING_BYTES", str(1024 * 1024))
     yield d
 
 

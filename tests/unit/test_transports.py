@@ -326,3 +326,215 @@ class TestVectoredFrames:
         assert wire.body_nbytes(b"abc") == 3
         assert wire.body_nbytes([memoryview(b"ab"), memoryview(b"c")]) == 3
         assert wire.body_nbytes([]) == 0
+
+
+# ---------------------------------------------------------------------------
+# shared-memory intra-node transport
+# ---------------------------------------------------------------------------
+
+import itertools
+import os
+import time
+
+_seg_seq = itertools.count(1)
+
+
+def _seg_name():
+    return f"repro_t{os.getpid():x}_{next(_seg_seq)}"
+
+
+class _SpinStall:
+    """Minimal stall for driving the raw ring without a channel."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        time.sleep(0)
+
+    def reset(self):
+        pass
+
+
+class _Stats:
+    """CounterGroup stand-in recording ``stall_sleeps`` increments."""
+
+    def __init__(self):
+        self.stall_sleeps = 0
+
+    def add(self, key, delta=1):
+        if key == "stall_sleeps":
+            self.stall_sleeps += delta
+
+
+class TestShmRing:
+    """The SPSC byte ring: wrap-around, backpressure, oversized frames."""
+
+    @staticmethod
+    def _segment(ring=64, rndv=64):
+        from repro.transport.shm import ShmSegment
+        return ShmSegment(_seg_name(), create=True, ring=ring, rndv=rndv)
+
+    def test_wraparound_roundtrip(self):
+        seg = self._segment(ring=64)
+        try:
+            ring, stall = seg.frame, _SpinStall()
+            for pattern in (b"A" * 40, b"B" * 40, b"C" * 40):
+                ring.write(pattern, stall)   # second/third writes wrap
+                out = memoryview(bytearray(40))
+                got = 0
+                while got < 40:
+                    got += ring.read_some([out[got:]], stall)
+                assert bytes(out) == pattern
+            assert ring.read_available() == 0
+            assert ring.write_free() == ring.capacity
+        finally:
+            seg.close()
+
+    def test_frame_straddling_wrap_scatters_across_views(self):
+        """A 100-byte frame through a 64-byte ring: the payload is
+        larger than the capacity (streams in pieces) and the consumer's
+        destination views straddle the wrap point."""
+        seg = self._segment(ring=64)
+        try:
+            ring = seg.frame
+            src = bytes(i % 251 for i in range(100))
+            out = bytearray(100)
+            mv = memoryview(out)
+            views = [mv[:33], mv[33:]]
+            done = []
+
+            def consumer():
+                ring.read_exact_views(views, _SpinStall())
+                done.append(True)
+
+            t = threading.Thread(target=consumer)
+            t.start()
+            ring.write(src, _SpinStall())
+            t.join(timeout=10)
+            assert done and bytes(out) == src
+        finally:
+            seg.close()
+
+    def test_full_ring_backpressure_sleeps_instead_of_spinning(self):
+        """A producer blocked on a full ring must fall into the sleep
+        backoff (counted as ``stall_sleeps``), not hot-spin."""
+        from repro.transport.shm import ShmChannel
+        seg = self._segment(ring=4096, rndv=64)
+        chan = ShmChannel(seg, 0, 1)
+        stats = _Stats()
+        chan.bind(threading.Event(), stats)
+        payload = bytes(256 * 1024)
+        try:
+            t = threading.Thread(target=chan.sendall, args=(payload,))
+            t.start()
+            time.sleep(0.05)          # let the producer fill and block
+            assert stats.stall_sleeps > 0
+            got = 0
+            buf = memoryview(bytearray(8192))
+            while got < len(payload):
+                got += chan.recv_into(buf)
+            t.join(timeout=10)
+            assert not t.is_alive()
+            assert got == len(payload)
+        finally:
+            seg.close()
+
+    def test_blocked_wait_unwinds_when_peer_marked_dead(self):
+        """Rings have no EOF: the ``dead`` flag (fed by the heartbeat
+        plane) is what breaks a blocked wait out."""
+        from repro.transport.shm import ShmChannel
+        seg = self._segment(ring=4096, rndv=64)
+        chan = ShmChannel(seg, 0, 1)
+        chan.bind(threading.Event(), _Stats())
+        errs = []
+
+        def producer():
+            try:
+                chan.sendall(bytes(64 * 1024))
+            except ConnectionError as exc:
+                errs.append(exc)
+
+        try:
+            t = threading.Thread(target=producer)
+            t.start()
+            time.sleep(0.02)
+            chan.dead.set()
+            t.join(timeout=10)
+            assert errs and "dead" in str(errs[0])
+        finally:
+            seg.close()
+
+
+class TestShmTransport:
+    """The full shm transport in-process: framing, FIFO, cleanup."""
+
+    def test_concurrent_pingpong_stress(self):
+        from repro.transport.shm import shm_world
+        tr = shm_world(2, ring=8192)
+        n = 300
+        seen = {0: [], 1: []}
+        done = {0: threading.Event(), 1: threading.Event()}
+
+        def sink(rank):
+            def deliver(env):
+                seen[rank].append(env)
+                if len(seen[rank]) == n:
+                    done[rank].set()
+            return deliver
+
+        tr.set_deliver(0, sink(0))
+        tr.set_deliver(1, sink(1))
+        tr.start()
+        try:
+            payload = np.arange(16, dtype=np.int32)
+
+            def sender(src):
+                for i in range(n):
+                    tr.send(Envelope(src=src, dst=1 - src, tag=i,
+                                     payload=payload, nelems=16))
+
+            threads = [threading.Thread(target=sender, args=(s,))
+                       for s in (0, 1)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            assert done[0].wait(timeout=10) and done[1].wait(timeout=10)
+            for rank in (0, 1):
+                assert [e.tag for e in seen[rank]] == list(range(n))
+            assert np.array_equal(np.asarray(seen[0][-1].payload), payload)
+        finally:
+            tr.close()
+
+    def test_close_unlinks_every_segment(self):
+        from repro.transport.shm import leaked_segments, shm_world
+        nonce = f"t{os.getpid():x}u{next(_seg_seq)}"
+        tr = shm_world(2, nonce=nonce)
+        assert len(leaked_segments(nonce, 2)) == 2   # both pairs live
+        tr.close()
+        assert leaked_segments(nonce, 2) == []
+
+    def test_universe_finalize_unlinks_segments(self):
+        from repro.runtime.engine import Universe
+        from repro.transport.shm import leaked_segments, shm_world
+        nonce = f"t{os.getpid():x}u{next(_seg_seq)}"
+        uni = Universe(2, transport=shm_world(2, nonce=nonce))
+        try:
+            assert len(leaked_segments(nonce, 2)) == 2
+        finally:
+            uni.close()
+        assert leaked_segments(nonce, 2) == []
+
+    def test_segment_attach_validates_magic(self):
+        from multiprocessing import shared_memory
+        from repro.transport.shm import ShmSegment
+        name = _seg_name()
+        raw = shared_memory.SharedMemory(name=name, create=True, size=512)
+        try:
+            with pytest.raises(ValueError):
+                ShmSegment(name, create=False)
+        finally:
+            raw.unlink()
+            raw.close()
